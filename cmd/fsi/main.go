@@ -1,0 +1,115 @@
+// Command fsi intersects sets of integers from files, one ID per line,
+// using any of the library's algorithms — a minimal end-to-end demo of the
+// public API.
+//
+// Usage:
+//
+//	fsi -algo RanGroupScan a.txt b.txt c.txt
+//	seq 1 2 100 > odd.txt; seq 0 5 100 > five.txt; fsi odd.txt five.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastintersect"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "Auto", "algorithm: Auto, RanGroupScan, RanGroup, IntGroup, HashBin, Merge, Hash, SkipList, SvS, Adaptive, BaezaYates, SmallAdaptive, Lookup, BPP")
+		timing   = flag.Bool("time", false, "print preprocessing and intersection times")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fsi [-algo NAME] [-time] file1 [file2 ...]")
+		os.Exit(2)
+	}
+	algo, ok := parseAlgo(*algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsi: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	lists := make([]*fastintersect.List, flag.NArg())
+	prepStart := time.Now()
+	for i, path := range flag.Args() {
+		ids, err := readIDs(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsi: %v\n", err)
+			os.Exit(1)
+		}
+		lists[i], err = fastintersect.PreprocessUnsorted(ids)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsi: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	prep := time.Since(prepStart)
+	start := time.Now()
+	res, err := fastintersect.IntersectWith(algo, lists...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsi: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	out := append([]uint32(nil), res...)
+	if !algo.Sorted() {
+		sortU32(out)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for _, x := range out {
+		fmt.Fprintln(w, x)
+	}
+	w.Flush()
+	if *timing {
+		fmt.Fprintf(os.Stderr, "algorithm=%v preprocess=%v intersect=%v result=%d\n",
+			algo, prep.Round(time.Microsecond), elapsed.Round(time.Microsecond), len(out))
+	}
+}
+
+func parseAlgo(name string) (fastintersect.Algorithm, bool) {
+	if strings.EqualFold(name, "Auto") {
+		return fastintersect.Auto, true
+	}
+	for _, a := range fastintersect.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func readIDs(path string) ([]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ids []uint32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad id %q: %w", path, line, err)
+		}
+		ids = append(ids, uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ids, nil
+}
+
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,52 @@
+package fastintersect
+
+import (
+	"sync"
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// TestConcurrentIntersections exercises the lazy structure builders from
+// many goroutines at once: a List is advertised as safe for concurrent
+// queries, so the first-use builds behind List.mu must not race.
+func TestConcurrentIntersections(t *testing.T) {
+	rng := xhash.NewRNG(0xCC)
+	raw := workload.RandomSets(1<<18, []int{3000, 5000, 8000}, rng)
+	lists := make([]*List, len(raw))
+	for i, s := range raw {
+		lists[i], _ = Preprocess(s)
+	}
+	want := sets.IntersectReference(raw...)
+	algos := Algorithms()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algo := algos[g%len(algos)]
+			if mx := algo.MaxSets(); mx > 0 && len(lists) > mx {
+				algo = RanGroupScan
+			}
+			got, err := IntersectWith(algo, lists...)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if !algo.Sorted() {
+				sets.SortU32(got)
+			}
+			if !sets.Equal(got, want) {
+				errs <- algo.String() + ": wrong result under concurrency"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,64 @@
+// Compressed: the §4.1 / Appendix B trade-off in action. The same posting
+// lists are stored four ways — uncompressed, γ/δ gap-coded, and the paper's
+// Lowbits scheme — and intersected, printing the space/time trade-off that
+// Figure 8 charts: Lowbits spends a little more memory than the δ-coded
+// index but intersects several times faster, because filtered groups are
+// skipped without decoding.
+//
+//	go run ./examples/compressed
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fastintersect/internal/baseline"
+	"fastintersect/internal/compress"
+	"fastintersect/internal/core"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func main() {
+	const n = 1_000_000
+	rng := xhash.NewRNG(3)
+	a, b := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
+	fam := core.NewFamily(42, 1)
+
+	fmt.Printf("two sets of %d postings, 1%% intersection\n\n", n)
+	fmt.Println("variant                 size (KiB)   vs raw   intersect      result")
+
+	report := func(name string, words int, f func() int) {
+		start := time.Now()
+		got := f()
+		elapsed := time.Since(start).Round(time.Microsecond)
+		raw := 2 * n * 4 / 1024
+		fmt.Printf("%-22s  %9d   %5.2fx   %-12v  %d\n", name, words*8/1024, float64(words*8/1024)/float64(raw), elapsed, got)
+	}
+
+	// Uncompressed merge for reference.
+	report("raw + Merge", 2*n/2, func() int { return len(baseline.Merge2(nil, a, b)) })
+
+	mgA, _ := compress.NewMergeList(a, compress.Gamma)
+	mgB, _ := compress.NewMergeList(b, compress.Gamma)
+	report("Merge_Gamma", mgA.SizeWords()+mgB.SizeWords(), func() int { return len(compress.IntersectMerge(mgA, mgB)) })
+
+	mdA, _ := compress.NewMergeList(a, compress.Delta)
+	mdB, _ := compress.NewMergeList(b, compress.Delta)
+	report("Merge_Delta", mdA.SizeWords()+mdB.SizeWords(), func() int { return len(compress.IntersectMerge(mdA, mdB)) })
+
+	ldA, _ := compress.NewLookupListAuto(a, compress.Delta, 32)
+	ldB, _ := compress.NewLookupListAuto(b, compress.Delta, 32)
+	report("Lookup_Delta", ldA.SizeWords()+ldB.SizeWords(), func() int { return len(compress.IntersectLookup(ldA, ldB)) })
+
+	rdA, _ := compress.NewRGSList(fam, a, 1, compress.RGSDelta)
+	rdB, _ := compress.NewRGSList(fam, b, 1, compress.RGSDelta)
+	report("RanGroupScan_Delta", rdA.SizeWords()+rdB.SizeWords(), func() int { return len(compress.IntersectRGS(rdA, rdB)) })
+
+	rlA, _ := compress.NewRGSList(fam, a, 1, compress.RGSLowbits)
+	rlB, _ := compress.NewRGSList(fam, b, 1, compress.RGSLowbits)
+	report("RanGroupScan_Lowbits", rlA.SizeWords()+rlB.SizeWords(), func() int { return len(compress.IntersectRGS(rlA, rlB)) })
+
+	fmt.Println("\nexpected shape (paper Figure 8): Lowbits fastest among compressed,")
+	fmt.Println("at 1.3-1.9x the space of the delta-coded inverted index.")
+}

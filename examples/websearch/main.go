@@ -1,0 +1,77 @@
+// Websearch: conjunctive keyword queries over an inverted index — the
+// paper's motivating application. A synthetic corpus of documents is
+// indexed; multi-keyword queries are answered by intersecting posting
+// lists, with the Auto policy switching between RanGroupScan and HashBin
+// depending on how skewed the posting sizes are.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fastintersect"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/xhash"
+)
+
+// vocabulary with Zipf-ish popularity: earlier words appear in more docs.
+var vocabulary = []string{
+	"data", "system", "query", "index", "search", "memory", "fast",
+	"intersection", "set", "algorithm", "cache", "latency", "ranking",
+	"shard", "compression", "posting", "hash", "partition", "group", "scan",
+}
+
+func main() {
+	const numDocs = 120_000
+	rng := xhash.NewRNG(7)
+	ix := invindex.New()
+	for doc := uint32(0); doc < numDocs; doc++ {
+		var terms []string
+		for rank, w := range vocabulary {
+			// P(word in doc) ∝ 1/(rank+2): frequent head, long tail.
+			if rng.Intn(rank+2) == 0 {
+				terms = append(terms, w)
+			}
+		}
+		if err := ix.Add(doc, terms); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ix.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("document frequencies:")
+	for _, w := range []string{"data", "search", "intersection", "scan"} {
+		fmt.Printf("  %-14s %6d docs\n", w, ix.DocFreq(w))
+	}
+	fmt.Println()
+
+	queries := [][]string{
+		{"data", "system"},
+		{"fast", "set", "intersection"},
+		{"search", "latency", "ranking"},
+		{"scan", "data"}, // rare ∧ frequent: skewed sizes, Auto → HashBin
+	}
+	for _, q := range queries {
+		if _, err := ix.Query(q...); err != nil { // warm: builds lazy structures
+			log.Fatal(err)
+		}
+		start := time.Now()
+		hits, err := ix.Query(q...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %-35s %6d hits in %v\n", fmt.Sprintf("%v", q), len(hits), time.Since(start).Round(time.Microsecond))
+	}
+
+	// Any specific algorithm can be forced, e.g. for benchmarking:
+	hits, err := ix.QueryWith(fastintersect.Merge, "fast", "set", "intersection")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame query via Merge baseline: %d hits\n", len(hits))
+}

@@ -1,0 +1,71 @@
+package fastintersect
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fastintersect/internal/sets"
+)
+
+// decodeFuzzSets splits fuzz bytes into two sorted duplicate-free sets.
+func decodeFuzzSets(data []byte) (a, b []uint32) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0])
+	rest := data[1:]
+	var raw []uint32
+	for len(rest) >= 4 {
+		raw = append(raw, binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+	}
+	if split > len(raw) {
+		split = len(raw)
+	}
+	a = sets.SortDedup(append([]uint32(nil), raw[:split]...))
+	b = sets.SortDedup(append([]uint32(nil), raw[split:]...))
+	return a, b
+}
+
+// FuzzIntersectAllAlgorithms feeds arbitrary byte-derived sets through
+// every algorithm and cross-checks against the reference merge. Run the
+// seed corpus with `go test -run=Fuzz`; fuzz continuously with
+// `go test -fuzz=FuzzIntersectAllAlgorithms`.
+func FuzzIntersectAllAlgorithms(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0})
+	f.Add([]byte{2, 1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{4, 255, 255, 255, 255, 0, 0, 0, 0, 255, 255, 255, 255, 0, 0, 0, 0})
+	seed := []byte{8}
+	for i := byte(0); i < 64; i++ {
+		seed = append(seed, i, 0, byte(i%3), 0)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return // keep individual cases fast
+		}
+		aSet, bSet := decodeFuzzSets(data)
+		la, err := Preprocess(aSet)
+		if err != nil {
+			t.Fatalf("Preprocess(a): %v", err)
+		}
+		lb, err := Preprocess(bSet)
+		if err != nil {
+			t.Fatalf("Preprocess(b): %v", err)
+		}
+		want := sets.IntersectReference(aSet, bSet)
+		for _, algo := range Algorithms() {
+			got, err := IntersectWith(algo, la, lb)
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			if !algo.Sorted() {
+				sets.SortU32(got)
+			}
+			if !sets.Equal(got, want) {
+				t.Fatalf("%v: got %v, want %v (a=%v b=%v)", algo, got, want, aSet, bSet)
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package baseline
+
+// Adaptive implements the round-robin adaptive intersection of Demaine,
+// López-Ortiz and Munro [12,13]: an eliminator element is searched for in
+// the next list (cyclically) with galloping; a miss promotes the successor
+// to the new eliminator. Its comparison count adapts to how interleaved the
+// lists are, which is the measure those papers optimize.
+func Adaptive(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	k := len(lists)
+	pos := make([]int, k)
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	var out []uint32
+	eliminator := lists[0][0]
+	pos[0] = 1
+	owner := 0 // list that produced the eliminator
+	matched := 1
+	li := 1 // next list to probe
+	for {
+		l := lists[li]
+		i := gallop(l, pos[li], eliminator)
+		if i == len(l) {
+			return out
+		}
+		if l[i] == eliminator {
+			matched++
+			pos[li] = i + 1
+			if matched == k {
+				out = append(out, eliminator)
+				// Pick a fresh eliminator from the next list.
+				ni := (li + 1) % k
+				if pos[ni] == len(lists[ni]) {
+					return out
+				}
+				eliminator = lists[ni][pos[ni]]
+				pos[ni]++
+				owner = ni
+				matched = 1
+				li = (ni + 1) % k
+				continue
+			}
+		} else {
+			// Miss: l[i] > eliminator becomes the new eliminator.
+			eliminator = l[i]
+			pos[li] = i + 1
+			owner = li
+			matched = 1
+		}
+		li = (li + 1) % k
+		if li == owner {
+			li = (li + 1) % k
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package baseline
+
+import "sort"
+
+// BaezaYates intersects sorted sets with the divide-and-conquer algorithm of
+// Baeza-Yates [1,2]: take the median of the smaller list, binary-search it
+// in the larger list, and recurse on the two halves. For k > 2 sets it
+// follows the generalization used in [5]: intersect the two smallest sets,
+// then the (sorted) result with the next set, and so on.
+func BaezaYates(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	ordered := sortBySize(lists)
+	result := baezaYates2(nil, ordered[0], ordered[1])
+	for _, l := range ordered[2:] {
+		if len(result) == 0 {
+			return result
+		}
+		result = baezaYates2(nil, result, l)
+	}
+	return result
+}
+
+// baezaYates2 appends a ∩ b to dst; a is the smaller ("probe") list.
+// The recursion keeps output sorted because the left half is processed
+// before the median and the median before the right half.
+func baezaYates2(dst, a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	m := len(a) / 2
+	med := a[m]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= med })
+	found := i < len(b) && b[i] == med
+	dst = baezaYates2(dst, a[:m], b[:i])
+	if found {
+		dst = append(dst, med)
+		i++
+	}
+	return baezaYates2(dst, a[m+1:], b[i:])
+}

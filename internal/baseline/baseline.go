@@ -1,0 +1,51 @@
+// Package baseline implements every competitor the paper evaluates against
+// in Section 4:
+//
+//	Merge         — linear parallel scan of sorted lists (inverted-index merge)
+//	Hash          — open-addressing hash tables, probe with the smallest set
+//	SkipList      — static skip list per Pugh's cookbook [18]
+//	SvS           — smallest-vs-set galloping search
+//	Adaptive      — Demaine–López-Ortiz–Munro adaptive intersection [12,13]
+//	BaezaYates    — median divide-and-conquer [1,2], k-set form per [5]
+//	SmallAdaptive — Barbay et al. hybrid [5]
+//	Lookup        — Sanders–Transier two-level bucket structure [19,21]
+//	BPP           — simplified Bille–Pagh–Pagh hashed filtering [6]
+//
+// All functions treat sets as strictly increasing []uint32 and return sorted
+// results. Every implementation here is cross-checked against
+// sets.IntersectReference in the package tests.
+package baseline
+
+import "sort"
+
+// gallop returns the smallest index i ≥ from with a[i] >= x, using
+// exponential probing followed by binary search. It is the standard
+// "galloping" primitive of the adaptive algorithms: cost O(log d) where d is
+// the distance skipped.
+func gallop(a []uint32, from int, x uint32) int {
+	if from >= len(a) || a[from] >= x {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + 1
+	for hi < len(a) && a[hi] < x {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	// Invariant: a[lo] < x, and (hi == len(a) or a[hi] >= x).
+	return lo + sort.Search(hi-lo, func(i int) bool { return a[lo+i] >= x }) // lo+1 ≤ result ≤ hi
+}
+
+// sortBySize returns the lists ordered by ascending length without mutating
+// the argument slice header the caller sees.
+func sortBySize(lists [][]uint32) [][]uint32 {
+	out := make([][]uint32, len(lists))
+	copy(out, lists)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}

@@ -1,0 +1,359 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// algorithms lists every baseline in its convenience form, so the same
+// cross-check battery runs over all of them.
+var algorithms = []struct {
+	name string
+	fn   func(...[]uint32) []uint32
+	maxK int // 0 = unlimited
+}{
+	{"Merge", Merge, 0},
+	{"Hash", Hash, 0},
+	{"SkipList", SkipListIntersect, 0},
+	{"SvS", SvS, 0},
+	{"Adaptive", Adaptive, 0},
+	{"BaezaYates", BaezaYates, 0},
+	{"SmallAdaptive", SmallAdaptive, 0},
+	{"Lookup", LookupAlg, 0},
+	{"BPP", BPPAlg, 0},
+}
+
+// fixedCases are deterministic corner cases every algorithm must handle.
+func fixedCases() [][][]uint32 {
+	return [][][]uint32{
+		{{}, {}},
+		{{1}, {}},
+		{{}, {1}},
+		{{1}, {1}},
+		{{1}, {2}},
+		{{1, 2, 3}, {1, 2, 3}},
+		{{1, 2, 3}, {4, 5, 6}},
+		{{1, 3, 5, 7, 9}, {2, 3, 6, 7, 10}},
+		{{0, 4294967295}, {0, 4294967295}},
+		{{0}, {0}},
+		{{5, 10, 15}, {10}, {10, 20}},
+		{{1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}, {4, 5, 6, 7}},
+		{{1, 100, 10000, 1000000}, {1, 2, 3, 100, 10000, 999999, 1000000}},
+		// Paper Example 3.1's sets.
+		{{1001, 1002, 1004, 1009, 1016, 1027, 1043},
+			{1001, 1003, 1005, 1009, 1011, 1016, 1022, 1032, 1034, 1049}},
+	}
+}
+
+func TestAlgorithmsFixedCases(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(alg.name, func(t *testing.T) {
+			for ci, lists := range fixedCases() {
+				want := sets.IntersectReference(lists...)
+				got := alg.fn(lists...)
+				if !sets.Equal(got, want) {
+					t.Fatalf("case %d: got %v, want %v (inputs %v)", ci, got, want, lists)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsRandomizedPairs(t *testing.T) {
+	rng := xhash.NewRNG(0xBA5E)
+	for trial := 0; trial < 60; trial++ {
+		universe := uint32(1 << (4 + rng.Intn(16))) // dense → sparse
+		n1 := rng.Intn(512) + 1
+		n2 := rng.Intn(2048) + 1
+		if uint32(n1) > universe/2 {
+			n1 = int(universe / 2)
+		}
+		if uint32(n2) > universe/2 {
+			n2 = int(universe / 2)
+		}
+		maxR := n1
+		if n2 < maxR {
+			maxR = n2
+		}
+		r := rng.Intn(maxR + 1)
+		if uint64(n1+n2-r) > uint64(universe) {
+			continue
+		}
+		a, b := workload.PairWithIntersection(universe, n1, n2, r, rng)
+		want := sets.IntersectReference(a, b)
+		for _, alg := range algorithms {
+			got := alg.fn(a, b)
+			if !sets.Equal(got, want) {
+				t.Fatalf("%s: trial %d (n1=%d n2=%d r=%d U=%d): got %d elems, want %d",
+					alg.name, trial, n1, n2, r, universe, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestAlgorithmsRandomizedKSets(t *testing.T) {
+	rng := xhash.NewRNG(0x5EED)
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(4)
+		ns := make([]int, k)
+		for i := range ns {
+			ns[i] = 1 + rng.Intn(600)
+		}
+		lists := workload.RandomSets(1<<14, ns, rng)
+		want := sets.IntersectReference(lists...)
+		for _, alg := range algorithms {
+			got := alg.fn(lists...)
+			if !sets.Equal(got, want) {
+				t.Fatalf("%s: trial %d k=%d sizes=%v: got %d elems, want %d",
+					alg.name, trial, k, ns, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestAlgorithmsSingleList(t *testing.T) {
+	in := []uint32{3, 1, 4}
+	sets.SortU32(in)
+	for _, alg := range algorithms {
+		got := alg.fn(in)
+		if !sets.Equal(got, in) {
+			t.Fatalf("%s: single-list = %v", alg.name, got)
+		}
+		if got := alg.fn(); got != nil {
+			t.Fatalf("%s: zero lists = %v", alg.name, got)
+		}
+	}
+}
+
+func TestGallop(t *testing.T) {
+	a := []uint32{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	cases := []struct {
+		from int
+		x    uint32
+		want int
+	}{
+		{0, 0, 0}, {0, 2, 0}, {0, 3, 1}, {0, 20, 9}, {0, 21, 10},
+		{5, 12, 5}, {5, 13, 6}, {9, 20, 9}, {10, 99, 10},
+	}
+	for _, c := range cases {
+		if got := gallop(a, c.from, c.x); got != c.want {
+			t.Fatalf("gallop(from=%d, x=%d) = %d, want %d", c.from, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGallopExhaustive(t *testing.T) {
+	// Against a straightforward linear scan on small inputs.
+	rng := xhash.NewRNG(77)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		a := make([]uint32, 0, n)
+		cur := uint32(0)
+		for i := 0; i < n; i++ {
+			cur += uint32(rng.Intn(5) + 1)
+			a = append(a, cur)
+		}
+		from := 0
+		if n > 0 {
+			from = rng.Intn(n + 1)
+		}
+		x := uint32(rng.Intn(int(cur) + 2))
+		want := from
+		for want < len(a) && a[want] < x {
+			want++
+		}
+		if got := gallop(a, from, x); got != want {
+			t.Fatalf("gallop(%v, from=%d, x=%d) = %d, want %d", a, from, x, got, want)
+		}
+	}
+}
+
+func TestHashSetBasics(t *testing.T) {
+	h := NewHashSet([]uint32{0, 5, 4294967295})
+	for _, x := range []uint32{0, 5, 4294967295} {
+		if !h.Contains(x) {
+			t.Fatalf("missing %d", x)
+		}
+	}
+	for _, x := range []uint32{1, 4, 4294967294} {
+		if h.Contains(x) {
+			t.Fatalf("spurious %d", x)
+		}
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if NewHashSet(nil).Contains(0) {
+		t.Fatal("empty table contains 0")
+	}
+}
+
+func TestHashSetDuplicateInsert(t *testing.T) {
+	h := NewHashSet([]uint32{7, 7, 7})
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate inserts", h.Len())
+	}
+}
+
+func TestHashSetDense(t *testing.T) {
+	var in []uint32
+	for i := uint32(0); i < 3000; i++ {
+		in = append(in, i*3)
+	}
+	h := NewHashSet(in)
+	for _, x := range in {
+		if !h.Contains(x) {
+			t.Fatalf("missing %d", x)
+		}
+	}
+	miss := 0
+	for i := uint32(1); i < 3000; i += 3 {
+		if !h.Contains(i) {
+			miss++
+		}
+	}
+	if miss != 1000 {
+		t.Fatalf("false positives: %d misses of 1000", miss)
+	}
+}
+
+func TestSkipListStructure(t *testing.T) {
+	var in []uint32
+	for i := uint32(0); i < 5000; i++ {
+		in = append(in, i*2)
+	}
+	sl := NewSkipList(in)
+	if sl.Len() != 5000 {
+		t.Fatalf("Len = %d", sl.Len())
+	}
+	// Every present element found, every absent element not.
+	for _, x := range []uint32{0, 2, 4998, 9998} {
+		at := sl.search(x)
+		if at < 0 || sl.vals[at] != x {
+			t.Fatalf("search(%d) missed", x)
+		}
+	}
+	for _, x := range []uint32{1, 3, 9999} {
+		at := sl.search(x)
+		if at >= 0 && sl.vals[at] == x {
+			t.Fatalf("search(%d) found absent element", x)
+		}
+	}
+	if got := sl.search(10000); got != -1 {
+		t.Fatalf("search past end = %d", got)
+	}
+}
+
+func TestSkipListLevelsLinked(t *testing.T) {
+	var in []uint32
+	for i := uint32(0); i < 2000; i++ {
+		in = append(in, i)
+	}
+	sl := NewSkipList(in)
+	// Walking any level must visit strictly increasing values and reach nil.
+	for l := 0; l < sl.maxLevel; l++ {
+		cur := sl.head[l]
+		var prev int32 = -1
+		steps := 0
+		for cur >= 0 {
+			if prev >= 0 && sl.vals[cur] <= sl.vals[prev] {
+				t.Fatalf("level %d not increasing", l)
+			}
+			prev = cur
+			cur = sl.forward(cur, l)
+			if steps++; steps > len(in)+1 {
+				t.Fatalf("level %d has a cycle", l)
+			}
+		}
+	}
+}
+
+func TestLookupStructure(t *testing.T) {
+	set := []uint32{0, 1, 31, 32, 33, 64, 1000}
+	l := NewLookup(set, 32)
+	if l.Len() != len(set) {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.bucketRange(0); !sets.Equal(got, []uint32{0, 1, 31}) {
+		t.Fatalf("bucket 0 = %v", got)
+	}
+	if got := l.bucketRange(1); !sets.Equal(got, []uint32{32, 33}) {
+		t.Fatalf("bucket 1 = %v", got)
+	}
+	if got := l.bucketRange(2); !sets.Equal(got, []uint32{64}) {
+		t.Fatalf("bucket 2 = %v", got)
+	}
+	if got := l.bucketRange(31); !sets.Equal(got, []uint32{1000}) {
+		t.Fatalf("bucket 31 = %v", got)
+	}
+	if got := l.bucketRange(99); len(got) != 0 {
+		t.Fatalf("past-end bucket = %v", got)
+	}
+}
+
+func TestLookupPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []uint32{0, 3, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d did not panic", w)
+				}
+			}()
+			NewLookup([]uint32{1}, w)
+		}()
+	}
+}
+
+func TestBPPStructure(t *testing.T) {
+	rng := xhash.NewRNG(11)
+	set := workload.RandomSets(1<<20, []int{4096}, rng)[0]
+	b := NewBPP(set)
+	if b.Len() != 4096 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// (H, x) order must be non-decreasing in H.
+	for i := 1; i < len(b.hvals); i++ {
+		if lessHX(b.hvals[i], b.elems[i], b.hvals[i-1], b.elems[i-1]) {
+			t.Fatalf("(H,x) order violated at %d", i)
+		}
+	}
+	// Directory consistency: every element's finest bucket contains it.
+	for i, h := range b.hvals {
+		y := h >> (32 - uint(b.maxJ))
+		lo, hi := b.bucket(b.maxJ, y)
+		if int32(i) < lo || int32(i) >= hi {
+			t.Fatalf("element %d outside its bucket [%d,%d)", i, lo, hi)
+		}
+	}
+}
+
+func TestBPPSkewedSizes(t *testing.T) {
+	rng := xhash.NewRNG(13)
+	a, b := workload.PairWithIntersection(1<<22, 50, 50_000, 25, rng)
+	got := BPPAlg(a, b)
+	want := sets.IntersectReference(a, b)
+	if !sets.Equal(got, want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func BenchmarkBaselinesPair(b *testing.B) {
+	rng := xhash.NewRNG(99)
+	a1, a2 := workload.PairWithIntersection(1<<24, 100_000, 100_000, 1000, rng)
+	for _, alg := range algorithms {
+		b.Run(alg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.fn(a1, a2)
+			}
+		})
+	}
+}
+
+func ExampleMerge() {
+	fmt.Println(Merge([]uint32{1, 3, 5}, []uint32{3, 4, 5}))
+	// Output: [3 5]
+}

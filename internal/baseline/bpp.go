@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"math/bits"
+	"sort"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/xhash"
+)
+
+// BPP is a simplified implementation of the Bille–Pagh–Pagh algorithm [6]
+// ("Fast Evaluation of Union-Intersection Expressions"), the baseline the
+// paper labels BPP. The idea: map each set through a hash function h into a
+// smaller universe, intersect the (word-packed) hashed images cheaply, then
+// recover the pre-images of the surviving hash values and discard false
+// positives. The paper notes it simplified BPP's bit manipulation to make
+// it faster for small w; we follow the same spirit:
+//
+//   - preprocessing sorts each set by a 32-bit hash H(x) and stores bitmaps
+//     of the top-j bits of H for every resolution j (a power-of-two number
+//     of buckets), plus a bucket-offset directory at the finest resolution;
+//   - a query picks the resolution matching the smallest set, ANDs the k
+//     bitmaps word by word, and for every surviving bucket merges the
+//     candidate runs of all k sets in (H, x) order, emitting x only when it
+//     appears in all k runs (false positives die here).
+//
+// The per-query constant work on bitmaps is what makes BPP slow in practice
+// (Figure 4), and this implementation reproduces that behaviour.
+type BPP struct {
+	elems   []uint32 // set elements ordered by (H(x), x)
+	hvals   []uint32 // H(x), same order
+	bitmaps [][]uint64
+	minJ    int     // coarsest resolution stored
+	maxJ    int     // finest resolution stored; directory lives here
+	dir     []int32 // bucket offsets at maxJ; len 2^maxJ+1
+}
+
+// bppSeed fixes H across all BPP structures so hashed orders are consistent
+// between the sets of a query, as [6] requires.
+const bppSeed = 0xB1117E
+
+// bppHash is the shared 32-bit hash H.
+func bppHash(x uint32) uint32 {
+	z := (uint64(x) + bppSeed) * 0x9E3779B97F4A7C15
+	return uint32(z >> 32)
+}
+
+// NewBPP preprocesses a sorted set.
+func NewBPP(set []uint32) *BPP {
+	n := len(set)
+	b := &BPP{
+		elems: append([]uint32(nil), set...),
+		hvals: make([]uint32, n),
+	}
+	b.minJ = 5 // at least 32 buckets
+	b.maxJ = int(xhash.CeilLog2(n))
+	if b.maxJ < b.minJ {
+		b.maxJ = b.minJ
+	}
+	for i, x := range b.elems {
+		b.hvals[i] = bppHash(x)
+	}
+	sort.Sort(byHashThenValue{b})
+	// Bitmaps for every resolution j: bit y set iff some H(x) has top-j
+	// bits equal to y.
+	b.bitmaps = make([][]uint64, b.maxJ-b.minJ+1)
+	for j := b.minJ; j <= b.maxJ; j++ {
+		bm := make([]uint64, (1<<j+63)/64)
+		for _, h := range b.hvals {
+			y := h >> (32 - uint(j))
+			bm[y>>6] |= 1 << (y & 63)
+		}
+		b.bitmaps[j-b.minJ] = bm
+	}
+	// Directory at the finest resolution.
+	b.dir = make([]int32, (1<<b.maxJ)+1)
+	q := uint32(0)
+	for i, h := range b.hvals {
+		y := h >> (32 - uint(b.maxJ))
+		for q <= y {
+			b.dir[q] = int32(i)
+			q++
+		}
+	}
+	for ; q <= 1<<b.maxJ; q++ {
+		b.dir[q] = int32(n)
+	}
+	return b
+}
+
+type byHashThenValue struct{ b *BPP }
+
+func (s byHashThenValue) Len() int { return len(s.b.elems) }
+func (s byHashThenValue) Less(i, j int) bool {
+	if s.b.hvals[i] != s.b.hvals[j] {
+		return s.b.hvals[i] < s.b.hvals[j]
+	}
+	return s.b.elems[i] < s.b.elems[j]
+}
+func (s byHashThenValue) Swap(i, j int) {
+	s.b.elems[i], s.b.elems[j] = s.b.elems[j], s.b.elems[i]
+	s.b.hvals[i], s.b.hvals[j] = s.b.hvals[j], s.b.hvals[i]
+}
+
+// Len returns the number of elements.
+func (b *BPP) Len() int { return len(b.elems) }
+
+// bucket returns the (H-ordered) run of elements whose top-j hash bits are y.
+func (b *BPP) bucket(j int, y uint32) (lo, hi int32) {
+	shift := uint(b.maxJ - j)
+	return b.dir[y<<shift], b.dir[(y+1)<<shift]
+}
+
+// IntersectBPP intersects k ≥ 2 preprocessed sets. The result is sorted by
+// document ID (the hashed-order output is re-sorted at the end, mirroring
+// the recovery step of [6]).
+func IntersectBPP(structs ...*BPP) []uint32 {
+	if len(structs) == 0 {
+		return nil
+	}
+	if len(structs) == 1 {
+		out := append([]uint32(nil), structs[0].elems...)
+		sets.SortU32(out)
+		return out
+	}
+	// Resolution: match the smallest set, clamped so every structure has it.
+	smallest := structs[0]
+	j := 31
+	for _, s := range structs {
+		if s.Len() < smallest.Len() {
+			smallest = s
+		}
+		if s.maxJ < j {
+			j = s.maxJ
+		}
+	}
+	if sj := int(xhash.CeilLog2(smallest.Len())); sj < j {
+		j = sj
+	}
+	if j < structs[0].minJ {
+		j = structs[0].minJ
+	}
+	// Word-parallel AND of the hashed images.
+	words := (1<<j + 63) / 64
+	acc := make([]uint64, words)
+	copy(acc, structs[0].bitmaps[j-structs[0].minJ])
+	for _, s := range structs[1:] {
+		bm := s.bitmaps[j-s.minJ]
+		for w := range acc {
+			acc[w] &= bm[w]
+		}
+	}
+	var out []uint32
+	runs := make([][2]int32, len(structs))
+	for w, word := range acc {
+		for word != 0 {
+			y := uint32(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+			for si, s := range structs {
+				lo, hi := s.bucket(j, y)
+				runs[si] = [2]int32{lo, hi}
+			}
+			out = mergeRunsBPP(out, structs, runs)
+		}
+	}
+	sets.SortU32(out)
+	return out
+}
+
+// mergeRunsBPP merges k candidate runs in (H, x) order, emitting elements
+// present in all runs.
+func mergeRunsBPP(dst []uint32, structs []*BPP, runs [][2]int32) []uint32 {
+	pos := make([]int32, len(structs))
+	for i, r := range runs {
+		pos[i] = r[0]
+	}
+outer:
+	for {
+		if pos[0] >= runs[0][1] {
+			return dst
+		}
+		ch, cx := structs[0].hvals[pos[0]], structs[0].elems[pos[0]]
+		for si := 1; si < len(structs); si++ {
+			s := structs[si]
+			i := pos[si]
+			for i < runs[si][1] && lessHX(s.hvals[i], s.elems[i], ch, cx) {
+				i++
+			}
+			pos[si] = i
+			if i >= runs[si][1] {
+				return dst
+			}
+			if s.hvals[i] != ch || s.elems[i] != cx {
+				// Candidate dead: advance the probe run and restart.
+				pos[0]++
+				continue outer
+			}
+		}
+		dst = append(dst, cx)
+		for si := range pos {
+			pos[si]++
+		}
+	}
+}
+
+// lessHX orders by (hash, value).
+func lessHX(h1 uint32, x1 uint32, h2 uint32, x2 uint32) bool {
+	if h1 != h2 {
+		return h1 < h2
+	}
+	return x1 < x2
+}
+
+// BPPAlg is the convenience form used by tests and the harness.
+func BPPAlg(lists ...[]uint32) []uint32 {
+	structs := make([]*BPP, len(lists))
+	for i, l := range lists {
+		structs[i] = NewBPP(l)
+	}
+	return IntersectBPP(structs...)
+}

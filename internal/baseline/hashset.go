@@ -1,0 +1,114 @@
+package baseline
+
+// HashSet is the Hash baseline: a pre-built open-addressing (linear probing)
+// hash table over a set, so intersection iterates the smallest set and looks
+// every element up in the tables of the others — expected O(|L1|) per [6]'s
+// discussion, but with an indirection cost per probe that makes it slow when
+// set sizes are similar (the paper's Figure 4 shows Hash performing worst).
+type HashSet struct {
+	slots []uint32
+	used  []uint64 // occupancy bitmap: valid keys include 0
+	mask  uint32
+	n     int
+}
+
+// hashSlot spreads x over the table with a Fibonacci multiplier.
+func (h *HashSet) hashSlot(x uint32) uint32 {
+	return (x * 2654435761) & h.mask
+}
+
+// NewHashSet builds a table at load factor ≤ 0.5 over a set (order is
+// irrelevant; duplicates are tolerated and stored once).
+func NewHashSet(set []uint32) *HashSet {
+	capacity := 16
+	for capacity < 2*len(set) {
+		capacity <<= 1
+	}
+	h := &HashSet{
+		slots: make([]uint32, capacity),
+		used:  make([]uint64, (capacity+63)/64),
+		mask:  uint32(capacity - 1),
+	}
+	for _, x := range set {
+		h.insert(x)
+	}
+	return h
+}
+
+func (h *HashSet) insert(x uint32) {
+	i := h.hashSlot(x)
+	for {
+		if h.used[i>>6]&(1<<(i&63)) == 0 {
+			h.used[i>>6] |= 1 << (i & 63)
+			h.slots[i] = x
+			h.n++
+			return
+		}
+		if h.slots[i] == x {
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Contains reports whether x is in the set.
+func (h *HashSet) Contains(x uint32) bool {
+	i := h.hashSlot(x)
+	for {
+		if h.used[i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+		if h.slots[i] == x {
+			return true
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Len returns the number of distinct elements stored.
+func (h *HashSet) Len() int { return h.n }
+
+// SizeWords returns the structure's size in 64-bit words, for the space
+// accounting experiments.
+func (h *HashSet) SizeWords() int {
+	return len(h.slots)/2 + len(h.used)
+}
+
+// HashIntersect intersects the (sorted) probe set against pre-built tables:
+// the online phase of the Hash baseline. The result is sorted because probe
+// is scanned in order.
+func HashIntersect(probe []uint32, tables ...*HashSet) []uint32 {
+	var out []uint32
+	for _, x := range probe {
+		ok := true
+		for _, t := range tables {
+			if !t.Contains(x) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Hash is the convenience form used by tests and the harness: it builds
+// tables for all but the smallest list and probes with the smallest. The
+// table construction is preprocessing in the paper's model; benchmark
+// harnesses build the tables outside the timed section via NewHashSet.
+func Hash(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	ordered := sortBySize(lists)
+	tables := make([]*HashSet, len(ordered)-1)
+	for i, l := range ordered[1:] {
+		tables[i] = NewHashSet(l)
+	}
+	return HashIntersect(ordered[0], tables...)
+}

@@ -1,0 +1,145 @@
+package baseline
+
+// Lookup is the two-level posting-list representation of Sanders and
+// Transier [19,21] (the paper's Lookup baseline): the universe is divided
+// into buckets of B consecutive IDs and a dense directory maps each bucket
+// to its offset in the posting array, so an intersection can jump straight
+// to the bucket of the other list that can contain a given element and scan
+// at most B entries. The paper uses B = 32, the best value in both the
+// authors' and the original paper's experience.
+type Lookup struct {
+	set []uint32
+	dir []int32 // dir[q] = offset of the first element with id/B == q; len = buckets+1
+	b   uint32
+}
+
+// DefaultBucketSize is the paper's B = 32: the average number of elements
+// per bucket ("using B = 32 as the bucket-size, which is the best value in
+// our and the authors' experience").
+const DefaultBucketSize = 32
+
+// AutoBucketWidth returns the power-of-two ID width giving ≈ n/bucketSize
+// buckets over [0, maxID]: the directory stays O(n/B) regardless of how
+// sparse the list is in its universe.
+func AutoBucketWidth(maxID uint32, n, bucketSize int) uint32 {
+	if n <= 0 {
+		return 1 << 31
+	}
+	target := (uint64(maxID) + 1) * uint64(bucketSize) / uint64(n)
+	w := uint32(1)
+	for uint64(w) < target && w < 1<<31 {
+		w <<= 1
+	}
+	return w
+}
+
+// NewLookup builds the structure over a sorted set. bucketWidth must be a
+// positive power of two.
+func NewLookup(set []uint32, bucketWidth uint32) *Lookup {
+	if bucketWidth == 0 || bucketWidth&(bucketWidth-1) != 0 {
+		panic("baseline: bucket width must be a power of two")
+	}
+	var maxID uint32
+	if len(set) > 0 {
+		maxID = set[len(set)-1]
+	}
+	buckets := maxID/bucketWidth + 1
+	l := &Lookup{
+		set: append([]uint32(nil), set...),
+		dir: make([]int32, buckets+1),
+		b:   bucketWidth,
+	}
+	q := uint32(0)
+	for i, x := range l.set {
+		for q <= x/bucketWidth {
+			l.dir[q] = int32(i)
+			q++
+		}
+	}
+	for ; q <= buckets; q++ {
+		l.dir[q] = int32(len(l.set))
+	}
+	return l
+}
+
+// Len returns the number of elements.
+func (l *Lookup) Len() int { return len(l.set) }
+
+// SizeWords returns the structure's size in 64-bit words (posting array +
+// directory), for the space accounting experiments.
+func (l *Lookup) SizeWords() int { return (len(l.set) + len(l.dir) + 1) / 2 }
+
+// bucketRange returns the slice of elements in bucket q, or an empty slice
+// if q is past the directory.
+func (l *Lookup) bucketRange(q uint32) []uint32 {
+	if q >= uint32(len(l.dir))-1 {
+		return nil
+	}
+	return l.set[l.dir[q]:l.dir[q+1]]
+}
+
+// LookupIntersect intersects a sorted probe list against pre-built Lookup
+// structures: for every run of probe elements falling into one bucket, the
+// matching buckets of the other structures are merged. The result is sorted.
+func LookupIntersect(probe []uint32, others ...*Lookup) []uint32 {
+	if len(others) == 0 {
+		return append([]uint32(nil), probe...)
+	}
+	current := probe
+	var out []uint32
+	for _, other := range others {
+		out = nil
+		b := other.b
+		i := 0
+		for i < len(current) {
+			q := current[i] / b
+			// Run of probe elements in bucket q.
+			j := i + 1
+			for j < len(current) && current[j]/b == q {
+				j++
+			}
+			bucket := other.bucketRange(q)
+			// Merge the ≤B-element runs.
+			p, r := i, 0
+			for p < j && r < len(bucket) {
+				switch {
+				case current[p] < bucket[r]:
+					p++
+				case current[p] > bucket[r]:
+					r++
+				default:
+					out = append(out, current[p])
+					p++
+					r++
+				}
+			}
+			i = j
+		}
+		current = out
+		if len(current) == 0 {
+			break
+		}
+	}
+	return current
+}
+
+// LookupAlg is the convenience form: builds structures for all but the
+// smallest set and probes with the smallest, using the default bucket width.
+func LookupAlg(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	ordered := sortBySize(lists)
+	others := make([]*Lookup, len(ordered)-1)
+	for i, l := range ordered[1:] {
+		var maxID uint32
+		if len(l) > 0 {
+			maxID = l[len(l)-1]
+		}
+		others[i] = NewLookup(l, AutoBucketWidth(maxID, len(l), DefaultBucketSize))
+	}
+	return LookupIntersect(ordered[0], others...)
+}

@@ -1,0 +1,79 @@
+package baseline
+
+// Merge2 intersects two sorted sets with the classic linear parallel scan —
+// the "merge step" of merge sort, requiring O(|a|+|b|) operations. This is
+// the paper's Merge baseline: simple, branch-light, cache-friendly, and — as
+// the paper's Figure 4/5 show — surprisingly hard to beat.
+func Merge2(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		if va == vb {
+			dst = append(dst, va)
+			i++
+			j++
+			continue
+		}
+		// Branch-reduced advance: comparisons compile to conditional moves.
+		if va < vb {
+			i++
+		}
+		if vb < va {
+			j++
+		}
+	}
+	return dst
+}
+
+// Merge intersects k ≥ 1 sorted sets by a simultaneous parallel scan: keep a
+// candidate (the maximum of the current heads) and advance every list to it;
+// when all heads agree the candidate is emitted. For k = 2 it defers to
+// Merge2.
+func Merge(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	case 2:
+		return Merge2(nil, lists[0], lists[1])
+	}
+	pos := make([]int, len(lists))
+	var out []uint32
+	if len(lists[0]) == 0 {
+		return out
+	}
+	candidate := lists[0][0]
+scan:
+	for {
+		agreed := 0
+		for li, l := range lists {
+			i := pos[li]
+			for i < len(l) && l[i] < candidate {
+				i++
+			}
+			pos[li] = i
+			if i == len(l) {
+				break scan
+			}
+			if l[i] == candidate {
+				agreed++
+			} else {
+				candidate = l[i]
+				agreed = 1
+			}
+		}
+		if agreed == len(lists) {
+			out = append(out, candidate)
+			// Advance past the emitted element.
+			for li := range lists {
+				pos[li]++
+				if pos[li] == len(lists[li]) {
+					break scan
+				}
+			}
+			candidate = lists[0][pos[0]]
+		}
+	}
+	return out
+}

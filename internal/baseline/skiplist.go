@@ -1,0 +1,165 @@
+package baseline
+
+import "fastintersect/internal/xhash"
+
+// SkipList is a static skip list following Pugh's cookbook [18], simplified
+// for static data as the paper's implementation was: node heights are drawn
+// with p = 1/4 at build time, towers are stored in one flat array, and no
+// insertion/deletion machinery exists. Searches descend from a head tower;
+// intersections iterate the smallest list and skip-search the others,
+// resuming from the previous match position (a "finger" at level 0 raised
+// back to the top of the finger node's tower).
+type SkipList struct {
+	vals []uint32
+	// tower[towerOff[i] : towerOff[i+1]] are node i's forward pointers,
+	// level 0 first; entry -1 means nil.
+	tower    []int32
+	towerOff []int32
+	head     []int32 // forward pointers from the artificial head node
+	maxLevel int
+}
+
+const skipListP = 4 // 1-in-4 promotion, Pugh's recommended p for big lists
+
+// NewSkipList builds a skip list over a sorted set. Heights are drawn from
+// the deterministic RNG seeded by the set length so builds are reproducible.
+func NewSkipList(set []uint32) *SkipList {
+	rng := xhash.NewRNG(uint64(len(set))*0x9E3779B9 + 1)
+	n := len(set)
+	heights := make([]uint8, n)
+	maxLevel := 1
+	for i := range heights {
+		h := 1
+		for h < 32 && rng.Intn(skipListP) == 0 {
+			h++
+		}
+		heights[i] = uint8(h)
+		if h > maxLevel {
+			maxLevel = h
+		}
+	}
+	s := &SkipList{
+		vals:     append([]uint32(nil), set...),
+		towerOff: make([]int32, n+1),
+		head:     make([]int32, maxLevel),
+		maxLevel: maxLevel,
+	}
+	total := int32(0)
+	for i, h := range heights {
+		s.towerOff[i] = total
+		total += int32(h)
+	}
+	s.towerOff[n] = total
+	s.tower = make([]int32, total)
+	// Link levels: last[l] = most recent node at level l.
+	last := make([]int32, maxLevel)
+	for l := range last {
+		last[l] = -1
+		s.head[l] = -1
+	}
+	for i := n - 1; i >= 0; i-- { // link right-to-left so next pointers are ready
+		for l := 0; l < int(heights[i]); l++ {
+			s.tower[s.towerOff[i]+int32(l)] = last[l]
+			last[l] = int32(i)
+		}
+	}
+	copy(s.head, last)
+	return s
+}
+
+// Len returns the number of elements.
+func (s *SkipList) Len() int { return len(s.vals) }
+
+// forward returns node i's forward pointer at level l, or -1.
+func (s *SkipList) forward(i int32, l int) int32 {
+	off := s.towerOff[i]
+	if s.towerOff[i+1]-off <= int32(l) {
+		return -1
+	}
+	return s.tower[off+int32(l)]
+}
+
+// height returns node i's tower height.
+func (s *SkipList) height(i int32) int {
+	return int(s.towerOff[i+1] - s.towerOff[i])
+}
+
+// search returns the index of the first node with value ≥ x, descending
+// the head tower, or -1 if all values are smaller.
+func (s *SkipList) search(x uint32) int32 {
+	cur := int32(-1)
+	for l := s.maxLevel - 1; l >= 0; l-- {
+		for {
+			var nxt int32
+			if cur < 0 {
+				nxt = s.head[l]
+			} else {
+				nxt = s.forward(cur, l)
+			}
+			if nxt < 0 || s.vals[nxt] >= x {
+				break
+			}
+			cur = nxt
+		}
+	}
+	// cur is the last node with value < x (or head).
+	if cur < 0 {
+		return s.head[0]
+	}
+	return s.forward(cur, 0)
+}
+
+// SkipIntersect intersects the (sorted) probe set against pre-built skip
+// lists — the Hash-style online phase. Results are sorted. A level-0 finger
+// provides a fast path when consecutive probes land on adjacent nodes;
+// otherwise the search restarts from the head tower.
+func SkipIntersect(probe []uint32, others ...*SkipList) []uint32 {
+	var out []uint32
+	fingers := make([]int32, len(others))
+	for i := range fingers {
+		fingers[i] = -1
+	}
+	for _, x := range probe {
+		ok := true
+		for i, sl := range others {
+			var at int32
+			if f := fingers[i]; f >= 0 {
+				at = sl.forward(f, 0)
+			} else {
+				at = sl.head[0]
+			}
+			if at >= 0 && sl.vals[at] < x {
+				at = sl.search(x)
+			}
+			if at < 0 {
+				return out // list exhausted: nothing further can match
+			}
+			if sl.vals[at] != x {
+				ok = false
+				break
+			}
+			fingers[i] = at
+		}
+		if ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SkipListIntersect is the convenience form: builds skip lists for all but
+// the smallest set and probes with the smallest.
+func SkipListIntersect(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	ordered := sortBySize(lists)
+	others := make([]*SkipList, len(ordered)-1)
+	for i, l := range ordered[1:] {
+		others[i] = NewSkipList(l)
+	}
+	return SkipIntersect(ordered[0], others...)
+}

@@ -1,0 +1,53 @@
+package baseline
+
+// SmallAdaptive is the hybrid intersection of Barbay, López-Ortiz, Lu and
+// Salinger [5]: at every step the algorithm re-selects the set with the
+// smallest number of remaining elements, takes its first remaining element
+// as the candidate, and galloping-searches it through the other sets in
+// increasing order of remaining size; any miss makes the successor element
+// in the missing set the basis for the next round. It combines SvS's
+// probe-ordering with Adaptive's eliminator promotion.
+func SmallAdaptive(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	k := len(lists)
+	rem := make([][]uint32, k)
+	copy(rem, lists)
+	var out []uint32
+	for {
+		// Order by remaining length (cheap selection each round: k is tiny).
+		for i := 1; i < k; i++ {
+			for j := i; j > 0 && len(rem[j]) < len(rem[j-1]); j-- {
+				rem[j], rem[j-1] = rem[j-1], rem[j]
+			}
+		}
+		if len(rem[0]) == 0 {
+			return out
+		}
+		candidate := rem[0][0]
+		rem[0] = rem[0][1:]
+		matched := true
+		for i := 1; i < k; i++ {
+			p := gallop(rem[i], 0, candidate)
+			if p == len(rem[i]) {
+				return out
+			}
+			if rem[i][p] == candidate {
+				rem[i] = rem[i][p+1:]
+				continue
+			}
+			// Miss: discard everything below the blocking element and
+			// restart with a fresh smallest set.
+			rem[i] = rem[i][p:]
+			matched = false
+			break
+		}
+		if matched {
+			out = append(out, candidate)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package baseline
+
+// SvS ("smallest vs. set") intersects k sorted sets by iterating over the
+// smallest set and locating each of its elements in every other set with a
+// galloping search that resumes from the previous position. It is the
+// best-known member of the adaptive family on real IR data (the paper's §4
+// reports it winning among the adaptive algorithms on the Bing/Wikipedia
+// workload).
+func SvS(lists ...[]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	ordered := sortBySize(lists)
+	candidates := append([]uint32(nil), ordered[0]...)
+	for _, l := range ordered[1:] {
+		if len(candidates) == 0 {
+			return candidates
+		}
+		out := candidates[:0]
+		from := 0
+		for _, x := range candidates {
+			from = gallop(l, from, x)
+			if from == len(l) {
+				break
+			}
+			if l[from] == x {
+				out = append(out, x)
+			}
+		}
+		candidates = out
+	}
+	return candidates
+}

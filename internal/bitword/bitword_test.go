@@ -1,0 +1,169 @@
+package bitword
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromElements(t *testing.T) {
+	a := FromElements(0, 3, 63)
+	if !a.Contains(0) || !a.Contains(3) || !a.Contains(63) {
+		t.Fatalf("missing elements in %b", a)
+	}
+	if a.Contains(1) || a.Contains(62) {
+		t.Fatalf("spurious elements in %b", a)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+}
+
+func TestFromElementsIgnoresOutOfRange(t *testing.T) {
+	a := FromElements(64, 100, 5)
+	if a != FromElements(5) {
+		t.Fatalf("out-of-range elements not ignored: %b", a)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(64) did not panic")
+		}
+	}()
+	Word(0).Add(64)
+}
+
+func TestAndIsIntersection(t *testing.T) {
+	a := FromElements(1, 2, 4, 9)
+	b := FromElements(1, 3, 5, 9)
+	got := a.And(b).Elements(nil)
+	want := []uint{1, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("And = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyAndMin(t *testing.T) {
+	var a Word
+	if !a.Empty() {
+		t.Fatal("zero Word not empty")
+	}
+	if a.Len() != 0 {
+		t.Fatal("zero Word has nonzero Len")
+	}
+	a = a.Add(17)
+	if a.Empty() {
+		t.Fatal("non-empty Word reported empty")
+	}
+	if a.Min() != 17 {
+		t.Fatalf("Min = %d, want 17", a.Min())
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty set did not panic")
+		}
+	}()
+	Word(0).Min()
+}
+
+func TestElementsRoundTrip(t *testing.T) {
+	// The enumeration of FromElements(S) must equal sorted unique S.
+	f := func(raw []uint8) bool {
+		seen := map[uint]bool{}
+		var in []uint
+		var a Word
+		for _, r := range raw {
+			y := uint(r % W)
+			if !seen[y] {
+				seen[y] = true
+				in = append(in, y)
+			}
+			a = a.Add(y)
+		}
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+		got := a.Elements(nil)
+		if len(got) != len(in) {
+			return false
+		}
+		for i := range got {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementsXOREquivalence(t *testing.T) {
+	// The paper's footnote-1 enumeration must agree with the
+	// TrailingZeros-based one on arbitrary words.
+	f := func(x uint64) bool {
+		a := Word(x)
+		return reflect.DeepEqual(a.Elements(nil), a.ElementsXOR(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit edge words.
+	for _, x := range []uint64{0, 1, 1 << 63, ^uint64(0), 0xAAAAAAAAAAAAAAAA} {
+		a := Word(x)
+		if !reflect.DeepEqual(a.Elements(nil), a.ElementsXOR(nil)) {
+			t.Fatalf("mismatch for %x", x)
+		}
+	}
+}
+
+func TestLogLookupAllBits(t *testing.T) {
+	for k := uint(0); k < 64; k++ {
+		if got := logLookup(1 << k); got != k {
+			t.Fatalf("logLookup(1<<%d) = %d", k, got)
+		}
+	}
+}
+
+func TestElementsAppendsToDst(t *testing.T) {
+	dst := []uint{99}
+	got := FromElements(2, 5).Elements(dst)
+	want := []uint{99, 2, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Elements append = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkElements(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	words := make([]Word, 1024)
+	for i := range words {
+		words[i] = Word(r.Uint64()) & Word(r.Uint64()) & Word(r.Uint64()) // ~8 bits set
+	}
+	var buf []uint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = words[i&1023].Elements(buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkElementsXOR(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	words := make([]Word, 1024)
+	for i := range words {
+		words[i] = Word(r.Uint64()) & Word(r.Uint64()) & Word(r.Uint64())
+	}
+	var buf []uint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = words[i&1023].ElementsXOR(buf[:0])
+	}
+	_ = buf
+}

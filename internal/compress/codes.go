@@ -1,0 +1,123 @@
+package compress
+
+import "math/bits"
+
+// Coding selects a variable-length integer code for positive values.
+type Coding int
+
+const (
+	// Gamma is Elias γ: unary length, then the value without its top bit.
+	Gamma Coding = iota
+	// Delta is Elias δ: γ-coded length, then the value without its top bit.
+	Delta
+)
+
+// String names the coding.
+func (c Coding) String() string {
+	switch c {
+	case Gamma:
+		return "Gamma"
+	case Delta:
+		return "Delta"
+	default:
+		return "Coding(?)"
+	}
+}
+
+// writeGamma appends γ(v), v ≥ 1.
+func writeGamma(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("compress: gamma code of zero")
+	}
+	l := uint(bits.Len64(v))
+	w.WriteUnary(l - 1)
+	w.WriteBits(v, l-1) // low l-1 bits; the implicit top bit is dropped
+}
+
+// readGamma consumes γ⁻¹.
+func readGamma(r *BitReader) uint64 {
+	l := r.ReadUnary() + 1
+	return r.ReadBits(l-1) | 1<<(l-1)
+}
+
+// writeDelta appends δ(v), v ≥ 1.
+func writeDelta(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("compress: delta code of zero")
+	}
+	l := uint(bits.Len64(v))
+	writeGamma(w, uint64(l))
+	w.WriteBits(v, l-1)
+}
+
+// readDelta consumes δ⁻¹.
+func readDelta(r *BitReader) uint64 {
+	l := uint(readGamma(r))
+	return r.ReadBits(l-1) | 1<<(l-1)
+}
+
+// writeCode appends v under the chosen coding.
+func writeCode(w *BitWriter, c Coding, v uint64) {
+	if c == Gamma {
+		writeGamma(w, v)
+	} else {
+		writeDelta(w, v)
+	}
+}
+
+// readCode consumes one value under the chosen coding.
+func readCode(r *BitReader, c Coding) uint64 {
+	if c == Gamma {
+		return readGamma(r)
+	}
+	return readDelta(r)
+}
+
+// writeGaps appends the standard gap encoding of a strictly increasing
+// sequence relative to base: first x0−base+1, then the successive
+// differences (all ≥ 1).
+func writeGaps(w *BitWriter, c Coding, set []uint32, base uint32) {
+	prev := uint64(base)
+	first := true
+	for _, x := range set {
+		gap := uint64(x) - prev
+		if first {
+			gap++
+			first = false
+		}
+		writeCode(w, c, gap)
+		prev = uint64(x)
+	}
+}
+
+// gapDecoder streams a gap-encoded sequence back out.
+type gapDecoder struct {
+	r      BitReader
+	c      Coding
+	cur    uint64
+	first  bool
+	remain int
+}
+
+// newGapDecoder starts decoding count elements at bit offset pos.
+func newGapDecoder(words []uint64, pos uint64, c Coding, base uint32, count int) gapDecoder {
+	return gapDecoder{r: NewBitReader(words, pos), c: c, cur: uint64(base), first: true, remain: count}
+}
+
+// next returns the next element; ok is false when the sequence is done.
+func (d *gapDecoder) next() (uint32, bool) {
+	if d.remain == 0 {
+		return 0, false
+	}
+	d.remain--
+	gap := readCode(&d.r, d.c)
+	if d.first {
+		gap--
+		d.first = false
+	}
+	d.cur += gap
+	return uint32(d.cur), true
+}
+
+// pos returns the current bit offset of the underlying reader.
+func (d *gapDecoder) pos() uint64 { return d.r.Pos() }

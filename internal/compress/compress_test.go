@@ -1,0 +1,385 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func TestBitWriterReaderRoundtrip(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(0, 1)
+	w.WriteBits(1<<63|5, 64)
+	w.WriteUnary(0)
+	w.WriteUnary(7)
+	w.WriteUnary(200) // crosses several words
+	r := NewBitReader(w.Words(), 0)
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("bits3 = %b", got)
+	}
+	if got := r.ReadBits(16); got != 0xFFFF {
+		t.Fatalf("bits16 = %x", got)
+	}
+	if got := r.ReadBits(1); got != 0 {
+		t.Fatalf("bit = %d", got)
+	}
+	if got := r.ReadBits(64); got != 1<<63|5 {
+		t.Fatalf("bits64 = %x", got)
+	}
+	for _, want := range []uint{0, 7, 200} {
+		if got := r.ReadUnary(); got != want {
+			t.Fatalf("unary = %d, want %d", got, want)
+		}
+	}
+	if r.Pos() != w.Len() {
+		t.Fatalf("reader at %d, writer wrote %d", r.Pos(), w.Len())
+	}
+}
+
+func TestBitIOProperty(t *testing.T) {
+	f := func(vals []uint32, widths []uint8) bool {
+		var w BitWriter
+		var expect []uint64
+		var ws []uint
+		for i, v := range vals {
+			if i >= len(widths) {
+				break
+			}
+			n := uint(widths[i]%32) + 1
+			val := uint64(v) & (1<<n - 1)
+			w.WriteBits(val, n)
+			expect = append(expect, val)
+			ws = append(ws, n)
+		}
+		r := NewBitReader(w.Words(), 0)
+		for i, want := range expect {
+			if got := r.ReadBits(ws[i]); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaDeltaRoundtrip(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 7, 8, 255, 256, 1 << 20, 1<<32 - 1, 1 << 32}
+	for _, coding := range []Coding{Gamma, Delta} {
+		var w BitWriter
+		for _, v := range vals {
+			writeCode(&w, coding, v)
+		}
+		r := NewBitReader(w.Words(), 0)
+		for _, want := range vals {
+			if got := readCode(&r, coding); got != want {
+				t.Fatalf("%v roundtrip: got %d, want %d", coding, got, want)
+			}
+		}
+	}
+}
+
+func TestGammaDeltaProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var w BitWriter
+		var vals []uint64
+		for _, v := range raw {
+			val := uint64(v) + 1 // positive
+			vals = append(vals, val)
+			writeGamma(&w, val)
+			writeDelta(&w, val)
+		}
+		r := NewBitReader(w.Words(), 0)
+		for _, want := range vals {
+			if readGamma(&r) != want {
+				return false
+			}
+			if readDelta(&r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodePanicsOnZero(t *testing.T) {
+	for name, f := range map[string]func(){
+		"gamma": func() { var w BitWriter; writeGamma(&w, 0) },
+		"delta": func() { var w BitWriter; writeDelta(&w, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(0) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeltaShorterThanGammaForLarge(t *testing.T) {
+	var wg, wd BitWriter
+	for v := uint64(1 << 10); v < 1<<20; v += 9999 {
+		writeGamma(&wg, v)
+		writeDelta(&wd, v)
+	}
+	if wd.Len() >= wg.Len() {
+		t.Fatalf("delta (%d bits) not shorter than gamma (%d bits) on large values", wd.Len(), wg.Len())
+	}
+}
+
+func TestMergeListRoundtrip(t *testing.T) {
+	rng := xhash.NewRNG(1)
+	for _, coding := range []Coding{Gamma, Delta} {
+		for _, n := range []int{0, 1, 10, 1000} {
+			set := workload.RandomSets(1<<22, []int{n}, rng)[0]
+			if n == 0 {
+				set = nil
+			}
+			l, err := NewMergeList(set, coding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := l.Decode(); !sets.Equal(got, set) {
+				t.Fatalf("%v n=%d: decode mismatch", coding, n)
+			}
+		}
+	}
+}
+
+func TestMergeListRejectsInvalid(t *testing.T) {
+	if _, err := NewMergeList([]uint32{2, 1}, Delta); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+}
+
+func TestMergeListZeroFirstElement(t *testing.T) {
+	l, err := NewMergeList([]uint32{0, 1, 2}, Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Decode(); !sets.Equal(got, []uint32{0, 1, 2}) {
+		t.Fatalf("decode = %v", got)
+	}
+}
+
+func TestIntersectMerge(t *testing.T) {
+	rng := xhash.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		a, b := workload.PairWithIntersection(1<<20, 500+rng.Intn(500), 500+rng.Intn(2000), rng.Intn(300), rng)
+		want := sets.IntersectReference(a, b)
+		for _, coding := range []Coding{Gamma, Delta} {
+			ca, _ := NewMergeList(a, coding)
+			cb, _ := NewMergeList(b, coding)
+			if got := IntersectMerge(ca, cb); !sets.Equal(got, want) {
+				t.Fatalf("%v trial %d: got %d, want %d", coding, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestIntersectMergeKWay(t *testing.T) {
+	rng := xhash.NewRNG(3)
+	lists := workload.RandomSets(1<<14, []int{300, 400, 500}, rng)
+	want := sets.IntersectReference(lists...)
+	var cs []*MergeList
+	for _, l := range lists {
+		c, _ := NewMergeList(l, Delta)
+		cs = append(cs, c)
+	}
+	if got := IntersectMerge(cs...); !sets.Equal(got, want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	if got := IntersectMerge(cs[0]); !sets.Equal(got, lists[0]) {
+		t.Fatal("single-list decode wrong")
+	}
+	if got := IntersectMerge(); got != nil {
+		t.Fatal("no-list result not nil")
+	}
+}
+
+func TestLookupListRoundtrip(t *testing.T) {
+	rng := xhash.NewRNG(4)
+	set := workload.RandomSets(1<<18, []int{3000}, rng)[0]
+	for _, coding := range []Coding{Gamma, Delta} {
+		l, err := NewLookupList(set, coding, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := l.Decode(); !sets.Equal(got, set) {
+			t.Fatalf("%v: decode mismatch", coding)
+		}
+	}
+}
+
+func TestLookupListRejects(t *testing.T) {
+	if _, err := NewLookupList([]uint32{2, 1}, Delta, 32); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := NewLookupList([]uint32{1}, Delta, 33); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+}
+
+func TestIntersectLookup(t *testing.T) {
+	rng := xhash.NewRNG(5)
+	for trial := 0; trial < 15; trial++ {
+		a, b := workload.PairWithIntersection(1<<20, 400+rng.Intn(800), 400+rng.Intn(3000), rng.Intn(200), rng)
+		want := sets.IntersectReference(a, b)
+		ca, _ := NewLookupList(a, Delta, 32)
+		cb, _ := NewLookupList(b, Delta, 32)
+		if got := IntersectLookup(ca, cb); !sets.Equal(got, want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		// Order must not matter.
+		if got := IntersectLookup(cb, ca); !sets.Equal(got, want) {
+			t.Fatalf("trial %d (swapped): got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestRGSListAllCodings(t *testing.T) {
+	fam := core.NewFamily(0xC0DE, 2)
+	rng := xhash.NewRNG(6)
+	for trial := 0; trial < 12; trial++ {
+		n1 := 100 + rng.Intn(1500)
+		n2 := 100 + rng.Intn(3000)
+		maxR := n1
+		if n2 < maxR {
+			maxR = n2
+		}
+		a, b := workload.PairWithIntersection(1<<22, n1, n2, rng.Intn(maxR), rng)
+		want := sets.IntersectReference(a, b)
+		for _, coding := range []RGSCoding{RGSGamma, RGSDelta, RGSLowbits} {
+			ca, err := NewRGSList(fam, a, 2, coding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := NewRGSList(fam, b, 2, coding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := IntersectRGS(ca, cb)
+			sets.SortU32(got)
+			if !sets.Equal(got, want) {
+				t.Fatalf("%v trial %d (n1=%d n2=%d): got %d, want %d",
+					coding, trial, n1, n2, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestRGSListEdges(t *testing.T) {
+	fam := core.NewFamily(0xC0DE, 2)
+	empty, err := NewRGSList(fam, nil, 1, RGSLowbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewRGSList(fam, []uint32{42}, 1, RGSLowbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := IntersectRGS(empty, one); len(got) != 0 {
+		t.Fatalf("empty ∩ {42} = %v", got)
+	}
+	two, _ := NewRGSList(fam, []uint32{42, 100}, 1, RGSLowbits)
+	got := IntersectRGS(one, two)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("{42} ∩ {42,100} = %v", got)
+	}
+}
+
+func TestRGSListRejects(t *testing.T) {
+	fam := core.NewFamily(0xC0DE, 2)
+	if _, err := NewRGSList(fam, []uint32{2, 1}, 1, RGSDelta); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := NewRGSList(fam, []uint32{1}, 9, RGSDelta); err == nil {
+		t.Fatal("m beyond family accepted")
+	}
+}
+
+func TestCompressedSizesOrdering(t *testing.T) {
+	// On dense postings the compressed index must be much smaller than raw;
+	// Lowbits sits between the δ-coded index and the uncompressed structure
+	// (Figure 8's space chart).
+	fam := core.NewFamily(0xC0DE, 1)
+	rng := xhash.NewRNG(7)
+	// The paper's regime: postings sparse in a 2×10⁸ universe.
+	set := workload.RandomSets(workload.DefaultUniverse, []int{200_000}, rng)[0]
+	rawWords := len(set) / 2
+	md, _ := NewMergeList(set, Delta)
+	ld, _ := NewLookupListAuto(set, Delta, 32)
+	rd, _ := NewRGSList(fam, set, 1, RGSDelta)
+	rl, _ := NewRGSList(fam, set, 1, RGSLowbits)
+	if md.SizeWords() >= rawWords {
+		t.Fatalf("Merge_Delta (%d) not smaller than raw (%d)", md.SizeWords(), rawWords)
+	}
+	if ld.SizeWords() >= 2*rawWords {
+		t.Fatalf("Lookup_Delta (%d) grossly above raw (%d)", ld.SizeWords(), rawWords)
+	}
+	if rl.SizeWordsNoDir() <= md.SizeWords() {
+		t.Fatalf("Lowbits (%d) unexpectedly smaller than Merge_Delta (%d)", rl.SizeWordsNoDir(), md.SizeWords())
+	}
+	// Paper: RGS_Lowbits is 1.3–1.9× the compressed inverted index.
+	ratio := float64(rl.SizeWordsNoDir()) / float64(md.SizeWords())
+	if ratio < 1.0 || ratio > 2.5 {
+		t.Fatalf("Lowbits/MergeDelta ratio %.2f outside the paper's 1.3-1.9 neighbourhood", ratio)
+	}
+	_ = rd
+}
+
+func TestStringers(t *testing.T) {
+	if Gamma.String() != "Gamma" || Delta.String() != "Delta" {
+		t.Fatal("Coding.String wrong")
+	}
+	if RGSGamma.String() != "Gamma" || RGSDelta.String() != "Delta" || RGSLowbits.String() != "Lowbits" {
+		t.Fatal("RGSCoding.String wrong")
+	}
+	if Coding(9).String() != "Coding(?)" || RGSCoding(9).String() != "RGSCoding(?)" {
+		t.Fatal("unknown stringers wrong")
+	}
+}
+
+func TestRGSLowbitsSkewedResolutions(t *testing.T) {
+	// Strongly skewed sizes force t1 < t2, exercising the Lowbits
+	// narrowing path where one decoded group of the small list spans many
+	// groups of the large one.
+	fam := core.NewFamily(0xC0DE, 2)
+	rng := xhash.NewRNG(0x51E4)
+	a, b := workload.PairWithIntersection(1<<24, 200, 60_000, 150, rng)
+	ca, err := NewRGSList(fam, a, 2, RGSLowbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewRGSList(fam, b, 2, RGSLowbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.T() >= cb.T() {
+		t.Fatalf("expected t1 < t2, got %d vs %d", ca.T(), cb.T())
+	}
+	want := sets.IntersectReference(a, b)
+	got := IntersectRGS(ca, cb)
+	sets.SortU32(got)
+	if !sets.Equal(got, want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	// Argument order must not matter.
+	got = IntersectRGS(cb, ca)
+	sets.SortU32(got)
+	if !sets.Equal(got, want) {
+		t.Fatalf("swapped: got %d, want %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,91 @@
+package compress
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+)
+
+// FuzzCodesRoundtrip checks γ/δ roundtrips on arbitrary positive values.
+func FuzzCodesRoundtrip(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var vals []uint64
+		for len(data) >= 8 {
+			v := binary.LittleEndian.Uint64(data[:8])
+			if v == 0 {
+				v = 1
+			}
+			vals = append(vals, v)
+			data = data[8:]
+		}
+		if len(vals) > 4096 {
+			vals = vals[:4096]
+		}
+		var w BitWriter
+		for _, v := range vals {
+			writeGamma(&w, v)
+			writeDelta(&w, v)
+		}
+		r := NewBitReader(w.Words(), 0)
+		for _, want := range vals {
+			if got := readGamma(&r); got != want {
+				t.Fatalf("gamma: got %d, want %d", got, want)
+			}
+			if got := readDelta(&r); got != want {
+				t.Fatalf("delta: got %d, want %d", got, want)
+			}
+		}
+	})
+}
+
+// FuzzCompressedIntersection cross-checks every compressed variant against
+// the reference on byte-derived sets.
+func FuzzCompressedIntersection(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 9, 0, 0, 0})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 1<<13 {
+			return
+		}
+		split := int(data[0])
+		rest := data[1:]
+		var raw []uint32
+		for len(rest) >= 4 {
+			raw = append(raw, binary.LittleEndian.Uint32(rest[:4]))
+			rest = rest[4:]
+		}
+		if split > len(raw) {
+			split = len(raw)
+		}
+		a := sets.SortDedup(append([]uint32(nil), raw[:split]...))
+		b := sets.SortDedup(append([]uint32(nil), raw[split:]...))
+		want := sets.IntersectReference(a, b)
+		fam := core.NewFamily(1, 2)
+
+		for _, coding := range []Coding{Gamma, Delta} {
+			ma, _ := NewMergeList(a, coding)
+			mb, _ := NewMergeList(b, coding)
+			if got := IntersectMerge(ma, mb); !sets.Equal(got, want) {
+				t.Fatalf("Merge_%v: got %v, want %v", coding, got, want)
+			}
+			la, _ := NewLookupListAuto(a, coding, 32)
+			lb, _ := NewLookupListAuto(b, coding, 32)
+			if got := IntersectLookup(la, lb); !sets.Equal(got, want) {
+				t.Fatalf("Lookup_%v: got %v, want %v", coding, got, want)
+			}
+		}
+		for _, coding := range []RGSCoding{RGSGamma, RGSDelta, RGSLowbits} {
+			ra, _ := NewRGSList(fam, a, 2, coding)
+			rb, _ := NewRGSList(fam, b, 2, coding)
+			got := IntersectRGS(ra, rb)
+			sets.SortU32(got)
+			if !sets.Equal(got, want) {
+				t.Fatalf("RGS_%v: got %v, want %v", coding, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package compress
+
+import (
+	"fmt"
+
+	"fastintersect/internal/baseline"
+	"fastintersect/internal/sets"
+)
+
+// LookupList is the compressed Sanders–Transier structure (Lookup_Gamma /
+// Lookup_Delta in Figure 8): an uncompressed bucket directory of 32-bit bit
+// offsets over the γ/δ-coded posting stream, so any bucket of B consecutive
+// IDs can be decoded independently (gaps are coded relative to the bucket
+// base q·B, and a bucket's stream ends where the next bucket's begins).
+type LookupList struct {
+	words  []uint64
+	dir    []uint32 // dir[q] = bit offset of bucket q's stream; len buckets+1
+	coding Coding
+	b      uint32
+	n      int
+}
+
+// NewLookupListAuto compresses a sorted set with the bucket width chosen so
+// buckets hold ≈ bucketSize elements on average (the paper's B = 32).
+func NewLookupListAuto(set []uint32, coding Coding, bucketSize int) (*LookupList, error) {
+	var maxID uint32
+	if len(set) > 0 {
+		maxID = set[len(set)-1]
+	}
+	return NewLookupList(set, coding, baseline.AutoBucketWidth(maxID, len(set), bucketSize))
+}
+
+// NewLookupList compresses a sorted set with the given bucket width (a
+// power of two). The compressed stream must stay under 2³² bits, which
+// holds for any realistic in-memory posting list.
+func NewLookupList(set []uint32, coding Coding, bucketWidth uint32) (*LookupList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("compress: lookup list: %w", err)
+	}
+	if bucketWidth == 0 || bucketWidth&(bucketWidth-1) != 0 {
+		return nil, fmt.Errorf("compress: bucket width %d not a power of two", bucketWidth)
+	}
+	var maxID uint32
+	if len(set) > 0 {
+		maxID = set[len(set)-1]
+	}
+	buckets := maxID/bucketWidth + 1
+	l := &LookupList{
+		dir:    make([]uint32, buckets+1),
+		coding: coding,
+		b:      bucketWidth,
+		n:      len(set),
+	}
+	var w BitWriter
+	i := 0
+	for q := uint32(0); q < buckets; q++ {
+		l.dir[q] = uint32(w.Len())
+		j := i
+		for j < len(set) && set[j]/bucketWidth == q {
+			j++
+		}
+		writeGaps(&w, coding, set[i:j], q*bucketWidth)
+		i = j
+	}
+	if w.Len() >= 1<<32 {
+		return nil, fmt.Errorf("compress: stream of %d bits exceeds 32-bit directory", w.Len())
+	}
+	l.dir[buckets] = uint32(w.Len())
+	l.words = w.Words()
+	return l, nil
+}
+
+// Len returns the number of elements.
+func (l *LookupList) Len() int { return l.n }
+
+// SizeWords returns the compressed size in 64-bit words, directory included.
+func (l *LookupList) SizeWords() int {
+	return len(l.words) + (len(l.dir)+1)/2
+}
+
+// decodeBucket appends bucket q's elements to dst.
+func (l *LookupList) decodeBucket(q uint32, dst []uint32) []uint32 {
+	if q >= uint32(len(l.dir))-1 {
+		return dst
+	}
+	end := uint64(l.dir[q+1])
+	r := NewBitReader(l.words, uint64(l.dir[q]))
+	cur := uint64(q * l.b)
+	first := true
+	for r.Pos() < end {
+		gap := readCode(&r, l.coding)
+		if first {
+			gap--
+			first = false
+		}
+		cur += gap
+		dst = append(dst, uint32(cur))
+	}
+	return dst
+}
+
+// Decode reconstructs the full posting list.
+func (l *LookupList) Decode() []uint32 {
+	out := make([]uint32, 0, l.n)
+	for q := uint32(0); q < uint32(len(l.dir))-1; q++ {
+		out = l.decodeBucket(q, out)
+	}
+	return out
+}
+
+// IntersectLookup intersects compressed Lookup structures: the smallest
+// list is decoded bucket by bucket (sequential); for each non-empty bucket
+// the matching buckets of the other lists are decoded through the directory
+// and merged. The result is sorted.
+func IntersectLookup(lists ...*LookupList) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0].Decode()
+	}
+	probe := lists[0]
+	others := make([]*LookupList, 0, len(lists)-1)
+	for _, l := range lists[1:] {
+		if l.Len() < probe.Len() {
+			others = append(others, probe)
+			probe = l
+		} else {
+			others = append(others, l)
+		}
+	}
+	var out []uint32
+	bufP := make([]uint32, 0, 64)
+	bufO := make([]uint32, 0, 64)
+	bufT := make([]uint32, 0, 64)
+	for q := uint32(0); q < uint32(len(probe.dir))-1; q++ {
+		if probe.dir[q] == probe.dir[q+1] {
+			continue
+		}
+		cur := probe.decodeBucket(q, bufP[:0])
+		for _, o := range others {
+			if len(cur) == 0 {
+				break
+			}
+			// Decode the other list's buckets covering this bucket's ID
+			// range (widths may differ between lists).
+			lo, hi := cur[0], cur[len(cur)-1]
+			ob := bufO[:0]
+			for oq := lo / o.b; oq <= hi/o.b; oq++ {
+				ob = o.decodeBucket(oq, ob)
+			}
+			merged := bufT[:0]
+			i, j := 0, 0
+			for i < len(cur) && j < len(ob) {
+				switch {
+				case cur[i] < ob[j]:
+					i++
+				case cur[i] > ob[j]:
+					j++
+				default:
+					merged = append(merged, cur[i])
+					i++
+					j++
+				}
+			}
+			bufO = ob[:0] // reclaim any growth for the next bucket
+			bufT = merged
+			cur, bufT = bufT, cur
+		}
+		out = append(out, cur...)
+	}
+	return out
+}

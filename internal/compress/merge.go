@@ -1,0 +1,101 @@
+package compress
+
+import (
+	"fmt"
+
+	"fastintersect/internal/sets"
+)
+
+// MergeList is a γ/δ gap-compressed posting list intersected by sequential
+// decode-and-merge: the compressed counterpart of the Merge baseline
+// (Merge_Gamma / Merge_Delta in Figure 8). Decompression cannot be skipped,
+// which is exactly why the paper's RanGroupScan_Lowbits beats it.
+type MergeList struct {
+	words  []uint64
+	coding Coding
+	n      int
+}
+
+// NewMergeList compresses a sorted set.
+func NewMergeList(set []uint32, coding Coding) (*MergeList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("compress: merge list: %w", err)
+	}
+	var w BitWriter
+	writeGaps(&w, coding, set, 0)
+	return &MergeList{words: w.Words(), coding: coding, n: len(set)}, nil
+}
+
+// Len returns the number of elements.
+func (l *MergeList) Len() int { return l.n }
+
+// SizeWords returns the compressed size in 64-bit words.
+func (l *MergeList) SizeWords() int { return len(l.words) }
+
+// Decode reconstructs the full posting list.
+func (l *MergeList) Decode() []uint32 {
+	out := make([]uint32, 0, l.n)
+	d := newGapDecoder(l.words, 0, l.coding, 0, l.n)
+	for {
+		x, ok := d.next()
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+// IntersectMerge intersects k ≥ 1 compressed lists by decoding all streams
+// in lockstep with a parallel scan. The result is sorted.
+func IntersectMerge(lists ...*MergeList) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0].Decode()
+	}
+	k := len(lists)
+	decs := make([]gapDecoder, k)
+	heads := make([]uint32, k)
+	for i, l := range lists {
+		decs[i] = newGapDecoder(l.words, 0, l.coding, 0, l.n)
+		x, ok := decs[i].next()
+		if !ok {
+			return nil
+		}
+		heads[i] = x
+	}
+	var out []uint32
+	for {
+		// Candidate: the maximum of the heads; advance everyone to it.
+		max := heads[0]
+		for _, h := range heads[1:] {
+			if h > max {
+				max = h
+			}
+		}
+		agreed := true
+		for i := range heads {
+			for heads[i] < max {
+				x, ok := decs[i].next()
+				if !ok {
+					return out
+				}
+				heads[i] = x
+			}
+			if heads[i] != max {
+				agreed = false
+			}
+		}
+		if agreed {
+			out = append(out, max)
+			for i := range heads {
+				x, ok := decs[i].next()
+				if !ok {
+					return out
+				}
+				heads[i] = x
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package compress
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+)
+
+// RGSCoding selects the element encoding of a compressed RanGroupScan
+// structure (§4.1 / Appendix B).
+type RGSCoding int
+
+const (
+	// RGSGamma gap-codes each group's elements with Elias γ.
+	RGSGamma RGSCoding = iota
+	// RGSDelta gap-codes each group's elements with Elias δ.
+	RGSDelta
+	// RGSLowbits stores, per element, only the low w−t bits of g(x); the
+	// high t bits are the group identifier z, so decoding is a single
+	// concatenation (Appendix B's scheme, the paper's fastest compressed
+	// variant).
+	RGSLowbits
+)
+
+// String names the coding.
+func (c RGSCoding) String() string {
+	switch c {
+	case RGSGamma:
+		return "Gamma"
+	case RGSDelta:
+		return "Delta"
+	case RGSLowbits:
+		return "Lowbits"
+	default:
+		return "RGSCoding(?)"
+	}
+}
+
+// RGSList is the compressed RanGroupScan structure: per group, the block of
+// Appendix B — |L^z| in unary, then (if non-empty) the m hash-image words,
+// then the encoded elements. Blocks are laid out consecutively in one bit
+// stream with a word-aligned directory every dirStride groups to allow the
+// two-list intersection to walk both streams without decoding skipped
+// groups' elements (γ/δ variants pay a decode per surviving group — the
+// cost Figure 8 charges them for).
+type RGSList struct {
+	fam    *core.Family
+	coding RGSCoding
+	m      int
+	t      uint
+	n      int
+	stream []uint64
+	dir    []uint32 // bit offset of every group's block start; len 2^t+1
+}
+
+// NewRGSList compresses a sorted set with m hash images.
+func NewRGSList(fam *core.Family, set []uint32, m int, coding RGSCoding) (*RGSList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("compress: RGS list: %w", err)
+	}
+	if m < 1 || m > fam.M() {
+		return nil, fmt.Errorf("compress: m = %d out of range [1, %d]", m, fam.M())
+	}
+	l := &RGSList{fam: fam, coding: coding, m: m, n: len(set)}
+	l.t = core.TForSize(len(set))
+	// Order elements by g; group by t-bit prefix.
+	keys := make([]uint32, len(set))
+	elems := append([]uint32(nil), set...)
+	for i, x := range elems {
+		keys[i] = fam.Perm.Apply(x)
+	}
+	core.RadixSortPairs(keys, elems)
+	groups := int(1) << l.t
+	lowWidth := uint(32) - l.t
+	var w BitWriter
+	l.dir = make([]uint32, groups+1)
+	start := 0
+	for z := 0; z < groups; z++ {
+		l.dir[z] = uint32(w.Len())
+		end := start
+		for end < len(keys) && keys[end]>>(32-l.t) == uint32(z) {
+			end++
+		}
+		cnt := end - start
+		w.WriteUnary(uint(cnt))
+		if cnt > 0 {
+			grpElems := elems[start:end]
+			grpKeys := keys[start:end]
+			for j := 0; j < m; j++ {
+				var img bitword.Word
+				for _, x := range grpElems {
+					img = img.Add(uint(fam.Images[j].Hash(x)))
+				}
+				w.WriteBits(uint64(img), 64)
+			}
+			switch coding {
+			case RGSLowbits:
+				// g-ascending order; store the low bits of g(x).
+				for _, g := range grpKeys {
+					w.WriteBits(uint64(g)&(1<<lowWidth-1), lowWidth)
+				}
+			default:
+				// Value order within the group, gap-coded.
+				grp := append([]uint32(nil), grpElems...)
+				sets.SortU32(grp)
+				var cd Coding
+				if coding == RGSGamma {
+					cd = Gamma
+				} else {
+					cd = Delta
+				}
+				writeGaps(&w, cd, grp, 0)
+			}
+		}
+		start = end
+	}
+	if w.Len() >= 1<<32 {
+		return nil, fmt.Errorf("compress: stream of %d bits exceeds 32-bit directory", w.Len())
+	}
+	l.dir[groups] = uint32(w.Len())
+	l.stream = w.Words()
+	return l, nil
+}
+
+// Len returns the number of elements.
+func (l *RGSList) Len() int { return l.n }
+
+// T returns the partition resolution.
+func (l *RGSList) T() uint { return l.t }
+
+// SizeWords returns the compressed size in 64-bit words, directory included.
+func (l *RGSList) SizeWords() int { return len(l.stream) + (len(l.dir)+1)/2 }
+
+// SizeWordsNoDir returns the bit-stream size alone, matching Appendix B's
+// accounting (the paper's structure is scanned sequentially and needs no
+// directory).
+func (l *RGSList) SizeWordsNoDir() int { return len(l.stream) }
+
+// group decodes group z in full (header + elements): used by tests and
+// one-shot callers. For Lowbits the returned elements are g-values
+// (ascending); for γ/δ they are document IDs (ascending). The images slice
+// must have length ≥ m.
+func (l *RGSList) group(z int, images []bitword.Word, dst []uint32) []uint32 {
+	cnt, pos := l.groupHeader(z, images)
+	if cnt == 0 {
+		return dst[:0]
+	}
+	return l.groupElems(z, cnt, pos, dst)
+}
+
+// groupHeader decodes the count and image words of group z without touching
+// the elements (the skip path of Algorithm 5) and returns the bit position
+// of the element payload.
+func (l *RGSList) groupHeader(z int, images []bitword.Word) (cnt int, elemPos uint64) {
+	r := NewBitReader(l.stream, uint64(l.dir[z]))
+	cnt = int(r.ReadUnary())
+	if cnt == 0 {
+		return 0, r.Pos()
+	}
+	for j := 0; j < l.m; j++ {
+		images[j] = bitword.Word(r.ReadBits(64))
+	}
+	return cnt, r.Pos()
+}
+
+// groupElems decodes cnt elements starting at the payload position returned
+// by groupHeader.
+func (l *RGSList) groupElems(z int, cnt int, pos uint64, dst []uint32) []uint32 {
+	dst = dst[:0]
+	switch l.coding {
+	case RGSLowbits:
+		r := NewBitReader(l.stream, pos)
+		lowWidth := uint(32) - l.t
+		hi := uint32(z) << lowWidth
+		for i := 0; i < cnt; i++ {
+			dst = append(dst, hi|uint32(r.ReadBits(lowWidth)))
+		}
+	default:
+		var cd Coding
+		if l.coding == RGSGamma {
+			cd = Gamma
+		} else {
+			cd = Delta
+		}
+		d := newGapDecoder(l.stream, pos, cd, 0, cnt)
+		for {
+			x, ok := d.next()
+			if !ok {
+				break
+			}
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// IntersectRGS intersects two compressed RanGroupScan structures with
+// Algorithm 5: groups are matched by prefix, filtered by the m image words
+// (decoded from the stream, elements untouched), and surviving pairs are
+// decoded and merged. Results are document IDs in (prefix, order-of-merge)
+// order, like the uncompressed algorithm.
+func IntersectRGS(a, b *RGSList) []uint32 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil
+	}
+	if !core.SameFamily(a.fam, b.fam) {
+		panic("compress: intersecting lists from different families")
+	}
+	if a.Len() > b.Len() {
+		a, b = b, a
+	}
+	m := a.m
+	if b.m < m {
+		m = b.m
+	}
+	var imgA, imgB [core.MaxImageCount]bitword.Word
+	bufA := make([]uint32, 0, 4*bitword.SqrtW)
+	bufB := make([]uint32, 0, 4*bitword.SqrtW)
+	var out []uint32
+	d := b.t - a.t
+	g1 := 1 << a.t
+	lowA := uint(32) - a.t
+	lowB := uint(32) - b.t
+	for z1 := 0; z1 < g1; z1++ {
+		cntA, posA := a.groupHeader(z1, imgA[:a.m])
+		if cntA == 0 {
+			continue
+		}
+		decodedA := false
+		z2end := (z1 + 1) << d
+		for z2 := z1 << d; z2 < z2end; z2++ {
+			cntB, posB := b.groupHeader(z2, imgB[:b.m])
+			if cntB == 0 {
+				continue
+			}
+			alive := true
+			for j := 0; j < m; j++ {
+				if imgA[j].And(imgB[j]).Empty() {
+					alive = false
+					break
+				}
+			}
+			if !alive {
+				continue
+			}
+			if !decodedA {
+				bufA = a.groupElems(z1, cntA, posA, bufA)
+				decodedA = true
+			}
+			bufB = b.groupElems(z2, cntB, posB, bufB)
+			out = mergeCompressed(out, a, b, bufA, bufB, lowA, lowB, z2)
+		}
+	}
+	return out
+}
+
+// mergeCompressed merges one pair of decoded groups. For Lowbits the
+// streams hold g-values: bufA covers the whole prefix z1 while bufB covers
+// the finer prefix z2, so when the resolutions differ bufA is first
+// narrowed to the g-range of z2; the matched g-values are mapped back
+// through g⁻¹. For γ/δ both buffers hold document IDs and merge directly.
+// The inner loops are branch-reduced like the Merge baseline's.
+func mergeCompressed(out []uint32, a, b *RGSList, bufA, bufB []uint32, lowA, lowB uint, z2 int) []uint32 {
+	if a.coding != RGSLowbits {
+		i, j := 0, 0
+		for i < len(bufA) && j < len(bufB) {
+			va, vb := bufA[i], bufB[j]
+			if va == vb {
+				out = append(out, va)
+				i++
+				j++
+				continue
+			}
+			if va < vb {
+				i++
+			}
+			if vb < va {
+				j++
+			}
+		}
+		return out
+	}
+	// Lowbits: g-space merge.
+	if lowA != lowB {
+		// Narrow bufA to [z2<<lowB, (z2+1)<<lowB); bufB is already exact.
+		loG := uint64(z2) << lowB
+		hiG := uint64(z2+1) << lowB
+		lo := 0
+		for lo < len(bufA) && uint64(bufA[lo]) < loG {
+			lo++
+		}
+		hi := lo
+		for hi < len(bufA) && uint64(bufA[hi]) < hiG {
+			hi++
+		}
+		bufA = bufA[lo:hi]
+	}
+	i, j := 0, 0
+	for i < len(bufA) && j < len(bufB) {
+		va, vb := bufA[i], bufB[j]
+		if va == vb {
+			out = append(out, a.fam.Perm.Invert(va))
+			i++
+			j++
+			continue
+		}
+		if va < vb {
+			i++
+		}
+		if vb < va {
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+const testSeed = 0xD1D5
+
+// sortedCopy sorts a result (the randomized algorithms emit permutation
+// order) for comparison against the reference.
+func sortedCopy(s []uint32) []uint32 {
+	out := append([]uint32(nil), s...)
+	sets.SortU32(out)
+	return out
+}
+
+// paperExampleSets are L1 and L2 from Example 3.1.
+func paperExampleSets() ([]uint32, []uint32) {
+	l1 := []uint32{1001, 1002, 1004, 1009, 1016, 1027, 1043}
+	l2 := []uint32{1001, 1003, 1005, 1009, 1011, 1016, 1022, 1032, 1034, 1049}
+	return l1, l2
+}
+
+func TestIntGroupPaperExample(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	l1, l2 := paperExampleSets()
+	a, err := NewIntGroupList(fam, l1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIntGroupList(fam, l2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedCopy(IntersectIntGroup(a, b))
+	want := []uint32{1001, 1009, 1016}
+	if !sets.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPreprocessRejectsInvalidInput(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	bad := []uint32{3, 1, 2}
+	if _, err := NewIntGroupList(fam, bad, false); err == nil {
+		t.Fatal("IntGroup accepted unsorted input")
+	}
+	if _, err := NewRanGroupList(fam, bad); err == nil {
+		t.Fatal("RanGroup accepted unsorted input")
+	}
+	if _, err := NewRanGroupScanList(fam, bad, 2); err == nil {
+		t.Fatal("RanGroupScan accepted unsorted input")
+	}
+	if _, err := NewHashBinList(fam, bad); err == nil {
+		t.Fatal("HashBin accepted unsorted input")
+	}
+	dup := []uint32{1, 1}
+	if _, err := NewIntGroupList(fam, dup, false); err == nil {
+		t.Fatal("IntGroup accepted duplicates")
+	}
+}
+
+func TestRanGroupScanRejectsBadM(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	if _, err := NewRanGroupScanList(fam, []uint32{1}, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewRanGroupScanList(fam, []uint32{1}, 3); err == nil {
+		t.Fatal("m beyond family accepted")
+	}
+}
+
+func TestTForSize(t *testing.T) {
+	cases := map[int]uint{0: 0, 1: 0, 8: 0, 9: 1, 16: 1, 17: 2, 64: 3, 1024: 7}
+	for n, want := range cases {
+		if got := TForSize(n); got != want {
+			t.Fatalf("TForSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOptimalWidth(t *testing.T) {
+	// Equal sizes: s* = √w = 8.
+	if got := optimalWidth(1000, 1000); got != 8 {
+		t.Fatalf("equal sizes: width %d, want 8", got)
+	}
+	// n1 ≪ n2: narrow groups for the small set.
+	if got := optimalWidth(100, 100_000); got > 2 {
+		t.Fatalf("skewed small: width %d, want ≤ 2", got)
+	}
+	// n1 ≫ n2: wide groups, clamped to the set size scale.
+	if got := optimalWidth(100_000, 100); got < 64 {
+		t.Fatalf("skewed large: width %d, want ≥ 64", got)
+	}
+}
+
+// buildAll preprocesses one sorted set for every core algorithm.
+type allLists struct {
+	ig  *IntGroupList
+	rg  *RanGroupList
+	rgs *RanGroupScanList
+	hb  *HashBinList
+}
+
+func buildAll(t *testing.T, fam *Family, set []uint32, m int) allLists {
+	t.Helper()
+	ig, err := NewIntGroupList(fam, set, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := NewRanGroupList(fam, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgs, err := NewRanGroupScanList(fam, set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHashBinList(fam, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allLists{ig: ig, rg: rg, rgs: rgs, hb: hb}
+}
+
+func TestCoreAlgorithmsFixedCases(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	cases := [][2][]uint32{
+		{{}, {}},
+		{{1}, {}},
+		{{}, {1}},
+		{{1}, {1}},
+		{{1}, {2}},
+		{{1, 2, 3}, {1, 2, 3}},
+		{{1, 2, 3}, {4, 5, 6}},
+		{{0, 4294967295}, {0, 4294967295}},
+		{{1, 3, 5, 7, 9, 11, 13, 15, 17}, {2, 3, 6, 7, 10, 11, 14, 15, 18}},
+	}
+	for ci, c := range cases {
+		a := buildAll(t, fam, c[0], 2)
+		b := buildAll(t, fam, c[1], 2)
+		want := sets.IntersectReference(c[0], c[1])
+		check := func(name string, got []uint32) {
+			if !sets.Equal(sortedCopy(got), want) {
+				t.Fatalf("case %d %s: got %v, want %v", ci, name, got, want)
+			}
+		}
+		check("IntGroup", IntersectIntGroup(a.ig, b.ig))
+		check("RanGroup", IntersectRanGroup(a.rg, b.rg))
+		check("RanGroupScan", IntersectRanGroupScan(a.rgs, b.rgs))
+		check("HashBin", IntersectHashBin(a.hb, b.hb))
+	}
+}
+
+func TestCoreAlgorithmsRandomizedPairs(t *testing.T) {
+	rng := xhash.NewRNG(0xC04E)
+	fam := NewFamily(testSeed, 2)
+	for trial := 0; trial < 40; trial++ {
+		universe := uint32(1 << (6 + rng.Intn(14)))
+		n1 := rng.Intn(800) + 1
+		n2 := rng.Intn(3000) + 1
+		if uint32(n1) > universe/3 {
+			n1 = int(universe / 3)
+		}
+		if uint32(n2) > universe/3 {
+			n2 = int(universe / 3)
+		}
+		maxR := min(n1, n2)
+		r := rng.Intn(maxR + 1)
+		aSet, bSet := workload.PairWithIntersection(universe, n1, n2, r, rng)
+		want := sets.IntersectReference(aSet, bSet)
+		a := buildAll(t, fam, aSet, 2)
+		b := buildAll(t, fam, bSet, 2)
+		check := func(name string, got []uint32) {
+			if !sets.Equal(sortedCopy(got), want) {
+				t.Fatalf("trial %d %s (n1=%d n2=%d r=%d U=%d): got %d, want %d",
+					trial, name, n1, n2, r, universe, len(got), len(want))
+			}
+		}
+		check("IntGroup", IntersectIntGroup(a.ig, b.ig))
+		check("RanGroup", IntersectRanGroup(a.rg, b.rg))
+		check("RanGroupScan", IntersectRanGroupScan(a.rgs, b.rgs))
+		check("HashBin", IntersectHashBin(a.hb, b.hb))
+	}
+}
+
+func TestCoreAlgorithmsRandomizedKSets(t *testing.T) {
+	rng := xhash.NewRNG(0xCAFE)
+	fam := NewFamily(testSeed, 2)
+	for trial := 0; trial < 25; trial++ {
+		k := 2 + rng.Intn(4)
+		ns := make([]int, k)
+		for i := range ns {
+			ns[i] = 1 + rng.Intn(700)
+		}
+		lists := workload.RandomSets(1<<14, ns, rng)
+		want := sets.IntersectReference(lists...)
+		rgs := make([]*RanGroupScanList, k)
+		rg := make([]*RanGroupList, k)
+		hb := make([]*HashBinList, k)
+		for i, l := range lists {
+			all := buildAll(t, fam, l, 2)
+			rgs[i] = all.rgs
+			rg[i] = all.rg
+			hb[i] = all.hb
+		}
+		if got := sortedCopy(IntersectRanGroup(rg...)); !sets.Equal(got, want) {
+			t.Fatalf("trial %d RanGroup k=%d: got %d, want %d", trial, k, len(got), len(want))
+		}
+		if got := sortedCopy(IntersectRanGroupScan(rgs...)); !sets.Equal(got, want) {
+			t.Fatalf("trial %d RanGroupScan k=%d: got %d, want %d", trial, k, len(got), len(want))
+		}
+		if got := sortedCopy(IntersectHashBin(hb...)); !sets.Equal(got, want) {
+			t.Fatalf("trial %d HashBin k=%d: got %d, want %d", trial, k, len(got), len(want))
+		}
+	}
+}
+
+func TestIntGroupOptimalWidths(t *testing.T) {
+	rng := xhash.NewRNG(0xF00D)
+	fam := NewFamily(testSeed, 2)
+	for trial := 0; trial < 10; trial++ {
+		n1 := 50 + rng.Intn(200)
+		n2 := 2000 + rng.Intn(4000)
+		r := rng.Intn(n1)
+		aSet, bSet := workload.PairWithIntersection(1<<20, n1, n2, r, rng)
+		a, err := NewIntGroupList(fam, aSet, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewIntGroupList(fam, bSet, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sets.IntersectReference(aSet, bSet)
+		if got := sortedCopy(IntersectIntGroupOptimal(a, b)); !sets.Equal(got, want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		// Symmetric call must agree.
+		if got := sortedCopy(IntersectIntGroupOptimal(b, a)); !sets.Equal(got, want) {
+			t.Fatalf("trial %d (swapped): got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestSingleListIntersections(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	set := []uint32{5, 10, 20}
+	all := buildAll(t, fam, set, 2)
+	if got := sortedCopy(IntersectRanGroup(all.rg)); !sets.Equal(got, set) {
+		t.Fatalf("RanGroup single = %v", got)
+	}
+	if got := sortedCopy(IntersectRanGroupScan(all.rgs)); !sets.Equal(got, set) {
+		t.Fatalf("RanGroupScan single = %v", got)
+	}
+	if got := sortedCopy(IntersectHashBin(all.hb)); !sets.Equal(got, set) {
+		t.Fatalf("HashBin single = %v", got)
+	}
+	if got := IntersectRanGroup(); got != nil {
+		t.Fatalf("no lists = %v", got)
+	}
+}
+
+func TestFamilyMismatchPanics(t *testing.T) {
+	f1 := NewFamily(1, 2)
+	f2 := NewFamily(2, 2)
+	a, _ := NewRanGroupScanList(f1, []uint32{1, 2, 3}, 2)
+	b, _ := NewRanGroupScanList(f2, []uint32{2, 3, 4}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("family mismatch did not panic")
+		}
+	}()
+	IntersectRanGroupScan(a, b)
+}
+
+func TestSameFamilyBySeed(t *testing.T) {
+	f1 := NewFamily(7, 2)
+	f2 := NewFamily(7, 4)
+	if !SameFamily(f1, f2) {
+		t.Fatal("families with same seed not recognized")
+	}
+	if f1.M() != 2 || f2.M() != 4 {
+		t.Fatal("M() wrong")
+	}
+	if f1.Seed() != 7 {
+		t.Fatal("Seed() wrong")
+	}
+}
+
+func TestFilterStatsSanity(t *testing.T) {
+	rng := xhash.NewRNG(0xF117E4)
+	fam4 := NewFamily(testSeed, 4)
+	aSet, bSet := workload.PairWithIntersection(1<<22, 20_000, 20_000, 200, rng)
+	want := sets.IntersectReference(aSet, bSet)
+	for _, m := range []int{1, 2, 4} {
+		a, err := NewRanGroupScanList(fam4, aSet, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewRanGroupScanList(fam4, bSet, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st := IntersectRanGroupScanStats(a, b)
+		if !sets.Equal(sortedCopy(got), want) {
+			t.Fatalf("m=%d: stats-mode result wrong: %d vs %d", m, len(got), len(want))
+		}
+		if st.EmptyCombos == 0 {
+			t.Fatalf("m=%d: no empty combos measured", m)
+		}
+		p := st.SuccessProbability()
+		if p <= 0 || p > 1 {
+			t.Fatalf("m=%d: probability %v out of range", m, p)
+		}
+		// Lemma A.1 gives ≈0.34 as a floor for m=1 on √w groups; in
+		// practice it is much higher. Be lenient but meaningful.
+		if p < 0.3 {
+			t.Fatalf("m=%d: filtering probability %v implausibly low", m, p)
+		}
+	}
+}
+
+func TestFilterProbabilityIncreasesWithM(t *testing.T) {
+	rng := xhash.NewRNG(0xF117E5)
+	fam := NewFamily(testSeed, 8)
+	aSet, bSet := workload.PairWithIntersection(1<<22, 30_000, 30_000, 300, rng)
+	prev := 0.0
+	for _, m := range []int{1, 2, 4, 8} {
+		a, _ := NewRanGroupScanList(fam, aSet, m)
+		b, _ := NewRanGroupScanList(fam, bSet, m)
+		_, st := IntersectRanGroupScanStats(a, b)
+		p := st.SuccessProbability()
+		if p+0.02 < prev { // small tolerance: measured probabilities
+			t.Fatalf("probability decreased from %v to %v at m=%d", prev, p, m)
+		}
+		prev = p
+	}
+	if prev < 0.9 {
+		t.Fatalf("m=8 probability %v, want near 1", prev)
+	}
+}
+
+func TestSizeAccountingMonotone(t *testing.T) {
+	fam := NewFamily(testSeed, 4)
+	rng := xhash.NewRNG(0x512E)
+	set := workload.RandomSets(1<<22, []int{50_000}, rng)[0]
+	n64 := len(set) / 2 // the raw posting list in 64-bit words
+	ig, _ := NewIntGroupList(fam, set, false)
+	rg, _ := NewRanGroupList(fam, set)
+	hb, _ := NewHashBinList(fam, set)
+	rgs2, _ := NewRanGroupScanList(fam, set, 2)
+	rgs4, _ := NewRanGroupScanList(fam, set, 4)
+	for name, sz := range map[string]int{
+		"IntGroup": ig.SizeWords(), "RanGroup": rg.SizeWords(),
+		"HashBin": hb.SizeWords(), "RGS2": rgs2.SizeWords(), "RGS4": rgs4.SizeWords(),
+	} {
+		if sz <= 0 {
+			t.Fatalf("%s: non-positive size", name)
+		}
+		if sz < n64 {
+			t.Fatalf("%s: size %d below raw posting size %d", name, sz, n64)
+		}
+	}
+	if rgs4.SizeWords() <= rgs2.SizeWords() {
+		t.Fatal("m=4 structure not larger than m=2")
+	}
+	// RanGroupScan stays within a small constant of the raw postings
+	// (paper: +37% for m=2 counting postings as full words).
+	if rgs2.SizeWords() > 3*n64 {
+		t.Fatalf("RGS m=2 size %d too large vs %d", rgs2.SizeWords(), n64)
+	}
+}
+
+func TestRadixSortPairs(t *testing.T) {
+	rng := xhash.NewRNG(0x5047)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(2000)
+		keys := make([]uint32, n)
+		vals := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32()
+			vals[i] = keys[i] ^ 0xDEADBEEF // recoverable pairing
+		}
+		RadixSortPairs(keys, vals)
+		for i := 1; i < n; i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("keys not sorted at %d", i)
+			}
+		}
+		for i := range keys {
+			if vals[i] != keys[i]^0xDEADBEEF {
+				t.Fatalf("pairing broken at %d", i)
+			}
+		}
+	}
+}
+
+func TestPrefixBounds(t *testing.T) {
+	keys := []uint32{0x00000001, 0x3FFFFFFF, 0x40000000, 0x80000000, 0xC0000001, 0xFFFFFFFF}
+	b := prefixBounds(keys, 2)
+	want := []int32{0, 2, 3, 4, 6}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds[%d] = %d, want %d (all %v)", i, b[i], want[i], b)
+		}
+	}
+	// t = 0: single group covering everything.
+	b0 := prefixBounds(keys, 0)
+	if b0[0] != 0 || b0[1] != 6 {
+		t.Fatalf("t=0 bounds = %v", b0)
+	}
+	// Empty input.
+	be := prefixBounds(nil, 3)
+	for _, v := range be {
+		if v != 0 {
+			t.Fatalf("empty bounds = %v", be)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkCorePair1M(b *testing.B) {
+	rng := xhash.NewRNG(0xBE4C)
+	fam := NewFamily(testSeed, 2)
+	aSet, bSet := workload.PairWithIntersection(workload.DefaultUniverse, 1_000_000, 1_000_000, 10_000, rng)
+	ig1, _ := NewIntGroupList(fam, aSet, false)
+	ig2, _ := NewIntGroupList(fam, bSet, false)
+	rg1, _ := NewRanGroupList(fam, aSet)
+	rg2, _ := NewRanGroupList(fam, bSet)
+	rgs1, _ := NewRanGroupScanList(fam, aSet, 2)
+	rgs2, _ := NewRanGroupScanList(fam, bSet, 2)
+	hb1, _ := NewHashBinList(fam, aSet)
+	hb2, _ := NewHashBinList(fam, bSet)
+	b.Run("IntGroup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectIntGroup(ig1, ig2)
+		}
+	})
+	b.Run("RanGroup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectRanGroup(rg1, rg2)
+		}
+	})
+	b.Run("RanGroupScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectRanGroupScan(rgs1, rgs2)
+		}
+	})
+	b.Run("HashBin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectHashBin(hb1, hb2)
+		}
+	})
+}

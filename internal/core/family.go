@@ -1,0 +1,70 @@
+// Package core implements the paper's contribution: the four set
+// intersection algorithms of "Fast Set Intersection in Memory"
+// (Ding & König, VLDB 2011) together with their pre-processed data
+// structures.
+//
+//   - IntGroup (§3.1, Algorithms 1–2): fixed-width √w partitions of
+//     value-sorted lists, per-group single-word hash images and inverted
+//     mappings; expected O((n1+n2)/√w + r) two-set intersection, with an
+//     optimal-group-size variant achieving O(√(n1·n2/w) + r).
+//   - RanGroup (§3.2, Algorithms 3–4): randomized partitions by hash-prefix
+//     buckets; expected O(n/√w + k·r) k-set intersection.
+//   - RanGroupScan (§3.3, Algorithm 5): the simple, practical variant — one
+//     partition per set, m word images per group for filtering, linear-merge
+//     fallback; the paper's overall best performer.
+//   - HashBin (§3.4): per-bucket binary search in permutation order for
+//     strongly skewed set sizes; expected O(n1·log(n2/n1)).
+//
+// Sets to be intersected together must be preprocessed with the same Family
+// (the shared random permutation g and hash functions h, h1..hm).
+package core
+
+import "fastintersect/internal/xhash"
+
+// Family bundles the shared randomness of a collection of preprocessed
+// sets: the random permutation g : Σ → Σ used for partitioning and ordering
+// (§3.2.1), the 2-universal h : Σ → [w] behind the inverted mappings of
+// IntGroup/RanGroup, and the m independent h1..hm used by RanGroupScan's
+// filters. Two lists can only be intersected if they share a Family.
+type Family struct {
+	Perm   xhash.Perm       // g
+	H      xhash.WordHash   // h
+	Images []xhash.WordHash // h1..hm for RanGroupScan
+	seed   uint64
+}
+
+// DefaultImageCount is the default number m of hash images for RanGroupScan.
+// The paper uses m = 4 for the uncompressed experiments and m = 2 for the
+// multi-keyword and compressed ones.
+const DefaultImageCount = 2
+
+// MaxImageCount bounds m; the paper evaluates up to m = 8 (Figure 9).
+const MaxImageCount = 16
+
+// NewFamily derives a family deterministically from a seed. m is the number
+// of RanGroupScan hash images to provision (clamped to [1, MaxImageCount]).
+func NewFamily(seed uint64, m int) *Family {
+	if m < 1 {
+		m = 1
+	}
+	if m > MaxImageCount {
+		m = MaxImageCount
+	}
+	rng := xhash.NewRNG(seed)
+	return &Family{
+		Perm:   xhash.NewPerm(rng),
+		H:      xhash.NewWordHash(rng),
+		Images: xhash.NewWordHashes(rng, m),
+		seed:   seed,
+	}
+}
+
+// Seed returns the seed the family was derived from.
+func (f *Family) Seed() uint64 { return f.seed }
+
+// M returns the number of provisioned hash images.
+func (f *Family) M() int { return len(f.Images) }
+
+// SameFamily reports whether two lists' families share the same seed (and
+// therefore identical g and h functions).
+func SameFamily(a, b *Family) bool { return a == b || a.seed == b.seed }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fastintersect/internal/bitword"
+)
+
+// setData is the per-set element storage shared by IntGroup and RanGroup:
+// the elements in their stored order (by value for fixed-width partitions,
+// by g(x) for randomized ones), the merge keys in the same order, the hash
+// values h(x), and the paper's next(x) pointers — for each position i, the
+// next position j > i with h equal to h(x_i), or len(elems) if none. The
+// chains realize the inverted mappings h⁻¹(y, L^z) of §3.1/§3.2.1: start at
+// first(y, L^z) and follow next until leaving the group.
+type setData struct {
+	elems []uint32
+	keys  []uint32 // == elems for value order; g(x) for permutation order
+	hvals []uint8
+	next  []int32
+}
+
+// buildNext fills d.next by a right-to-left scan with a last-seen table.
+func (d *setData) buildNext() {
+	n := len(d.elems)
+	d.next = make([]int32, n)
+	var last [bitword.W]int32
+	for y := range last {
+		last[y] = int32(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		y := d.hvals[i]
+		d.next[i] = last[y]
+		last[y] = int32(i)
+	}
+}
+
+// layer is one partitioning resolution over a setData: the group boundaries,
+// the single-word hash image w(h(L^z)) per group, and the packed
+// first(y, L^z) table. Fixed-width layers use an implicit uniform width;
+// randomized layers carry an explicit dense bounds array indexed by the
+// group identifier z.
+type layer struct {
+	width  int32   // > 0 for fixed-width layers
+	bounds []int32 // len = numGroups+1 for randomized layers; nil otherwise
+	n      int32   // number of elements
+	groups int32
+	words  []bitword.Word
+	// first is the packed first(y, L^z) table: for each group z and each
+	// y ∈ [w], fbits bits storing the offset of the first element of the
+	// group with h = y relative to the group start; the all-ones value is
+	// the "absent" sentinel. Total size O(groups · w · fbits) bits = O(n)
+	// words across resolutions, as in Theorem 3.8.
+	first []uint64
+	fbits uint8
+}
+
+// groupRange returns the element index range [lo, hi) of group z.
+func (l *layer) groupRange(z int32) (lo, hi int32) {
+	if l.bounds != nil {
+		return l.bounds[z], l.bounds[z+1]
+	}
+	lo = z * l.width
+	hi = lo + l.width
+	if hi > l.n {
+		hi = l.n
+	}
+	return lo, hi
+}
+
+// word returns the group's hash image.
+func (l *layer) word(z int32) bitword.Word { return l.words[z] }
+
+// firstIdx returns the absolute index of the first element of group z with
+// h = y, or -1 if the group has none.
+func (l *layer) firstIdx(z int32, y uint) int32 {
+	bitOff := (uint64(z)*bitword.W + uint64(y)) * uint64(l.fbits)
+	rel := readPacked(l.first, bitOff, l.fbits)
+	if rel == sentinel(l.fbits) {
+		return -1
+	}
+	lo, _ := l.groupRange(z)
+	return lo + int32(rel)
+}
+
+// sentinel is the packed "no element" marker: all fbits ones.
+func sentinel(fbits uint8) uint32 { return 1<<fbits - 1 }
+
+// readPacked extracts width bits at bit offset off from a packed array.
+func readPacked(a []uint64, off uint64, width uint8) uint32 {
+	wi := off >> 6
+	sh := off & 63
+	v := a[wi] >> sh
+	if sh+uint64(width) > 64 {
+		v |= a[wi+1] << (64 - sh)
+	}
+	return uint32(v) & (1<<width - 1)
+}
+
+// writePacked stores width bits of v at bit offset off.
+func writePacked(a []uint64, off uint64, width uint8, v uint32) {
+	wi := off >> 6
+	sh := off & 63
+	a[wi] |= uint64(v) << sh
+	if sh+uint64(width) > 64 {
+		a[wi+1] |= uint64(v) >> (64 - sh)
+	}
+}
+
+// bitsFor returns the number of bits needed to store values 0..maxVal plus
+// the all-ones sentinel.
+func bitsFor(maxVal int32) uint8 {
+	b := uint8(1)
+	for int64(1)<<b-1 <= int64(maxVal) {
+		b++
+	}
+	return b
+}
+
+// newFixedLayer builds a fixed-width layer of the given width over d.
+func newFixedLayer(d *setData, width int32) *layer {
+	n := int32(len(d.elems))
+	groups := (n + width - 1) / width
+	if n == 0 {
+		groups = 0
+	}
+	l := &layer{width: width, n: n, groups: groups}
+	l.build(d)
+	return l
+}
+
+// newBoundedLayer builds a randomized layer from a dense bounds array
+// (bounds[z]..bounds[z+1] delimit group z).
+func newBoundedLayer(d *setData, bounds []int32) *layer {
+	l := &layer{bounds: bounds, n: int32(len(d.elems)), groups: int32(len(bounds) - 1)}
+	l.build(d)
+	return l
+}
+
+// build fills the hash images and the packed first tables.
+func (l *layer) build(d *setData) {
+	l.words = make([]bitword.Word, l.groups)
+	maxLen := int32(0)
+	for z := int32(0); z < l.groups; z++ {
+		lo, hi := l.groupRange(z)
+		if hi-lo > maxLen {
+			maxLen = hi - lo
+		}
+	}
+	l.fbits = bitsFor(maxLen)
+	totalBits := uint64(l.groups) * bitword.W * uint64(l.fbits)
+	l.first = make([]uint64, (totalBits+127)/64) // +1 word of slack for cross-word writes
+	sent := sentinel(l.fbits)
+	for z := int32(0); z < l.groups; z++ {
+		lo, hi := l.groupRange(z)
+		var w bitword.Word
+		base := uint64(z) * bitword.W * uint64(l.fbits)
+		// Pre-mark all 64 slots absent.
+		for y := uint64(0); y < bitword.W; y++ {
+			writePacked(l.first, base+y*uint64(l.fbits), l.fbits, sent)
+		}
+		for i := hi - 1; i >= lo; i-- { // right-to-left so the first write wins
+			y := d.hvals[i]
+			w = w.Add(uint(y))
+			off := base + uint64(y)*uint64(l.fbits)
+			clearPacked(l.first, off, l.fbits)
+			writePacked(l.first, off, l.fbits, uint32(i-lo))
+		}
+		l.words[z] = w
+	}
+}
+
+// clearPacked zeroes width bits at bit offset off.
+func clearPacked(a []uint64, off uint64, width uint8) {
+	wi := off >> 6
+	sh := off & 63
+	mask := uint64(1<<width - 1)
+	a[wi] &^= mask << sh
+	if sh+uint64(width) > 64 {
+		a[wi+1] &^= mask >> (64 - sh)
+	}
+}
+
+// sizeWords64 returns the layer's footprint in 64-bit words.
+func (l *layer) sizeWords64() int {
+	s := len(l.words) + len(l.first)
+	if l.bounds != nil {
+		s += (len(l.bounds) + 1) / 2
+	}
+	return s
+}
+
+// intersectSmallPair is IntersectSmall (Algorithm 2) for two groups: AND the
+// hash images, and for every surviving y merge the two h⁻¹(y, ·) chains in
+// key order, appending common elements to dst.
+func intersectSmallPair(dst []uint32, da *setData, la *layer, za int32, db *setData, lb *layer, zb int32) []uint32 {
+	h := la.word(za).And(lb.word(zb))
+	if h.Empty() {
+		return dst
+	}
+	_, hiA := la.groupRange(za)
+	_, hiB := lb.groupRange(zb)
+	for h != 0 {
+		y := h.Min()
+		h &= h - 1
+		ia := la.firstIdx(za, y)
+		ib := lb.firstIdx(zb, y)
+		for ia >= 0 && ia < hiA && ib >= 0 && ib < hiB {
+			ka, kb := da.keys[ia], db.keys[ib]
+			switch {
+			case ka < kb:
+				ia = da.next[ia]
+			case ka > kb:
+				ib = db.next[ib]
+			default:
+				dst = append(dst, da.elems[ia])
+				ia = da.next[ia]
+				ib = db.next[ib]
+			}
+		}
+	}
+	return dst
+}
+
+// intersectSmallK extends IntersectSmall to k groups, as Algorithm 4
+// requires: h is the pre-computed AND of all k hash images; for every
+// y ∈ h, the k chains are merged with an eliminator walk.
+func intersectSmallK(dst []uint32, ds []*setData, ls []*layer, zs []int32, h bitword.Word) []uint32 {
+	k := len(ds)
+	var pos [16]int32 // k ≤ 16 in practice; fall back to heap allocation above
+	var his [16]int32
+	cur := pos[:k]
+	hi := his[:k]
+	for i := 0; i < k; i++ {
+		_, hi[i] = ls[i].groupRange(zs[i])
+	}
+	for h != 0 {
+		y := h.Min()
+		h &= h - 1
+		dead := false
+		for i := 0; i < k; i++ {
+			cur[i] = ls[i].firstIdx(zs[i], y)
+			if cur[i] < 0 || cur[i] >= hi[i] {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+	chain:
+		for {
+			// Eliminator: the maximum key among current chain heads.
+			maxKey := ds[0].keys[cur[0]]
+			for i := 1; i < k; i++ {
+				if key := ds[i].keys[cur[i]]; key > maxKey {
+					maxKey = key
+				}
+			}
+			agreed := true
+			for i := 0; i < k; i++ {
+				for ds[i].keys[cur[i]] < maxKey {
+					cur[i] = ds[i].next[cur[i]]
+					if cur[i] >= hi[i] {
+						break chain
+					}
+				}
+				if ds[i].keys[cur[i]] != maxKey {
+					agreed = false
+				}
+			}
+			if agreed {
+				dst = append(dst, ds[0].elems[cur[0]])
+				for i := 0; i < k; i++ {
+					cur[i] = ds[i].next[cur[i]]
+					if cur[i] >= hi[i] {
+						break chain
+					}
+				}
+			}
+		}
+	}
+	return dst
+}

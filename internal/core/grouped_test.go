@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// TestPackedBitsRoundtrip covers the packed first-table primitives.
+func TestPackedBitsRoundtrip(t *testing.T) {
+	f := func(vals []uint16, width8 uint8) bool {
+		width := width8%16 + 1
+		a := make([]uint64, (len(vals)*int(width)+127)/64)
+		var want []uint32
+		for i, v := range vals {
+			val := uint32(v) & (1<<width - 1)
+			writePacked(a, uint64(i)*uint64(width), width, val)
+			want = append(want, val)
+		}
+		for i, w := range want {
+			if readPacked(a, uint64(i)*uint64(width), width) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearPacked(t *testing.T) {
+	a := make([]uint64, 4)
+	// Straddle a word boundary: offset 60, width 9.
+	writePacked(a, 60, 9, 0x1FF)
+	if got := readPacked(a, 60, 9); got != 0x1FF {
+		t.Fatalf("cross-word write = %x", got)
+	}
+	clearPacked(a, 60, 9)
+	if got := readPacked(a, 60, 9); got != 0 {
+		t.Fatalf("cross-word clear = %x", got)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int32]uint8{0: 1, 1: 2, 2: 2, 3: 3, 7: 4, 8: 4, 255: 9}
+	for v, want := range cases {
+		if got := bitsFor(v); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", v, got, want)
+		}
+		// The sentinel must be distinguishable from every storable value.
+		if uint32(v) >= sentinel(bitsFor(v)) {
+			t.Fatalf("sentinel collision for %d", v)
+		}
+	}
+}
+
+// TestLayerInvariants checks the paper's structural invariants on the
+// fixed-width and randomized layers: groups cover the set disjointly, every
+// group's word image is exactly the hash image of its elements, and the
+// first/next chains enumerate exactly h⁻¹(y, L^z) in stored order.
+func TestLayerInvariants(t *testing.T) {
+	rng := xhash.NewRNG(0x14E4)
+	fam := NewFamily(testSeed, 2)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(3000)
+		set := workload.RandomSets(1<<20, []int{n}, rng)[0]
+
+		// Fixed-width layers (IntGroup).
+		ig, err := NewIntGroupList(fam, set, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for width, ly := range ig.layers {
+			checkLayer(t, &ig.data, ly, int(width))
+		}
+
+		// Randomized layer (RanGroup).
+		rg, err := NewRanGroupList(fam, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLayer(t, &rg.data, rg.layer, 0)
+	}
+}
+
+func checkLayer(t *testing.T, d *setData, ly *layer, width int) {
+	t.Helper()
+	n := int32(len(d.elems))
+	covered := int32(0)
+	for z := int32(0); z < ly.groups; z++ {
+		lo, hi := ly.groupRange(z)
+		if lo > hi || lo < 0 || hi > n {
+			t.Fatalf("width %d group %d: bad range [%d,%d)", width, z, lo, hi)
+		}
+		if ly.bounds == nil && z < ly.groups-1 && hi-lo != int32(width) {
+			t.Fatalf("width %d: interior group %d has size %d", width, z, hi-lo)
+		}
+		covered += hi - lo
+		// Word image = exact hash image.
+		var want bitword.Word
+		for i := lo; i < hi; i++ {
+			want = want.Add(uint(d.hvals[i]))
+		}
+		if ly.word(z) != want {
+			t.Fatalf("width %d group %d: word image mismatch", width, z)
+		}
+		// Chains: for every y, walking first/next enumerates exactly the
+		// group's elements with h = y, in order.
+		for y := uint(0); y < bitword.W; y++ {
+			var want []int32
+			for i := lo; i < hi; i++ {
+				if uint(d.hvals[i]) == y {
+					want = append(want, i)
+				}
+			}
+			i := ly.firstIdx(z, y)
+			var got []int32
+			for i >= 0 && i < hi {
+				got = append(got, i)
+				i = d.next[i]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("width %d group %d y=%d: chain %v want %v", width, z, y, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("width %d group %d y=%d: chain %v want %v", width, z, y, got, want)
+				}
+			}
+		}
+	}
+	if covered != n {
+		t.Fatalf("width %d: groups cover %d of %d elements", width, covered, n)
+	}
+}
+
+// TestNextChains verifies the global next(x) definition: the next position
+// to the right with the same hash value.
+func TestNextChains(t *testing.T) {
+	rng := xhash.NewRNG(0x4E37)
+	fam := NewFamily(testSeed, 2)
+	set := workload.RandomSets(1<<18, []int{2000}, rng)[0]
+	rg, _ := NewRanGroupList(fam, set)
+	d := &rg.data
+	for i := range d.elems {
+		nx := d.next[i]
+		for j := i + 1; j < len(d.elems); j++ {
+			if d.hvals[j] == d.hvals[i] {
+				if nx != int32(j) {
+					t.Fatalf("next[%d] = %d, want %d", i, nx, j)
+				}
+				break
+			}
+			if int32(j) == nx {
+				t.Fatalf("next[%d] = %d but hvals differ", i, nx)
+			}
+		}
+	}
+}
+
+// TestRanGroupScanGroupsValueSorted checks the within-group ordering the
+// fallback merge depends on.
+func TestRanGroupScanGroupsValueSorted(t *testing.T) {
+	rng := xhash.NewRNG(0x9051)
+	fam := NewFamily(testSeed, 2)
+	set := workload.RandomSets(1<<20, []int{5000}, rng)[0]
+	l, _ := NewRanGroupScanList(fam, set, 2)
+	total := 0
+	for z := int32(0); z < int32(1)<<l.t; z++ {
+		grp := l.group(z)
+		total += len(grp)
+		for i := 1; i < len(grp); i++ {
+			if grp[i-1] >= grp[i] {
+				t.Fatalf("group %d not strictly increasing", z)
+			}
+		}
+	}
+	if total != len(set) {
+		t.Fatalf("groups cover %d of %d", total, len(set))
+	}
+}
+
+// TestRanGroupScanWordsMatchGroups checks every stored image word against a
+// recomputation from the group's elements.
+func TestRanGroupScanWordsMatchGroups(t *testing.T) {
+	rng := xhash.NewRNG(0x9052)
+	fam := NewFamily(testSeed, 4)
+	set := workload.RandomSets(1<<20, []int{3000}, rng)[0]
+	l, _ := NewRanGroupScanList(fam, set, 4)
+	for z := int32(0); z < int32(1)<<l.t; z++ {
+		grp := l.group(z)
+		for j := 0; j < 4; j++ {
+			var want bitword.Word
+			for _, x := range grp {
+				want = want.Add(uint(fam.Images[j].Hash(x)))
+			}
+			if l.word(int32(j), z) != want {
+				t.Fatalf("group %d image %d mismatch", z, j)
+			}
+		}
+	}
+}

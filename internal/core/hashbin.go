@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/xhash"
+)
+
+// HashBinList is the preprocessed form of a set for the HashBin algorithm
+// of §3.4: the elements ordered by the random permutation g. Because every
+// prefix bucket L^z = {x : gt(x) = z} is a contiguous interval of this
+// order for ANY resolution t (§A.6.1), the structure is the simplified
+// multi-resolution structure — the g-sorted array itself, with group
+// boundaries recovered by binary search on the stored g values. Theorem
+// 3.11: O(n) space, O(n log n) preprocessing, and two-set intersection in
+// expected O(n1·log(n2/n1)).
+type HashBinList struct {
+	fam   *Family
+	elems []uint32 // ordered by g(x)
+	gvals []uint32 // g(x), ascending
+}
+
+// NewHashBinList preprocesses a sorted set.
+func NewHashBinList(fam *Family, set []uint32) (*HashBinList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("core: HashBin preprocessing: %w", err)
+	}
+	l := &HashBinList{fam: fam}
+	n := len(set)
+	l.elems = make([]uint32, n)
+	l.gvals = make([]uint32, n)
+	copy(l.elems, set)
+	for i, x := range l.elems {
+		l.gvals[i] = fam.Perm.Apply(x)
+	}
+	RadixSortPairs(l.gvals, l.elems)
+	return l, nil
+}
+
+// Len returns the number of elements.
+func (l *HashBinList) Len() int { return len(l.elems) }
+
+// Family returns the list's hash family.
+func (l *HashBinList) Family() *Family { return l.fam }
+
+// SizeWords returns the structure's footprint in 64-bit machine words.
+func (l *HashBinList) SizeWords() int { return len(l.elems)/2 + len(l.gvals)/2 }
+
+// bucketBounds returns the index range [lo, hi) of the prefix bucket z at
+// resolution t, by binary search on the g values.
+func (l *HashBinList) bucketBounds(z uint32, t uint) (lo, hi int) {
+	if t == 0 {
+		return 0, len(l.gvals)
+	}
+	loKey := z << (32 - t)
+	lo = sort.Search(len(l.gvals), func(i int) bool { return l.gvals[i] >= loKey })
+	if z == 1<<t-1 {
+		return lo, len(l.gvals)
+	}
+	hiKey := (z + 1) << (32 - t)
+	hi = lo + sort.Search(len(l.gvals)-lo, func(i int) bool { return l.gvals[lo+i] >= hiKey })
+	return lo, hi
+}
+
+// searchG reports whether gv occurs in gvals[lo:hi], by binary search.
+// Elements in a bucket are ordered by g, and g is injective, so finding
+// g(x) is equivalent to finding x (§A.6.1).
+func (l *HashBinList) searchG(gv uint32, lo, hi int) bool {
+	i := lo + sort.Search(hi-lo, func(i int) bool { return l.gvals[lo+i] >= gv })
+	return i < hi && l.gvals[i] == gv
+}
+
+// IntersectHashBin computes the intersection of k ≥ 1 lists with HashBin:
+// partition every set at t = ⌈log n1⌉ (n1 = smallest size), and for each
+// bucket check every x ∈ L1^z against L2^z, ..., Lk^z by binary search in
+// g-space, stopping at the first miss. The result is in permutation order.
+func IntersectHashBin(lists ...*HashBinList) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0].elems...)
+	}
+	ordered := make([]*HashBinList, len(lists))
+	copy(ordered, lists)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	for _, l := range ordered {
+		if !SameFamily(l.fam, ordered[0].fam) {
+			panic("core: intersecting lists from different families")
+		}
+		if l.Len() == 0 {
+			return nil
+		}
+	}
+	small := ordered[0]
+	t := xhash.CeilLog2(small.Len())
+	if t > 32 {
+		t = 32
+	}
+	var dst []uint32
+	k := len(ordered)
+	los := make([]int, k)
+	his := make([]int, k)
+	i := 0
+	for i < len(small.gvals) {
+		z := xhash.PrefixOf(small.gvals[i], t)
+		lo1, hi1 := small.bucketBounds(z, t)
+		// Locate the matching bucket in every other list once per bucket.
+		live := true
+		for s := 1; s < k; s++ {
+			los[s], his[s] = ordered[s].bucketBounds(z, t)
+			if los[s] == his[s] {
+				live = false
+				break
+			}
+		}
+		if live {
+			for j := lo1; j < hi1; j++ {
+				gv := small.gvals[j]
+				ok := true
+				for s := 1; s < k; s++ {
+					if !ordered[s].searchG(gv, los[s], his[s]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					dst = append(dst, small.elems[j])
+				}
+			}
+		}
+		i = hi1
+	}
+	return dst
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/xhash"
+)
+
+// IntGroupList is the preprocessed form of a set for the fixed-width
+// partition algorithm of §3.1 (the paper's IntGroup): the value-sorted
+// elements are cut into groups of √w = 8 consecutive elements; each group
+// carries the single-word image of h(L^j) and the packed inverted mapping
+// first(y, L^j), with global next(x) chains (Theorem 3.4: O(n) space,
+// O(n log n) preprocessing).
+//
+// When built with all widths (WithAllWidths), layers for every power-of-two
+// group size 2, 4, ..., 2^⌈log n⌉ are kept — the multi-resolution structure
+// that lets IntersectIntGroupOptimal pick s* = √(w·n1/n2) per §A.1.1.
+type IntGroupList struct {
+	fam    *Family
+	data   setData
+	layers map[int32]*layer // group width → layer
+}
+
+// NewIntGroupList preprocesses a sorted set. allWidths additionally builds
+// the power-of-two multi-resolution layers for the optimal variant.
+func NewIntGroupList(fam *Family, set []uint32, allWidths bool) (*IntGroupList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("core: IntGroup preprocessing: %w", err)
+	}
+	l := &IntGroupList{fam: fam, layers: make(map[int32]*layer)}
+	l.data.elems = append([]uint32(nil), set...)
+	l.data.keys = l.data.elems // value order: keys are the elements themselves
+	l.data.hvals = make([]uint8, len(set))
+	for i, x := range l.data.elems {
+		l.data.hvals[i] = fam.H.Hash(x)
+	}
+	l.data.buildNext()
+	l.layers[bitword.SqrtW] = newFixedLayer(&l.data, bitword.SqrtW)
+	if allWidths {
+		maxT := xhash.CeilLog2(len(set))
+		for t := uint(0); t <= maxT; t++ {
+			w := int32(1) << t
+			if _, ok := l.layers[w]; !ok {
+				l.layers[w] = newFixedLayer(&l.data, w)
+			}
+		}
+	}
+	return l, nil
+}
+
+// Len returns the number of elements.
+func (l *IntGroupList) Len() int { return len(l.data.elems) }
+
+// Family returns the list's hash family.
+func (l *IntGroupList) Family() *Family { return l.fam }
+
+// SizeWords returns the structure's footprint in 64-bit machine words
+// (elements, hash values, next pointers and all layers), for the §4 space
+// experiment.
+func (l *IntGroupList) SizeWords() int {
+	n := len(l.data.elems)
+	s := n/2 + n/8 + n/2 // elems (uint32), hvals (uint8), next (int32)
+	for _, ly := range l.layers {
+		s += ly.sizeWords64()
+	}
+	return s
+}
+
+// IntersectIntGroup computes a ∩ b with Algorithm 1 over the default √w
+// fixed-width partitions. Group pairs are visited in value order but
+// elements inside a group pair are emitted in hash-value order, so the
+// result is NOT globally sorted (the paper's ∆ is a set union; sort the
+// result if order matters). Lists must share a Family.
+func IntersectIntGroup(a, b *IntGroupList) []uint32 {
+	return intersectFixed(a, b, bitword.SqrtW, bitword.SqrtW)
+}
+
+// IntersectIntGroupOptimal computes a ∩ b with the optimal group widths of
+// §A.1.1: s1* = √(w·n1/n2) and s2* = √(w·n2/n1), each rounded up to a power
+// of two (s* ≤ s** ≤ 2s*), yielding the O(√(n1·n2/w) + r) bound of
+// Theorem 3.3's refinement. Both lists must have been built with allWidths.
+func IntersectIntGroupOptimal(a, b *IntGroupList) []uint32 {
+	n1, n2 := a.Len(), b.Len()
+	if n1 == 0 || n2 == 0 {
+		return nil
+	}
+	s1 := optimalWidth(n1, n2)
+	s2 := optimalWidth(n2, n1)
+	if _, ok := a.layers[s1]; !ok {
+		panic("core: IntersectIntGroupOptimal requires allWidths preprocessing")
+	}
+	if _, ok := b.layers[s2]; !ok {
+		panic("core: IntersectIntGroupOptimal requires allWidths preprocessing")
+	}
+	return intersectFixed(a, b, s1, s2)
+}
+
+// IntersectIntGroupWidth runs Algorithm 1 with an explicit group width on
+// both sides (a power of two present in the preprocessed layers). It backs
+// the §A.1.1 group-size ablation: widths away from √w trade scan iterations
+// against hash collisions inside IntersectSmall.
+func IntersectIntGroupWidth(a, b *IntGroupList, width int32) []uint32 {
+	if _, ok := a.layers[width]; !ok {
+		panic("core: width not preprocessed (use allWidths)")
+	}
+	if _, ok := b.layers[width]; !ok {
+		panic("core: width not preprocessed (use allWidths)")
+	}
+	return intersectFixed(a, b, width, width)
+}
+
+// optimalWidth returns the power of two s** with s* ≤ s** ≤ 2s* for
+// s* = √(w·n1/n2), clamped to [1, 2^⌈log n1⌉].
+func optimalWidth(n1, n2 int) int32 {
+	s := 1.0
+	ratio := float64(bitword.W) * float64(n1) / float64(n2)
+	for s*s < ratio {
+		s *= 2
+	}
+	maxW := int32(1) << xhash.CeilLog2(n1)
+	w := int32(s)
+	if w < 1 {
+		w = 1
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// intersectFixed is Algorithm 1: scan the two group sequences in value
+// order, intersecting every pair with overlapping ranges via IntersectSmall.
+func intersectFixed(a, b *IntGroupList, wa, wb int32) []uint32 {
+	if !SameFamily(a.fam, b.fam) {
+		panic("core: intersecting lists from different families")
+	}
+	la, lb := a.layers[wa], b.layers[wb]
+	ea, eb := a.data.elems, b.data.elems
+	var dst []uint32
+	p, q := int32(0), int32(0)
+	for p < la.groups && q < lb.groups {
+		loA, hiA := la.groupRange(p)
+		loB, hiB := lb.groupRange(q)
+		infA, supA := ea[loA], ea[hiA-1]
+		infB, supB := eb[loB], eb[hiB-1]
+		switch {
+		case infB > supA: // line 3-4: A's group is strictly below
+			p++
+		case infA > supB: // line 5-6: B's group is strictly below
+			q++
+		default: // line 7-10: ranges overlap
+			dst = intersectSmallPair(dst, &a.data, la, p, &b.data, lb, q)
+			if supA < supB {
+				p++
+			} else {
+				q++
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/xhash"
+)
+
+// RanGroupMulti is the full multi-resolution structure of §3.2.1 (Figure 2):
+// the g-ordered elements of a set together with a layer (group boundaries,
+// word images, packed inverted mappings) for EVERY resolution
+// t = 0, 1, ..., ⌈log n⌉. It exists for the algorithms whose group count
+// depends on the partner set — Theorem 3.5's two-set intersection with
+// t1 = t2 = ⌈log √(n1·n2/w)⌉ — where the single-resolution RanGroupList
+// cannot be used. Total space stays O(n) words (Theorem 3.8): resolution t
+// contributes 2^t groups and the per-resolution group counts sum to ≤ 2n.
+type RanGroupMulti struct {
+	fam    *Family
+	data   setData
+	layers []*layer // layers[t] is the resolution-t partition
+}
+
+// NewRanGroupMulti preprocesses a sorted set at every resolution.
+func NewRanGroupMulti(fam *Family, set []uint32) (*RanGroupMulti, error) {
+	if err := validateForCore(set); err != nil {
+		return nil, fmt.Errorf("core: RanGroupMulti preprocessing: %w", err)
+	}
+	l := &RanGroupMulti{fam: fam}
+	l.data = buildPermData(fam, set)
+	maxT := xhash.CeilLog2(len(set))
+	l.layers = make([]*layer, maxT+1)
+	for t := uint(0); t <= maxT; t++ {
+		l.layers[t] = newBoundedLayer(&l.data, prefixBounds(l.data.keys, t))
+	}
+	return l, nil
+}
+
+// Len returns the number of elements.
+func (l *RanGroupMulti) Len() int { return len(l.data.elems) }
+
+// MaxT returns the finest available resolution.
+func (l *RanGroupMulti) MaxT() uint { return uint(len(l.layers) - 1) }
+
+// SizeWords returns the structure's footprint in 64-bit machine words.
+func (l *RanGroupMulti) SizeWords() int {
+	n := len(l.data.elems)
+	s := n/2 + n/2 + n/8 + n/2 // elems, keys, hvals, next
+	for _, ly := range l.layers {
+		s += ly.sizeWords64()
+	}
+	return s
+}
+
+// optimalPairT is Theorem 3.5's resolution: t1 = t2 = ⌈log √(n1·n2/w)⌉,
+// clamped to the resolutions both structures carry.
+func optimalPairT(a, b *RanGroupMulti) uint {
+	prod := float64(a.Len()) * float64(b.Len()) / float64(bitword.W)
+	t := uint(0)
+	for g := 1.0; g*g < prod; g *= 2 {
+		t++
+	}
+	if mt := a.MaxT(); t > mt {
+		t = mt
+	}
+	if mt := b.MaxT(); t > mt {
+		t = mt
+	}
+	return t
+}
+
+// IntersectRanGroupPairOptimal computes a ∩ b with Algorithm 3 at the
+// Theorem 3.5 resolution, achieving expected O(√(n1·n2)/√w + r) — better
+// than the Theorem 3.6/3.7 bound when the sizes are skewed. Both sets use
+// the same t, so groups pair one-to-one by identifier. The result is in
+// permutation order.
+func IntersectRanGroupPairOptimal(a, b *RanGroupMulti) []uint32 {
+	if !SameFamily(a.fam, b.fam) {
+		panic("core: intersecting lists from different families")
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil
+	}
+	t := optimalPairT(a, b)
+	la, lb := a.layers[t], b.layers[t]
+	var dst []uint32
+	for z := int32(0); z < int32(1)<<t; z++ {
+		loA, hiA := la.groupRange(z)
+		if loA == hiA {
+			continue
+		}
+		loB, hiB := lb.groupRange(z)
+		if loB == hiB {
+			continue
+		}
+		dst = intersectSmallPair(dst, &a.data, la, z, &b.data, lb, z)
+	}
+	return dst
+}
+
+// validateForCore mirrors sets.Validate without importing it twice in this
+// file's callers; kept tiny and local.
+func validateForCore(s []uint32) error {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return fmt.Errorf("not strictly increasing at index %d", i)
+		}
+	}
+	return nil
+}

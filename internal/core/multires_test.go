@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func TestRanGroupPairOptimalCorrect(t *testing.T) {
+	rng := xhash.NewRNG(0x3535)
+	fam := NewFamily(testSeed, 2)
+	for trial := 0; trial < 15; trial++ {
+		n1 := 1 + rng.Intn(500)
+		n2 := 1 + rng.Intn(5000)
+		maxR := min(n1, n2)
+		aSet, bSet := workload.PairWithIntersection(1<<20, n1, n2, rng.Intn(maxR+1), rng)
+		a, err := NewRanGroupMulti(fam, aSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewRanGroupMulti(fam, bSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sets.IntersectReference(aSet, bSet)
+		got := sortedCopy(IntersectRanGroupPairOptimal(a, b))
+		if !sets.Equal(got, want) {
+			t.Fatalf("trial %d (n1=%d n2=%d): got %d, want %d", trial, n1, n2, len(got), len(want))
+		}
+		// Symmetry.
+		got = sortedCopy(IntersectRanGroupPairOptimal(b, a))
+		if !sets.Equal(got, want) {
+			t.Fatalf("trial %d swapped: got %d, want %d", trial, n1, n2)
+		}
+	}
+}
+
+func TestRanGroupMultiRejectsInvalid(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	if _, err := NewRanGroupMulti(fam, []uint32{2, 1}); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := NewRanGroupMulti(fam, []uint32{1, 1}); err == nil {
+		t.Fatal("duplicates accepted")
+	}
+}
+
+func TestOptimalPairT(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	rng := xhash.NewRNG(0x3536)
+	// Equal 4096-element sets: √(n²/w) = n/8 = 512 groups → t = 9.
+	aSet, bSet := workload.PairWithIntersection(1<<22, 4096, 4096, 64, rng)
+	a, _ := NewRanGroupMulti(fam, aSet)
+	b, _ := NewRanGroupMulti(fam, bSet)
+	if got := optimalPairT(a, b); got != 9 {
+		t.Fatalf("equal-size t = %d, want 9", got)
+	}
+	// Strongly skewed: Theorem 3.5 asks for √(64·65536/64) = 256 groups
+	// (t = 8), but the multi-resolution structure only stores resolutions
+	// up to ⌈log n⌉ per set (its O(n)-space guarantee), so t clamps to the
+	// smaller set's ⌈log 64⌉ = 6.
+	cSet, dSet := workload.PairWithIntersection(1<<22, 64, 65536, 16, rng)
+	c, _ := NewRanGroupMulti(fam, cSet)
+	d, _ := NewRanGroupMulti(fam, dSet)
+	if tc := optimalPairT(c, d); tc != 6 {
+		t.Fatalf("skewed t = %d, want 6 (clamped)", tc)
+	}
+}
+
+func TestRanGroupMultiLayerCount(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	rng := xhash.NewRNG(0x3537)
+	set := workload.RandomSets(1<<20, []int{1000}, rng)[0]
+	l, _ := NewRanGroupMulti(fam, set)
+	if l.MaxT() != 10 { // ceil(log2(1000)) = 10
+		t.Fatalf("MaxT = %d, want 10", l.MaxT())
+	}
+	if l.SizeWords() <= 0 {
+		t.Fatal("non-positive size")
+	}
+	// Every layer must cover the whole set.
+	for ti, ly := range l.layers {
+		covered := int32(0)
+		for z := int32(0); z < ly.groups; z++ {
+			lo, hi := ly.groupRange(z)
+			covered += hi - lo
+		}
+		if covered != int32(l.Len()) {
+			t.Fatalf("resolution %d covers %d of %d", ti, covered, l.Len())
+		}
+	}
+}
+
+func TestRanGroupMultiEmpty(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	e, err := NewRanGroupMulti(fam, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := NewRanGroupMulti(fam, []uint32{1})
+	if got := IntersectRanGroupPairOptimal(e, o); len(got) != 0 {
+		t.Fatalf("empty intersection = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import "sync"
+
+// IntersectRanGroupScanParallel is the multi-core extension the paper's §2
+// calls orthogonal to its contribution: the group identifier space of the
+// largest list is split into `workers` contiguous ranges, each intersected
+// independently with Algorithm 5, and the per-range outputs concatenated.
+// Because groups partition the sets, ranges share no state and the
+// concatenated result equals the serial result (same order).
+func IntersectRanGroupScanParallel(workers int, lists ...*RanGroupScanList) []uint32 {
+	if len(lists) < 2 || workers <= 1 {
+		return IntersectRanGroupScan(lists...)
+	}
+	tk := uint(0)
+	for _, l := range lists {
+		if l.Len() == 0 {
+			return nil
+		}
+		if l.t > tk {
+			tk = l.t
+		}
+	}
+	zkMax := int32(1) << tk
+	if int32(workers) > zkMax {
+		workers = int(zkMax)
+	}
+	results := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	chunk := (zkMax + int32(workers) - 1) / int32(workers)
+	for w := 0; w < workers; w++ {
+		lo := int32(w) * chunk
+		hi := lo + chunk
+		if hi > zkMax {
+			hi = zkMax
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int32) {
+			defer wg.Done()
+			results[w] = IntersectRanGroupScanRange(lists, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]uint32, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func TestIntersectRangeCoversAll(t *testing.T) {
+	rng := xhash.NewRNG(0x4A4E)
+	fam := NewFamily(testSeed, 2)
+	aSet, bSet := workload.PairWithIntersection(1<<20, 3000, 9000, 500, rng)
+	a, _ := NewRanGroupScanList(fam, aSet, 2)
+	b, _ := NewRanGroupScanList(fam, bSet, 2)
+	want := sets.IntersectReference(aSet, bSet)
+	// Split the zk space at several points; the union must equal the whole.
+	tk := b.T()
+	if a.T() > tk {
+		tk = a.T()
+	}
+	zkMax := int32(1) << tk
+	for _, cuts := range []int32{1, 2, 3, 7} {
+		var got []uint32
+		chunk := (zkMax + cuts - 1) / cuts
+		for lo := int32(0); lo < zkMax; lo += chunk {
+			hi := lo + chunk
+			if hi > zkMax {
+				hi = zkMax
+			}
+			got = append(got, IntersectRanGroupScanRange([]*RanGroupScanList{a, b}, lo, hi)...)
+		}
+		if !sets.Equal(sortedCopy(got), want) {
+			t.Fatalf("cuts=%d: got %d, want %d", cuts, len(got), len(want))
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := xhash.NewRNG(0x9A3A)
+	fam := NewFamily(testSeed, 2)
+	lists := workload.RandomSets(1<<18, []int{5000, 8000, 12000}, rng)
+	rgs := make([]*RanGroupScanList, len(lists))
+	for i, l := range lists {
+		rgs[i], _ = NewRanGroupScanList(fam, l, 2)
+	}
+	serial := IntersectRanGroupScan(rgs...)
+	for _, workers := range []int{1, 2, 4, 16} {
+		par := IntersectRanGroupScanParallel(workers, rgs...)
+		if !sets.Equal(par, serial) {
+			t.Fatalf("workers=%d: parallel differs from serial (%d vs %d)", workers, len(par), len(serial))
+		}
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	a, _ := NewRanGroupScanList(fam, []uint32{1, 2, 3}, 2)
+	empty, _ := NewRanGroupScanList(fam, nil, 2)
+	if got := IntersectRanGroupScanParallel(4, a, empty); len(got) != 0 {
+		t.Fatalf("parallel with empty list = %v", got)
+	}
+	if got := IntersectRanGroupScanParallel(4, a); !sets.Equal(sortedCopy(got), []uint32{1, 2, 3}) {
+		t.Fatalf("parallel single list = %v", got)
+	}
+	// More workers than groups.
+	if got := IntersectRanGroupScanParallel(1000, a, a); !sets.Equal(sortedCopy(got), []uint32{1, 2, 3}) {
+		t.Fatalf("parallel self-intersection = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/xhash"
+)
+
+// RanGroupList is the preprocessed form of a set for the randomized
+// partition algorithm of §3.2 (the paper's RanGroup): elements are ordered
+// by g(x) and partitioned into 2^t prefix buckets L^z = {x : gt(x) = z}
+// with t = ⌈log(n/√w)⌉ (Algorithm 4's choice, which depends only on n, so a
+// single resolution suffices — §3.2.1's closing remark). Each group carries
+// its word image h(L^z) and packed first(y, L^z) table; next(x) chains are
+// global. Theorem 3.8: O(n) space, O(n log n) preprocessing.
+type RanGroupList struct {
+	fam   *Family
+	data  setData // keys = g(x), elements ordered by g(x)
+	t     uint
+	layer *layer
+}
+
+// TForSize is the paper's t_i = ⌈log(n_i/√w)⌉ (never negative).
+func TForSize(n int) uint {
+	if n <= bitword.SqrtW {
+		return 0
+	}
+	return xhash.CeilLog2((n + bitword.SqrtW - 1) / bitword.SqrtW)
+}
+
+// NewRanGroupList preprocesses a sorted set.
+func NewRanGroupList(fam *Family, set []uint32) (*RanGroupList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("core: RanGroup preprocessing: %w", err)
+	}
+	l := &RanGroupList{fam: fam, t: TForSize(len(set))}
+	l.data = buildPermData(fam, set)
+	l.layer = newBoundedLayer(&l.data, prefixBounds(l.data.keys, l.t))
+	return l, nil
+}
+
+// buildPermData computes g(x) for every element, sorts by g (radix sort, so
+// preprocessing stays O(n) beyond the caller's initial sort), and fills
+// hash values and next chains.
+func buildPermData(fam *Family, set []uint32) setData {
+	n := len(set)
+	var d setData
+	d.elems = make([]uint32, n)
+	d.keys = make([]uint32, n)
+	copy(d.elems, set)
+	for i, x := range d.elems {
+		d.keys[i] = fam.Perm.Apply(x)
+	}
+	RadixSortPairs(d.keys, d.elems)
+	d.hvals = make([]uint8, n)
+	for i, x := range d.elems {
+		d.hvals[i] = fam.H.Hash(x)
+	}
+	d.buildNext()
+	return d
+}
+
+// RadixSortPairs sorts keys ascending, permuting vals alongside, with a
+// 4-pass LSD byte radix sort.
+func RadixSortPairs(keys, vals []uint32) {
+	n := len(keys)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	var count [256]int
+	for pass := uint(0); pass < 4; pass++ {
+		shift := pass * 8
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range keys {
+			count[(k>>shift)&0xff]++
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			b := (keys[i] >> shift) & 0xff
+			tmpK[count[b]] = keys[i]
+			tmpV[count[b]] = vals[i]
+			count[b]++
+		}
+		keys, tmpK = tmpK, keys
+		vals, tmpV = tmpV, vals
+	}
+	// After an even number of passes the data is back in the caller's
+	// slices; 4 passes is even, so nothing to copy.
+}
+
+// prefixBounds returns the dense group boundary array over 2^t buckets:
+// bounds[z] is the index of the first element whose t-bit prefix is ≥ z.
+func prefixBounds(keys []uint32, t uint) []int32 {
+	groups := int32(1) << t
+	bounds := make([]int32, groups+1)
+	z := int32(0)
+	for i, k := range keys {
+		kz := int32(xhash.PrefixOf(k, t))
+		for z <= kz {
+			bounds[z] = int32(i)
+			z++
+		}
+	}
+	for ; z <= groups; z++ {
+		bounds[z] = int32(len(keys))
+	}
+	return bounds
+}
+
+// Len returns the number of elements.
+func (l *RanGroupList) Len() int { return len(l.data.elems) }
+
+// Family returns the list's hash family.
+func (l *RanGroupList) Family() *Family { return l.fam }
+
+// T returns the partition resolution t.
+func (l *RanGroupList) T() uint { return l.t }
+
+// SizeWords returns the structure's footprint in 64-bit machine words.
+func (l *RanGroupList) SizeWords() int {
+	n := len(l.data.elems)
+	// elems + keys (uint32), hvals (uint8), next (int32), plus the layer.
+	return n/2 + n/2 + n/8 + n/2 + l.layer.sizeWords64()
+}
+
+// IntersectRanGroup computes the intersection of k ≥ 1 lists with
+// Algorithm 4: iterate the groups z_k of the largest set; for each, the
+// group identifiers of the other sets are the t_i-prefixes of z_k; the
+// word images are ANDed with memoized prefixes (§A.3), empty prefixes skip
+// whole subtrees of z_k values, and surviving combinations run the
+// k-group IntersectSmall. The result is in permutation order, not sorted.
+func IntersectRanGroup(lists ...*RanGroupList) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0].data.elems...)
+	}
+	// Order by size ascending; t is monotone in n so t_k is the maximum.
+	ordered := make([]*RanGroupList, len(lists))
+	copy(ordered, lists)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	k := len(ordered)
+	for _, l := range ordered {
+		if !SameFamily(l.fam, ordered[0].fam) {
+			panic("core: intersecting lists from different families")
+		}
+		if l.Len() == 0 {
+			return nil
+		}
+	}
+	datas := make([]*setData, k)
+	layers := make([]*layer, k)
+	ts := make([]uint, k)
+	for i, l := range ordered {
+		datas[i] = &l.data
+		layers[i] = l.layer
+		ts[i] = l.t
+	}
+	tk := ts[k-1]
+	partial := make([]bitword.Word, k)
+	prevZ := make([]int32, k)
+	zs := make([]int32, k)
+	for i := range prevZ {
+		prevZ[i] = -1
+	}
+	var dst []uint32
+	zkMax := int32(1) << tk
+zkLoop:
+	for zk := int32(0); zk < zkMax; zk++ {
+		// Find the first level whose group identifier changed.
+		rebuild := -1
+		for i := 0; i < k; i++ {
+			zi := zk >> (tk - ts[i])
+			if zi != prevZ[i] {
+				rebuild = i
+				break
+			}
+		}
+		if rebuild < 0 {
+			// Only possible if all t_i == t_k and zk repeated — cannot
+			// happen; defensive skip.
+			continue
+		}
+		for i := rebuild; i < k; i++ {
+			zi := zk >> (tk - ts[i])
+			prevZ[i] = zi
+			zs[i] = zi
+			w := layers[i].word(zi)
+			if i > 0 {
+				w = w.And(partial[i-1])
+			}
+			partial[i] = w
+			if w.Empty() {
+				// Every zk sharing this t_i-prefix yields an empty AND:
+				// jump to the next prefix (the loop's zk++ lands there).
+				zk = (zi+1)<<(tk-ts[i]) - 1
+				// Invalidate deeper levels so they rebuild after the jump.
+				for j := i + 1; j < k; j++ {
+					prevZ[j] = -1
+				}
+				continue zkLoop
+			}
+		}
+		dst = intersectSmallK(dst, datas, layers, zs, partial[k-1])
+	}
+	return dst
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/sets"
+)
+
+// RanGroupScanList is the preprocessed form of a set for the "simple"
+// randomized-partition algorithm of §3.3 (the paper's RanGroupScan, the
+// overall winner of its evaluation). Each set keeps a single partition into
+// 2^t prefix buckets with t = ⌈log(n/√w)⌉; each group stores m word images
+// h1(L^z)..hm(L^z) and its elements — no inverted mappings (Figure 3's
+// block structure). Intersection ANDs the word images; only groups that
+// survive all m filters are merged linearly (Algorithm 5).
+//
+// Layout note: the paper packs each group into one contiguous block
+// (z, len, m words, elements). We keep the same information in parallel
+// arrays — group offsets, per-image word planes, and a single element
+// array — which preserves the size accounting of Theorem 3.10, keeps
+// element runs contiguous for the merge, and lets the first-image filter
+// (which inspects every group pair) stream one word per group instead of
+// m.
+type RanGroupScanList struct {
+	fam    *Family
+	m      int
+	t      uint
+	bounds []int32        // per group z: element offset; len 2^t+1
+	words  []bitword.Word // plane-major: words[j<<t + z] is image j of group z
+	elems  []uint32       // grouped by z, value-sorted within each group
+}
+
+// NewRanGroupScanList preprocesses a sorted set with m hash images
+// (1 ≤ m ≤ fam.M()).
+func NewRanGroupScanList(fam *Family, set []uint32, m int) (*RanGroupScanList, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, fmt.Errorf("core: RanGroupScan preprocessing: %w", err)
+	}
+	if m < 1 || m > fam.M() {
+		return nil, fmt.Errorf("core: m = %d out of range [1, %d]", m, fam.M())
+	}
+	l := &RanGroupScanList{fam: fam, m: m, t: TForSize(len(set))}
+	n := len(set)
+	keys := make([]uint32, n)
+	l.elems = make([]uint32, n)
+	copy(l.elems, set)
+	for i, x := range l.elems {
+		keys[i] = fam.Perm.Apply(x)
+	}
+	RadixSortPairs(keys, l.elems)
+	l.bounds = prefixBounds(keys, l.t)
+	groups := int32(1) << l.t
+	l.words = make([]bitword.Word, int(groups)*m)
+	for z := int32(0); z < groups; z++ {
+		lo, hi := l.bounds[z], l.bounds[z+1]
+		// Value-sort within the group so the k-way fallback merge compares
+		// document IDs directly (insertion sort: groups hold ~√w elements).
+		grp := l.elems[lo:hi]
+		for i := 1; i < len(grp); i++ {
+			for j := i; j > 0 && grp[j] < grp[j-1]; j-- {
+				grp[j], grp[j-1] = grp[j-1], grp[j]
+			}
+		}
+		for j := 0; j < m; j++ {
+			var w bitword.Word
+			for _, x := range grp {
+				w = w.Add(uint(fam.Images[j].Hash(x)))
+			}
+			l.words[int32(j)<<l.t+z] = w
+		}
+	}
+	return l, nil
+}
+
+// word returns image j of group z.
+func (l *RanGroupScanList) word(j, z int32) bitword.Word {
+	return l.words[j<<l.t+z]
+}
+
+// Len returns the number of elements.
+func (l *RanGroupScanList) Len() int { return len(l.elems) }
+
+// Family returns the list's hash family.
+func (l *RanGroupScanList) Family() *Family { return l.fam }
+
+// M returns the number of hash images stored per group.
+func (l *RanGroupScanList) M() int { return l.m }
+
+// T returns the partition resolution t.
+func (l *RanGroupScanList) T() uint { return l.t }
+
+// SizeWords returns the structure's footprint in 64-bit machine words:
+// Theorem 3.10's n(1 + (m+1)/√w) words, with elements counted at 32 bits.
+func (l *RanGroupScanList) SizeWords() int {
+	return len(l.elems)/2 + len(l.words) + (len(l.bounds)+1)/2
+}
+
+// group returns the value-sorted elements of group z.
+func (l *RanGroupScanList) group(z int32) []uint32 {
+	return l.elems[l.bounds[z]:l.bounds[z+1]]
+}
+
+// IntersectRanGroupScan computes the intersection of k ≥ 1 lists with
+// Algorithm 5. The result is ordered by (group prefix, document ID) — not
+// globally sorted.
+func IntersectRanGroupScan(lists ...*RanGroupScanList) []uint32 {
+	out, _ := intersectRGS(nil, lists, false, 0, -1)
+	return out
+}
+
+// IntersectRanGroupScanRange restricts Algorithm 5 to the groups z_k of the
+// largest list in [zkLo, zkHi). It underpins the multi-core extension
+// (IntersectRanGroupScanParallel): disjoint ranges partition the work with
+// no shared state.
+func IntersectRanGroupScanRange(lists []*RanGroupScanList, zkLo, zkHi int32) []uint32 {
+	out, _ := intersectRGS(nil, lists, false, zkLo, zkHi)
+	return out
+}
+
+// FilterStats instruments Algorithm 5's line-3 test for Figure 9 (§A.5.2):
+// of the group combinations whose true intersection is empty, how many were
+// filtered by some hash image ANDing to zero?
+type FilterStats struct {
+	EmptyCombos    int // combinations with ∩ L^z = ∅ (and every group non-empty)
+	Filtered       int // of those, skipped by the m-image test
+	NonEmptyCombos int // combinations with ∩ L^z ≠ ∅
+}
+
+// SuccessProbability is the measured Pr[successful filtering].
+func (s FilterStats) SuccessProbability() float64 {
+	if s.EmptyCombos == 0 {
+		return 1
+	}
+	return float64(s.Filtered) / float64(s.EmptyCombos)
+}
+
+// IntersectRanGroupScanStats runs the intersection while measuring filter
+// effectiveness. Group combinations that the filter skips are still merged
+// (outside the algorithm's accounting) to learn the ground truth, so this
+// is for analysis, not benchmarking.
+func IntersectRanGroupScanStats(lists ...*RanGroupScanList) ([]uint32, FilterStats) {
+	return intersectRGS(nil, lists, true, 0, -1)
+}
+
+// intersectRGS is Algorithm 5 with memoized prefix ANDs per hash image.
+// zkHi < 0 means the full group range; a restricted range always takes the
+// general path.
+func intersectRGS(dst []uint32, lists []*RanGroupScanList, withStats bool, zkLo, zkHi int32) ([]uint32, FilterStats) {
+	var stats FilterStats
+	fullRange := zkHi < 0
+	switch len(lists) {
+	case 0:
+		return dst, stats
+	case 1:
+		if fullRange {
+			return append(dst, lists[0].elems...), stats
+		}
+		lo, hi := lists[0].bounds[zkLo], lists[0].bounds[zkHi]
+		return append(dst, lists[0].elems[lo:hi]...), stats
+	case 2:
+		if !withStats && fullRange {
+			a, b := lists[0], lists[1]
+			if a.Len() > b.Len() {
+				a, b = b, a
+			}
+			if !SameFamily(a.fam, b.fam) {
+				panic("core: intersecting lists from different families")
+			}
+			return intersectRGS2(dst, a, b), stats
+		}
+	}
+	ordered := make([]*RanGroupScanList, len(lists))
+	copy(ordered, lists)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	k := len(ordered)
+	m := ordered[0].m
+	for _, l := range ordered {
+		if !SameFamily(l.fam, ordered[0].fam) {
+			panic("core: intersecting lists from different families")
+		}
+		if l.m < m {
+			m = l.m // use the images available everywhere
+		}
+		if l.Len() == 0 {
+			return dst, stats
+		}
+	}
+	ts := make([]uint, k)
+	for i, l := range ordered {
+		ts[i] = l.t
+	}
+	tk := ts[k-1]
+	// partial[i*m+j] = AND over sets 0..i of image j for the current prefix.
+	partial := make([]bitword.Word, k*m)
+	prevZ := make([]int32, k)
+	zs := make([]int32, k)
+	for i := range prevZ {
+		prevZ[i] = -1
+	}
+	groups := make([][]uint32, k)
+	bufA := make([]uint32, 0, 4*bitword.SqrtW)
+	bufB := make([]uint32, 0, 4*bitword.SqrtW)
+	zkMax := int32(1) << tk
+	if !fullRange && zkHi < zkMax {
+		zkMax = zkHi
+	}
+zkLoop:
+	for zk := zkLo; zk < zkMax; zk++ {
+		rebuild := -1
+		for i := 0; i < k; i++ {
+			if zk>>(tk-ts[i]) != prevZ[i] {
+				rebuild = i
+				break
+			}
+		}
+		if rebuild < 0 {
+			continue
+		}
+		filteredAt := -1
+		for i := rebuild; i < k; i++ {
+			zi := zk >> (tk - ts[i])
+			prevZ[i] = zi
+			zs[i] = zi
+			l := ordered[i]
+			if l.bounds[zi] == l.bounds[zi+1] {
+				// Empty group: nothing below this prefix can intersect.
+				zk = (zi+1)<<(tk-ts[i]) - 1
+				for j := i + 1; j < k; j++ {
+					prevZ[j] = -1
+				}
+				continue zkLoop
+			}
+			// Line 3 of Algorithm 5: the combination survives only if the
+			// AND is non-empty under EVERY hash image h1..hm.
+			alive := true
+			for j := 0; j < m; j++ {
+				w := l.word(int32(j), zi)
+				if i > 0 {
+					w = w.And(partial[(i-1)*m+j])
+				}
+				partial[i*m+j] = w
+				if w.Empty() {
+					alive = false
+				}
+			}
+			if !alive {
+				if !withStats {
+					// All m images died: skip the whole prefix subtree.
+					zk = (zi+1)<<(tk-ts[i]) - 1
+					for j := i + 1; j < k; j++ {
+						prevZ[j] = -1
+					}
+					continue zkLoop
+				}
+				if filteredAt < 0 {
+					filteredAt = i
+				}
+			}
+		}
+		if !withStats {
+			dst = mergeGroups(dst, ordered, zs, groups, &bufA, &bufB)
+			continue
+		}
+		// Stats mode: learn the truth for this combination.
+		before := len(dst)
+		dst = mergeGroups(dst, ordered, zs, groups, &bufA, &bufB)
+		produced := len(dst) - before
+		if produced > 0 {
+			stats.NonEmptyCombos++
+		} else {
+			stats.EmptyCombos++
+			if filteredAt >= 0 {
+				stats.Filtered++
+			}
+		}
+		if filteredAt >= 0 {
+			// The real algorithm would have skipped; drop the merged output.
+			dst = dst[:before]
+			zi := zs[filteredAt]
+			zk = (zi+1)<<(tk-ts[filteredAt]) - 1
+			for j := filteredAt + 1; j < k; j++ {
+				prevZ[j] = -1
+			}
+		}
+	}
+	return dst, stats
+}
+
+// intersectRGS2 is the two-list fast path, structured like Algorithm 3:
+// iterate the groups z1 of the smaller set; the matching groups of the
+// larger set are exactly those z2 having z1 as their t1-prefix, a
+// contiguous range of 2^(t2-t1) identifiers.
+func intersectRGS2(dst []uint32, a, b *RanGroupScanList) []uint32 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return dst
+	}
+	m := a.m
+	if b.m < m {
+		m = b.m
+	}
+	d := b.t - a.t
+	g1 := int32(1) << a.t
+	bPlane0 := b.words[:int32(1)<<b.t] // first-image plane, scanned densely
+	bBounds := b.bounds
+	for z1 := int32(0); z1 < g1; z1++ {
+		lo1, hi1 := a.bounds[z1], a.bounds[z1+1]
+		if lo1 == hi1 {
+			continue
+		}
+		grpA := a.elems[lo1:hi1]
+		wA0 := a.word(0, z1)
+		z2 := z1 << d
+		z2end := (z1 + 1) << d
+		lo2 := bBounds[z2]
+		for ; z2 < z2end; z2++ {
+			hi2 := bBounds[z2+1]
+			// First-image test inline: most empty pairs die here.
+			if lo2 == hi2 || wA0.And(bPlane0[z2]).Empty() {
+				lo2 = hi2
+				continue
+			}
+			alive := true
+			for j := int32(1); j < int32(m); j++ {
+				if a.word(j, z1).And(b.word(j, z2)).Empty() {
+					alive = false
+					break
+				}
+			}
+			if alive {
+				dst = mergeInto(dst, grpA, b.elems[lo2:hi2])
+			}
+			lo2 = hi2
+		}
+	}
+	return dst
+}
+
+// mergeGroups linear-merges the k groups (line 4 of Algorithm 5). Groups
+// are value-sorted, so a pairwise cascade through two scratch buffers
+// suffices; group sizes concentrate around √w (Proposition A.2).
+func mergeGroups(dst []uint32, ordered []*RanGroupScanList, zs []int32, groups [][]uint32, bufA, bufB *[]uint32) []uint32 {
+	k := len(ordered)
+	for i := 0; i < k; i++ {
+		groups[i] = ordered[i].group(zs[i])
+	}
+	if k == 2 {
+		return mergeInto(dst, groups[0], groups[1])
+	}
+	cur := (*bufA)[:0]
+	other := (*bufB)[:0]
+	cur = mergeInto(cur, groups[0], groups[1])
+	for i := 2; i < k && len(cur) > 0; i++ {
+		other = mergeInto(other[:0], cur, groups[i])
+		cur, other = other, cur
+	}
+	dst = append(dst, cur...)
+	*bufA, *bufB = cur[:0], other[:0]
+	return dst
+}
+
+// mergeInto appends the sorted-merge intersection of a and b to dst.
+func mergeInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		if va == vb {
+			dst = append(dst, va)
+			i++
+			j++
+			continue
+		}
+		if va < vb {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
+}

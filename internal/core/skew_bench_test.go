@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func BenchmarkSkewQuery(b *testing.B) {
+	rng := xhash.NewRNG(0x5EED)
+	fam := NewFamily(testSeed, 4)
+	// Representative simulated-real 2-keyword query: sr≈5, r = 0.14·|L1|.
+	aSet, bSet := workload.PairWithIntersection(1_000_000, 30_000, 150_000, 4_200, rng)
+	ra, _ := NewRanGroupScanList(fam, aSet, 4)
+	rb, _ := NewRanGroupScanList(fam, bSet, 4)
+	ra1, _ := NewRanGroupScanList(fam, aSet, 1)
+	rb1, _ := NewRanGroupScanList(fam, bSet, 1)
+	b.Run("RGS_m4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectRanGroupScan(ra, rb)
+		}
+	})
+	b.Run("RGS_m1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectRanGroupScan(ra1, rb1)
+		}
+	})
+	b.Run("Merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			merge2(aSet, bSet)
+		}
+	})
+}
+
+func merge2(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		if va == vb {
+			n++
+			i++
+			j++
+			continue
+		}
+		if va < vb {
+			i++
+		}
+		if vb < va {
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+
+	"fastintersect"
+	"fastintersect/internal/core"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-width",
+		Title: "IntGroup group-width sweep (the √w choice of §A.1.1)",
+		Paper: "Appendix A.1.1 (design-choice ablation)",
+		Run:   runAblationWidth,
+	})
+	register(Experiment{
+		ID:    "ablation-m",
+		Title: "RanGroupScan hash-image count sweep",
+		Paper: "§3.3 / Theorem 3.9 (m trade-off)",
+		Run:   runAblationM,
+	})
+	register(Experiment{
+		ID:    "ablation-parallel",
+		Title: "RanGroupScan multi-core scaling",
+		Paper: "§2 multi-core note (extension)",
+		Run:   runAblationParallel,
+	})
+}
+
+func runAblationWidth(cfg Config) []*Table {
+	n := 1_000_000
+	if cfg.Full() {
+		n = 4_000_000
+	}
+	t := &Table{
+		ID:      "ablation-width",
+		Title:   fmt.Sprintf("IntGroup time (ms) by group width, 2 sets of %d, r = 1%%", n),
+		Columns: []string{"width", "time ms"},
+		Notes: []string{
+			"the paper's analysis: E[collisions] stays O(1) while s1·s2 ≤ w, so √w = 8 balances scan length against collision work; expect a minimum near 8",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 20)
+	aSet, bSet := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
+	a, _ := core.NewIntGroupList(fam, aSet, true)
+	b, _ := core.NewIntGroupList(fam, bSet, true)
+	for _, width := range []int32{2, 4, 8, 16, 32, 64} {
+		core.IntersectIntGroupWidth(a, b, width) // warm
+		d := timeIt(cfg.Reps, func() { core.IntersectIntGroupWidth(a, b, width) })
+		t.AddRow(fmt.Sprintf("%d", width), ms(d))
+	}
+	return []*Table{t}
+}
+
+func runAblationM(cfg Config) []*Table {
+	n := 1_000_000
+	if cfg.Full() {
+		n = 4_000_000
+	}
+	t := &Table{
+		ID:      "ablation-m",
+		Title:   fmt.Sprintf("RanGroupScan time and space by m, 2 sets of %d, r = 1%%", n),
+		Columns: []string{"m", "time ms", "structure words (one set)"},
+		Notes: []string{
+			"more images filter more empty pairs but cost m words per group; the paper settles on m = 4 (two-set) and m = 2 (multi-set)",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 21)
+	aSet, bSet := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
+	for _, m := range []int{1, 2, 4, 6, 8} {
+		a, _ := core.NewRanGroupScanList(fam, aSet, m)
+		b, _ := core.NewRanGroupScanList(fam, bSet, m)
+		core.IntersectRanGroupScan(a, b) // warm
+		d := timeIt(cfg.Reps, func() { core.IntersectRanGroupScan(a, b) })
+		t.AddRow(fmt.Sprintf("%d", m), ms(d), fmt.Sprintf("%d", a.SizeWords()))
+	}
+	return []*Table{t}
+}
+
+func runAblationParallel(cfg Config) []*Table {
+	n := 1_000_000
+	if cfg.Full() {
+		n = 4_000_000
+	}
+	t := &Table{
+		ID:      "ablation-parallel",
+		Title:   fmt.Sprintf("RanGroupScan parallel speedup, 4 sets of %d uniform IDs", n),
+		Columns: []string{"workers", "time ms", "speedup"},
+		Notes: []string{
+			"the paper calls multi-core parallelization orthogonal; groups partition the work, so scaling tracks core count until memory bandwidth saturates",
+		},
+	}
+	rng := xhash.NewRNG(cfg.Seed + 22)
+	raw := workload.RandomSets(workload.DefaultUniverse, []int{n, n, n, n}, rng)
+	lists := prepLists(cfg, 2, raw...)
+	var base float64
+	for _, workers := range []int{1, 2, 4} {
+		if _, err := fastintersect.IntersectParallel(workers, lists...); err != nil {
+			panic(err)
+		}
+		d := timeIt(cfg.Reps, func() { _, _ = fastintersect.IntersectParallel(workers, lists...) })
+		if workers == 1 {
+			base = float64(d)
+		}
+		t.AddRow(fmt.Sprintf("%d", workers), ms(d), fmt.Sprintf("%.2fx", base/float64(d)))
+	}
+	return []*Table{t}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-thm35",
+		Title: "Theorem 3.5: two-set optimal resolution vs per-set resolution",
+		Paper: "§3.2 Theorem 3.5 vs Theorem 3.6 (multi-resolution structure)",
+		Run:   runAblationThm35,
+	})
+}
+
+func runAblationThm35(cfg Config) []*Table {
+	n2 := 1_000_000
+	if cfg.Full() {
+		n2 = 4_000_000
+	}
+	t := &Table{
+		ID:      "ablation-thm35",
+		Title:   fmt.Sprintf("RanGroup time (ms), |L2| = %d, skewed |L1|", n2),
+		Columns: []string{"sr", "|L1|", "per-set t (Thm 3.6)", "optimal t (Thm 3.5)"},
+		Notes: []string{
+			"Theorem 3.5's matched resolution t1 = t2 = ⌈log √(n1·n2/w)⌉ beats the per-set choice when sizes are skewed: O(√(n1n2)/√w) group pairs instead of O((n1+n2)/√w)",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 35)
+	for _, sr := range []int{1, 16, 64, 256} {
+		n1 := n2 / sr
+		aSet, bSet := workload.PairWithIntersection(workload.DefaultUniverse, n1, n2, n1/100, rng)
+		ra, _ := core.NewRanGroupList(fam, aSet)
+		rb, _ := core.NewRanGroupList(fam, bSet)
+		ma, _ := core.NewRanGroupMulti(fam, aSet)
+		mb, _ := core.NewRanGroupMulti(fam, bSet)
+		core.IntersectRanGroup(ra, rb) // warm
+		core.IntersectRanGroupPairOptimal(ma, mb)
+		dPer := timeIt(cfg.Reps, func() { core.IntersectRanGroup(ra, rb) })
+		dOpt := timeIt(cfg.Reps, func() { core.IntersectRanGroupPairOptimal(ma, mb) })
+		t.AddRow(fmt.Sprintf("%d", sr), fmt.Sprintf("%d", n1), ms(dPer), ms(dOpt))
+	}
+	return []*Table{t}
+}

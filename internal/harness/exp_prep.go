@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+
+	"fastintersect/internal/compress"
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Probability of successful filtering vs number of hash images m",
+		Paper: "Figure 9 (Appendix A.5.2)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Preprocessing (construction) time vs set size",
+		Paper: "Figure 10 (Appendix C.1)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Preprocessing time with compression vs set size",
+		Paper: "Figure 11 (Appendix C.1)",
+		Run:   runFig11,
+	})
+}
+
+func runFig9(cfg Config) []*Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Measured Pr[empty group combination is filtered]",
+		Columns: []string{"m", "synthetic", "real 2-keyword"},
+		Notes: []string{
+			"paper shape: ≈0.6-0.7 at m=1 rising towards 1 at m=8; real data slightly better than synthetic; all far above Lemma A.1's 0.3436 bound",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 9)
+	n := 100_000
+	if cfg.Full() {
+		n = 1_000_000
+	}
+	aSet, bSet := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
+	e := getRealEnv(cfg)
+	// Sample of real 2-keyword query posting pairs.
+	type pair struct{ a, b []uint32 }
+	var realPairs []pair
+	for _, q := range e.real.Queries {
+		if len(q.Terms) == 2 {
+			realPairs = append(realPairs, pair{e.real.Postings[q.Terms[0]], e.real.Postings[q.Terms[1]]})
+		}
+		if len(realPairs) >= 50 {
+			break
+		}
+	}
+	for _, m := range []int{1, 2, 4, 6, 8} {
+		sa, _ := core.NewRanGroupScanList(fam, aSet, m)
+		sb, _ := core.NewRanGroupScanList(fam, bSet, m)
+		_, synth := core.IntersectRanGroupScanStats(sa, sb)
+		var agg core.FilterStats
+		for _, p := range realPairs {
+			ra, _ := core.NewRanGroupScanList(fam, p.a, m)
+			rb, _ := core.NewRanGroupScanList(fam, p.b, m)
+			_, st := core.IntersectRanGroupScanStats(ra, rb)
+			agg.EmptyCombos += st.EmptyCombos
+			agg.Filtered += st.Filtered
+			agg.NonEmptyCombos += st.NonEmptyCombos
+		}
+		t.AddRow(fmt.Sprintf("%d", m),
+			fmt.Sprintf("%.4f", synth.SuccessProbability()),
+			fmt.Sprintf("%.4f", agg.SuccessProbability()))
+	}
+	return []*Table{t}
+}
+
+func fig10Sizes(cfg Config) []int {
+	if cfg.Full() {
+		return []int{1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000}
+	}
+	return []int{250_000, 500_000, 1_000_000, 2_000_000}
+}
+
+func runFig10(cfg Config) []*Table {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Construction time (ms) from a sorted input set",
+		Columns: []string{"size", "Sorting", "HashBin", "IntGroup", "RanGroup", "RanGroupScan m=4"},
+		Notes: []string{
+			"paper shape: construction is a small multiple of the sorting baseline for every structure",
+			"Sorting = std sort of a shuffled copy (the pre-processing floor the paper plots for perspective)",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 10)
+	for _, n := range fig10Sizes(cfg) {
+		set := workload.RandomSets(workload.DefaultUniverse, []int{n}, rng)[0]
+		shuffled := make([]uint32, n)
+		row := []string{fmt.Sprintf("%d", n)}
+		row = append(row, ms(timeIt(cfg.Reps, func() {
+			copy(shuffled, set)
+			// Shuffle deterministically, then sort: the sorting baseline.
+			r := xhash.NewRNG(1)
+			for i := n - 1; i > 0; i-- {
+				j := r.Intn(i + 1)
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			}
+			sets.SortU32(shuffled)
+		})))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = core.NewHashBinList(fam, set) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = core.NewIntGroupList(fam, set, false) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = core.NewRanGroupList(fam, set) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = core.NewRanGroupScanList(fam, set, 4) })))
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+func fig11Sizes(cfg Config) []int {
+	if cfg.Full() {
+		return []int{65_536, 262_144, 1_048_576, 4_194_304, 8_388_608}
+	}
+	return []int{65_536, 262_144, 1_048_576, 2_097_152}
+}
+
+func runFig11(cfg Config) []*Table {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Construction time (ms) for compressed structures",
+		Columns: []string{"size", "Sorting", "RGS_Lowbits", "RGS_Gamma", "RGS_Delta", "Merge_Gamma", "Merge_Delta"},
+		Notes: []string{
+			"paper shape: all a small fraction above sorting; Lowbits cheapest of the RanGroupScan codecs",
+		},
+	}
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	rng := xhash.NewRNG(cfg.Seed + 11)
+	for _, n := range fig11Sizes(cfg) {
+		set := workload.RandomSets(workload.DefaultUniverse, []int{n}, rng)[0]
+		shuffled := make([]uint32, n)
+		row := []string{fmt.Sprintf("%d", n)}
+		row = append(row, ms(timeIt(cfg.Reps, func() {
+			copy(shuffled, set)
+			r := xhash.NewRNG(1)
+			for i := n - 1; i > 0; i-- {
+				j := r.Intn(i + 1)
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			}
+			sets.SortU32(shuffled)
+		})))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = compress.NewRGSList(fam, set, 1, compress.RGSLowbits) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = compress.NewRGSList(fam, set, 1, compress.RGSGamma) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = compress.NewRGSList(fam, set, 1, compress.RGSDelta) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = compress.NewMergeList(set, compress.Gamma) })))
+		row = append(row, ms(timeIt(cfg.Reps, func() { _, _ = compress.NewMergeList(set, compress.Delta) })))
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}

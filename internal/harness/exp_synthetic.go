@@ -1,0 +1,256 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"fastintersect"
+	"fastintersect/internal/core"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// prepLists preprocesses raw sets through the public API.
+func prepLists(cfg Config, m int, raw ...[]uint32) []*fastintersect.List {
+	out := make([]*fastintersect.List, len(raw))
+	for i, s := range raw {
+		l, err := fastintersect.Preprocess(s, fastintersect.WithSeed(cfg.Seed), fastintersect.WithHashImages(m))
+		if err != nil {
+			panic(err) // generator bug; cannot happen on generated sets
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// timeAlgo warms the algorithm's structures (one untimed run builds every
+// lazy structure) and returns the minimum intersection time over cfg.Reps
+// runs, matching the paper's methodology of timing the online phase only.
+func timeAlgo(cfg Config, algo fastintersect.Algorithm, lists []*fastintersect.List) time.Duration {
+	if _, err := fastintersect.IntersectWith(algo, lists...); err != nil {
+		panic(fmt.Sprintf("%v: %v", algo, err))
+	}
+	return timeIt(cfg.Reps, func() {
+		_, _ = fastintersect.IntersectWith(algo, lists...)
+	})
+}
+
+// fig4Algorithms are the techniques plotted in Figure 4 (BPP included; the
+// paper drops it from later graphs for being off-scale).
+var fig4Algorithms = []fastintersect.Algorithm{
+	fastintersect.Merge, fastintersect.SkipList, fastintersect.Hash,
+	fastintersect.IntGroup, fastintersect.BPP, fastintersect.Adaptive,
+	fastintersect.SvS, fastintersect.Lookup,
+	fastintersect.RanGroup, fastintersect.RanGroupScan,
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Varying the set size (2 sets, equal sizes, r = 1%)",
+		Paper: "Figure 4",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Varying the intersection size",
+		Paper: "Figure 5",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Varying the number of keywords (k = 2, 3, 4)",
+		Paper: "Figure 6",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "ratio",
+		Title: "Varying the set size ratio sr = |L2|/|L1|",
+		Paper: "§4 'Varying the Sets Size Ratios' (text)",
+		Run:   runRatio,
+	})
+	register(Experiment{
+		ID:    "sizes",
+		Title: "Size of the data structures",
+		Paper: "§4 'Size of the Data Structure'",
+		Run:   runSizes,
+	})
+}
+
+func fig4Sizes(cfg Config) []int {
+	if cfg.Full() {
+		return []int{1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000}
+	}
+	return []int{125_000, 250_000, 500_000, 1_000_000, 2_000_000}
+}
+
+func runFig4(cfg Config) []*Table {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Intersection time (ms), 2 sets of equal size, |L1∩L2| = 1%",
+		Columns: append([]string{"size"}, algoNames(fig4Algorithms)...),
+		Notes: []string{
+			"paper shape: RanGroupScan and IntGroup fastest (40-50% below Merge); Hash, SkipList, BPP worst; ordering stable across sizes",
+		},
+	}
+	rng := xhash.NewRNG(cfg.Seed)
+	for _, n := range fig4Sizes(cfg) {
+		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
+		lists := prepLists(cfg, 4, a, b)
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, algo := range fig4Algorithms {
+			row = append(row, ms(timeAlgo(cfg, algo, lists)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+var fig5Algorithms = []fastintersect.Algorithm{
+	fastintersect.Merge, fastintersect.SkipList, fastintersect.Hash,
+	fastintersect.Adaptive, fastintersect.SvS, fastintersect.Lookup,
+	fastintersect.IntGroup, fastintersect.RanGroup, fastintersect.RanGroupScan,
+}
+
+func runFig5(cfg Config) []*Table {
+	n := 1_000_000
+	if cfg.Full() {
+		n = 10_000_000
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   fmt.Sprintf("Intersection time (ms), 2 sets of %d elements, varying r", n),
+		Columns: append([]string{"r"}, algoNames(fig5Algorithms)...),
+		Notes: []string{
+			"paper shape: RanGroupScan/IntGroup best for r < 0.7n; Merge best beyond, with RanGroupScan a close 2nd up to r = n",
+		},
+	}
+	rng := xhash.NewRNG(cfg.Seed + 5)
+	rs := []int{500, n / 100, n / 10, 3 * n / 10, n / 2, 7 * n / 10, 9 * n / 10, n}
+	for _, r := range rs {
+		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n, n, r, rng)
+		lists := prepLists(cfg, 4, a, b)
+		row := []string{fmt.Sprintf("%d", r)}
+		for _, algo := range fig5Algorithms {
+			row = append(row, ms(timeAlgo(cfg, algo, lists)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+var fig6Algorithms = []fastintersect.Algorithm{
+	fastintersect.Merge, fastintersect.SkipList, fastintersect.Hash,
+	fastintersect.SvS, fastintersect.Adaptive, fastintersect.BaezaYates,
+	fastintersect.SmallAdaptive, fastintersect.Lookup,
+	fastintersect.RanGroup, fastintersect.RanGroupScan,
+}
+
+func runFig6(cfg Config) []*Table {
+	n := 1_000_000
+	if cfg.Full() {
+		n = 10_000_000
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("Intersection time (ms), k sets of %d uniform IDs, m = 2", n),
+		Columns: append([]string{"k"}, algoNames(fig6Algorithms)...),
+		Notes: []string{
+			"paper shape: RanGroupScan fastest, margin growing with k; RanGroup next; Merge strong among the rest",
+		},
+	}
+	rng := xhash.NewRNG(cfg.Seed + 6)
+	for _, k := range []int{2, 3, 4} {
+		ns := make([]int, k)
+		for i := range ns {
+			ns[i] = n
+		}
+		raw := workload.RandomSets(workload.DefaultUniverse, ns, rng)
+		lists := prepLists(cfg, 2, raw...)
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, algo := range fig6Algorithms {
+			row = append(row, ms(timeAlgo(cfg, algo, lists)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+var ratioAlgorithms = []fastintersect.Algorithm{
+	fastintersect.Merge, fastintersect.Hash, fastintersect.SvS,
+	fastintersect.Lookup, fastintersect.RanGroup,
+	fastintersect.RanGroupScan, fastintersect.HashBin,
+}
+
+func runRatio(cfg Config) []*Table {
+	n2 := 1_000_000
+	if cfg.Full() {
+		n2 = 10_000_000
+	}
+	t := &Table{
+		ID:      "ratio",
+		Title:   fmt.Sprintf("Intersection time (ms), |L2| = %d, varying sr = |L2|/|L1|, r = 1%%·|L1|", n2),
+		Columns: append([]string{"sr", "|L1|"}, algoNames(ratioAlgorithms)...),
+		Notes: []string{
+			"paper shape: RanGroupScan best for sr < 32; Hash/Lookup best for sr ≥ 100; HashBin and RanGroupScan close to the best everywhere",
+		},
+	}
+	rng := xhash.NewRNG(cfg.Seed + 7)
+	for _, sr := range []int{1, 4, 16, 32, 64, 128, 256, 625} {
+		n1 := n2 / sr
+		if n1 < 16 {
+			n1 = 16
+		}
+		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n1, n2, n1/100, rng)
+		lists := prepLists(cfg, 4, a, b)
+		row := []string{fmt.Sprintf("%d", sr), fmt.Sprintf("%d", n1)}
+		for _, algo := range ratioAlgorithms {
+			row = append(row, ms(timeAlgo(cfg, algo, lists)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+func runSizes(cfg Config) []*Table {
+	n := 1_000_000
+	rng := xhash.NewRNG(cfg.Seed + 8)
+	set := workload.RandomSets(workload.DefaultUniverse, []int{n}, rng)[0]
+	fam := core.NewFamily(cfg.Seed, core.MaxImageCount)
+	ig, _ := core.NewIntGroupList(fam, set, false)
+	rg, _ := core.NewRanGroupList(fam, set)
+	hb, _ := core.NewHashBinList(fam, set)
+	rgs1, _ := core.NewRanGroupScanList(fam, set, 1)
+	rgs2, _ := core.NewRanGroupScanList(fam, set, 2)
+	rgs4, _ := core.NewRanGroupScanList(fam, set, 4)
+	raw := n / 2 // 64-bit words of a raw uint32 posting list
+	t := &Table{
+		ID:      "sizes",
+		Title:   fmt.Sprintf("Structure sizes for one set of %d elements (64-bit words)", n),
+		Columns: []string{"structure", "words", "vs raw postings"},
+		Notes: []string{
+			"paper overheads vs an uncompressed posting list: RanGroupScan m=2 +37%, m=4 +63%, IntGroup +75%, RanGroup +87%",
+			"the paper counts one machine word per posting; this table counts actual bytes (uint32 postings), so ratios differ by ≈2x on element storage",
+		},
+	}
+	add := func(name string, words int) {
+		t.AddRow(name, fmt.Sprintf("%d", words), fmt.Sprintf("%.2fx", float64(words)/float64(raw)))
+	}
+	add("raw postings", raw)
+	add("RanGroupScan m=1", rgs1.SizeWords())
+	add("RanGroupScan m=2", rgs2.SizeWords())
+	add("RanGroupScan m=4", rgs4.SizeWords())
+	add("IntGroup", ig.SizeWords())
+	add("RanGroup", rg.SizeWords())
+	add("HashBin", hb.SizeWords())
+	return []*Table{t}
+}
+
+// algoNames renders algorithm column headers.
+func algoNames(algos []fastintersect.Algorithm) []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = a.String()
+	}
+	return out
+}

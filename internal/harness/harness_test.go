@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig runs experiments at the small scale with single repetitions;
+// the full experiment bodies are exercised by TestRegistrySmokes below on a
+// few fast entries, and end-to-end by cmd/fsibench.
+func tinyConfig() Config {
+	return Config{Scale: "small", Seed: 42, Reps: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure/table of the paper's evaluation must have an entry.
+	want := []string{
+		"fig4", "fig5", "fig6", "ratio", "sizes", "fig7", "fig8",
+		"real-compressed", "fig9", "fig10", "fig11", "fig12", "intro-stats",
+		"ablation-width", "ablation-m", "ablation-parallel",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Fatalf("registry has %d entries, want ≥ %d", len(IDs()), len(want))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: demo ==", "a    bee", "333  4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeIt(t *testing.T) {
+	calls := 0
+	d := timeIt(3, func() { calls++; time.Sleep(time.Millisecond) })
+	if calls != 3 {
+		t.Fatalf("f called %d times", calls)
+	}
+	if d < 500*time.Microsecond {
+		t.Fatalf("implausible minimum %v", d)
+	}
+	if timeIt(0, func() {}) < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.500" {
+		t.Fatalf("ms = %q", got)
+	}
+	if got := ratio(2*time.Second, time.Second); got != "2.00" {
+		t.Fatalf("ratio = %q", got)
+	}
+	if got := ratio(time.Second, 0); got != "inf" {
+		t.Fatalf("ratio/0 = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[int]string{3: "c", 1: "a", 2: "b"})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}
+
+// TestExperimentSmokes runs the cheapest experiments end to end so the
+// harness plumbing (workload generation, preprocessing, timing, table
+// building) is covered by `go test`.
+func TestExperimentSmokes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short friendly")
+	}
+	cfg := tinyConfig()
+	for _, id := range []string{"sizes", "ablation-width", "ablation-m"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: table %s has no rows", id, tb.ID)
+			}
+			var sb strings.Builder
+			tb.Print(&sb)
+			if !strings.Contains(sb.String(), tb.ID) {
+				t.Fatalf("%s: print missing ID", id)
+			}
+		}
+	}
+}

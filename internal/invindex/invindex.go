@@ -1,0 +1,148 @@
+// Package invindex is a small in-memory inverted index — the substrate the
+// paper's motivating applications (enterprise/web search, conjunctive
+// predicate evaluation) sit on. Documents are added as (docID, terms)
+// pairs; Build freezes the index, preprocessing every posting list with the
+// fastintersect public API so conjunctive queries run any of the paper's
+// algorithms.
+package invindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fastintersect"
+	"fastintersect/internal/sets"
+)
+
+// Index maps terms to preprocessed posting lists.
+type Index struct {
+	opts    []fastintersect.Option
+	pending map[string][]uint32
+	built   map[string]*fastintersect.List
+	docs    int
+}
+
+// New creates an empty index; opts are forwarded to
+// fastintersect.Preprocess for every posting list.
+func New(opts ...fastintersect.Option) *Index {
+	return &Index{opts: opts, pending: map[string][]uint32{}}
+}
+
+// Add records a document. Duplicate terms within a document are fine.
+// Add must not be called after Build.
+func (ix *Index) Add(docID uint32, terms []string) error {
+	if ix.built != nil {
+		return errors.New("invindex: Add after Build")
+	}
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		ix.pending[t] = append(ix.pending[t], docID)
+	}
+	ix.docs++
+	return nil
+}
+
+// AddPosting records a whole posting list for a term (builder-style input,
+// used when the caller already has term → docIDs data).
+func (ix *Index) AddPosting(term string, docIDs []uint32) error {
+	if ix.built != nil {
+		return errors.New("invindex: AddPosting after Build")
+	}
+	ix.pending[term] = append(ix.pending[term], docIDs...)
+	return nil
+}
+
+// Build freezes the index: posting lists are sorted, deduplicated and
+// preprocessed. After Build the index is read-only and safe for concurrent
+// queries.
+func (ix *Index) Build() error {
+	if ix.built != nil {
+		return errors.New("invindex: Build called twice")
+	}
+	ix.built = make(map[string]*fastintersect.List, len(ix.pending))
+	for term, ids := range ix.pending {
+		l, err := fastintersect.Preprocess(sets.SortDedup(ids), ix.opts...)
+		if err != nil {
+			return fmt.Errorf("invindex: term %q: %w", term, err)
+		}
+		ix.built[term] = l
+	}
+	ix.pending = nil
+	return nil
+}
+
+// Terms returns the indexed terms, sorted.
+func (ix *Index) Terms() []string {
+	var m map[string][]uint32
+	if ix.built == nil {
+		m = ix.pending
+	}
+	var out []string
+	if m != nil {
+		for t := range m {
+			out = append(out, t)
+		}
+	} else {
+		for t := range ix.built {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings returns the preprocessed posting list of a term, or nil if the
+// term is unknown or the index is not built.
+func (ix *Index) Postings(term string) *fastintersect.List {
+	if ix.built == nil {
+		return nil
+	}
+	return ix.built[term]
+}
+
+// DocFreq returns the document frequency of a term (0 if unknown).
+func (ix *Index) DocFreq(term string) int {
+	if l := ix.Postings(term); l != nil {
+		return l.Len()
+	}
+	return 0
+}
+
+// ErrUnknownTerm is returned by Query for terms with no postings.
+var ErrUnknownTerm = errors.New("invindex: unknown term")
+
+// Query returns the sorted documents containing every term, using the Auto
+// algorithm.
+func (ix *Index) Query(terms ...string) ([]uint32, error) {
+	return ix.QueryWith(fastintersect.Auto, terms...)
+}
+
+// QueryWith runs a conjunctive query with a specific algorithm. Results
+// are sorted ascending.
+func (ix *Index) QueryWith(algo fastintersect.Algorithm, terms ...string) ([]uint32, error) {
+	if ix.built == nil {
+		return nil, errors.New("invindex: Query before Build")
+	}
+	if len(terms) == 0 {
+		return nil, errors.New("invindex: empty query")
+	}
+	lists := make([]*fastintersect.List, len(terms))
+	for i, t := range terms {
+		l := ix.built[t]
+		if l == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTerm, t)
+		}
+		lists[i] = l
+	}
+	out, err := fastintersect.IntersectWith(algo, lists...)
+	if err != nil {
+		return nil, err
+	}
+	sets.SortU32(out)
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package invindex
+
+import (
+	"errors"
+	"testing"
+
+	"fastintersect"
+	"fastintersect/internal/sets"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	ix := New()
+	docs := []struct {
+		id    uint32
+		terms []string
+	}{
+		{1, []string{"fast", "set", "intersection"}},
+		{2, []string{"set", "theory"}},
+		{3, []string{"fast", "set", "union"}},
+		{4, []string{"fast", "cars"}},
+		{5, []string{"intersection", "set", "fast"}},
+	}
+	for _, d := range docs {
+		if err := ix.Add(d.id, d.terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexQuery(t *testing.T) {
+	ix := buildTestIndex(t)
+	got, err := ix.Query("fast", "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(got, []uint32{1, 3, 5}) {
+		t.Fatalf(`fast ∧ set = %v`, got)
+	}
+	got, err = ix.Query("fast", "set", "intersection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(got, []uint32{1, 5}) {
+		t.Fatalf(`three-term query = %v`, got)
+	}
+	got, err = ix.Query("set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(got, []uint32{1, 2, 3, 5}) {
+		t.Fatalf(`single-term query = %v`, got)
+	}
+}
+
+func TestIndexQueryWithEveryAlgorithm(t *testing.T) {
+	ix := buildTestIndex(t)
+	want, _ := ix.Query("fast", "set")
+	for _, algo := range fastintersect.Algorithms() {
+		got, err := ix.QueryWith(algo, "fast", "set")
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !sets.Equal(got, want) {
+			t.Fatalf("%v: got %v, want %v", algo, got, want)
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	ix := New()
+	if _, err := ix.Query("a"); err == nil {
+		t.Fatal("query before build accepted")
+	}
+	_ = ix.Add(1, []string{"a"})
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Build(); err == nil {
+		t.Fatal("double build accepted")
+	}
+	if err := ix.Add(2, []string{"b"}); err == nil {
+		t.Fatal("add after build accepted")
+	}
+	if _, err := ix.Query(); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := ix.Query("nope"); !errors.Is(err, ErrUnknownTerm) {
+		t.Fatalf("unknown term error = %v", err)
+	}
+}
+
+func TestIndexDuplicateTermsInDoc(t *testing.T) {
+	ix := New()
+	_ = ix.Add(7, []string{"x", "x", "", "y"})
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if df := ix.DocFreq("x"); df != 1 {
+		t.Fatalf("DocFreq(x) = %d", df)
+	}
+	if df := ix.DocFreq(""); df != 0 {
+		t.Fatal("empty term indexed")
+	}
+}
+
+func TestIndexAddPostingAndTerms(t *testing.T) {
+	ix := New()
+	_ = ix.AddPosting("alpha", []uint32{3, 1, 3})
+	_ = ix.AddPosting("beta", []uint32{1, 2})
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AddPosting("gamma", nil); err == nil {
+		t.Fatal("AddPosting after build accepted")
+	}
+	terms := ix.Terms()
+	if len(terms) != 2 || terms[0] != "alpha" || terms[1] != "beta" {
+		t.Fatalf("Terms = %v", terms)
+	}
+	if !sets.Equal(ix.Postings("alpha").Set(), []uint32{1, 3}) {
+		t.Fatal("posting not deduplicated/sorted")
+	}
+	got, err := ix.Query("alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(got, []uint32{1}) {
+		t.Fatalf("query = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package sets
+
+// Bitset is a plain fixed-size bitmap over [0, n). It backs the rejection
+// samplers in the workload generators and the candidate marking in the BPP
+// baseline, where map[uint32]bool overhead would dominate.
+type Bitset struct {
+	words []uint64
+	n     uint32
+}
+
+// NewBitset returns an empty bitset over the universe [0, n).
+func NewBitset(n uint32) *Bitset {
+	return &Bitset{words: make([]uint64, (uint64(n)+63)/64), n: n}
+}
+
+// Len returns the universe size n.
+func (b *Bitset) Len() uint32 { return b.n }
+
+// Set marks x. It panics if x ≥ n.
+func (b *Bitset) Set(x uint32) {
+	if x >= b.n {
+		panic("sets: Bitset.Set out of range")
+	}
+	b.words[x>>6] |= 1 << (x & 63)
+}
+
+// Unset clears x.
+func (b *Bitset) Unset(x uint32) {
+	if x >= b.n {
+		panic("sets: Bitset.Unset out of range")
+	}
+	b.words[x>>6] &^= 1 << (x & 63)
+}
+
+// Get reports whether x is marked.
+func (b *Bitset) Get(x uint32) bool {
+	if x >= b.n {
+		panic("sets: Bitset.Get out of range")
+	}
+	return b.words[x>>6]&(1<<(x&63)) != 0
+}
+
+// Reset clears all bits, retaining the allocation.
+func (b *Bitset) Reset() {
+	clear(b.words)
+}

@@ -1,0 +1,50 @@
+package sets
+
+import "testing"
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, x := range []uint32{0, 63, 64, 129} {
+		if b.Get(x) {
+			t.Fatalf("fresh bitset has %d set", x)
+		}
+		b.Set(x)
+		if !b.Get(x) {
+			t.Fatalf("Set(%d) not visible", x)
+		}
+	}
+	b.Unset(64)
+	if b.Get(64) {
+		t.Fatal("Unset(64) not visible")
+	}
+	if !b.Get(63) || !b.Get(129) {
+		t.Fatal("Unset cleared neighbours")
+	}
+	b.Reset()
+	for _, x := range []uint32{0, 63, 129} {
+		if b.Get(x) {
+			t.Fatalf("Reset left %d set", x)
+		}
+	}
+}
+
+func TestBitsetPanics(t *testing.T) {
+	b := NewBitset(10)
+	for name, f := range map[string]func(){
+		"Set":   func() { b.Set(10) },
+		"Get":   func() { b.Get(10) },
+		"Unset": func() { b.Unset(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,152 @@
+// Package sets holds the shared sorted-set plumbing: validation, sorting,
+// deduplication, and a deliberately simple reference intersection used as
+// the ground truth that every algorithm in this repository is tested
+// against.
+//
+// Throughout the repository a set is a strictly increasing []uint32 of
+// document IDs, matching the paper's posting-list model.
+package sets
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IsSorted reports whether s is strictly increasing (sorted and duplicate
+// free).
+func IsSorted(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error describing the first violation of the set
+// contract (strictly increasing order), or nil.
+func Validate(s []uint32) error {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return fmt.Errorf("sets: not sorted at index %d (%d > %d)", i, s[i-1], s[i])
+		}
+		if s[i-1] == s[i] {
+			return fmt.Errorf("sets: duplicate element %d at index %d", s[i], i)
+		}
+	}
+	return nil
+}
+
+// SortDedup sorts s in place and removes duplicates, returning the
+// (possibly shorter) slice. It is the canonical way to turn arbitrary IDs
+// into a set.
+func SortDedup(s []uint32) []uint32 {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of s.
+func Clone(s []uint32) []uint32 {
+	out := make([]uint32, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether a and b contain the same elements in the same order.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether sorted set s contains x, by binary search.
+func Contains(s []uint32, x uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// IntersectReference computes the intersection of k sorted sets with a
+// straightforward pairwise merge. It makes no performance claims; it exists
+// as an obviously-correct oracle for tests and as the seed of the Merge
+// baseline's correctness checks.
+func IntersectReference(lists ...[]uint32) []uint32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := Clone(lists[0])
+	for _, l := range lists[1:] {
+		out = intersect2(out, l)
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+func intersect2(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the sorted union of two sorted sets.
+func Union(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// SortU32 sorts a []uint32 ascending in place. Shared helper so hot callers
+// avoid the closure allocation of sort.Slice.
+func SortU32(s []uint32) {
+	sort.Sort(u32Slice(s))
+}
+
+type u32Slice []uint32
+
+func (p u32Slice) Len() int           { return len(p) }
+func (p u32Slice) Less(i, j int) bool { return p[i] < p[j] }
+func (p u32Slice) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }

@@ -1,0 +1,192 @@
+package sets
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsSorted(t *testing.T) {
+	cases := []struct {
+		s    []uint32
+		want bool
+	}{
+		{nil, true},
+		{[]uint32{}, true},
+		{[]uint32{5}, true},
+		{[]uint32{1, 2, 3}, true},
+		{[]uint32{1, 1, 2}, false},
+		{[]uint32{3, 2}, false},
+		{[]uint32{0, 4294967295}, true},
+	}
+	for _, c := range cases {
+		if got := IsSorted(c.s); got != c.want {
+			t.Fatalf("IsSorted(%v) = %v", c.s, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]uint32{1, 2, 3}); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if err := Validate([]uint32{2, 2}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := Validate([]uint32{3, 1}); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	got := SortDedup([]uint32{5, 1, 5, 3, 1, 0})
+	want := []uint32{0, 1, 3, 5}
+	if !Equal(got, want) {
+		t.Fatalf("SortDedup = %v, want %v", got, want)
+	}
+	if got := SortDedup(nil); got != nil {
+		t.Fatalf("SortDedup(nil) = %v", got)
+	}
+	one := []uint32{7}
+	if got := SortDedup(one); !Equal(got, one) {
+		t.Fatalf("SortDedup single = %v", got)
+	}
+}
+
+func TestSortDedupProperty(t *testing.T) {
+	f := func(in []uint32) bool {
+		got := SortDedup(Clone(in))
+		if !IsSorted(got) {
+			return false
+		}
+		// Every input element present, nothing extra.
+		m := map[uint32]bool{}
+		for _, v := range in {
+			m[v] = true
+		}
+		if len(got) != len(m) {
+			return false
+		}
+		for _, v := range got {
+			if !m[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(nil, nil) || !Equal([]uint32{}, nil) {
+		t.Fatal("empty equality broken")
+	}
+	if Equal([]uint32{1}, []uint32{2}) || Equal([]uint32{1}, []uint32{1, 2}) {
+		t.Fatal("inequality not detected")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := []uint32{2, 4, 8, 16}
+	for _, x := range s {
+		if !Contains(s, x) {
+			t.Fatalf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{0, 3, 17} {
+		if Contains(s, x) {
+			t.Fatalf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Fatal("Contains on nil set")
+	}
+}
+
+func TestIntersectReferenceBasic(t *testing.T) {
+	a := []uint32{1, 3, 5, 7, 9}
+	b := []uint32{3, 4, 5, 6, 7}
+	c := []uint32{5, 7, 11}
+	got := IntersectReference(a, b, c)
+	if !Equal(got, []uint32{5, 7}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := IntersectReference(); got != nil {
+		t.Fatalf("no-args intersection = %v", got)
+	}
+	if got := IntersectReference(a); !Equal(got, a) {
+		t.Fatalf("single-set intersection = %v", got)
+	}
+	if got := IntersectReference(a, nil); len(got) != 0 {
+		t.Fatalf("intersection with empty = %v", got)
+	}
+}
+
+func TestIntersectReferenceAgainstMaps(t *testing.T) {
+	f := func(xa, xb []uint32) bool {
+		a := SortDedup(Clone(xa))
+		b := SortDedup(Clone(xb))
+		got := IntersectReference(a, b)
+		m := map[uint32]bool{}
+		for _, v := range a {
+			m[v] = true
+		}
+		var want []uint32
+		for _, v := range b {
+			if m[v] {
+				want = append(want, v)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return Equal(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := Union([]uint32{1, 3, 5}, []uint32{2, 3, 6})
+	if !Equal(got, []uint32{1, 2, 3, 5, 6}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Union(nil, []uint32{1}); !Equal(got, []uint32{1}) {
+		t.Fatalf("Union nil = %v", got)
+	}
+}
+
+func TestUnionProperty(t *testing.T) {
+	f := func(xa, xb []uint32) bool {
+		a := SortDedup(Clone(xa))
+		b := SortDedup(Clone(xb))
+		u := Union(a, b)
+		if !IsSorted(u) {
+			return false
+		}
+		for _, v := range a {
+			if !Contains(u, v) {
+				return false
+			}
+		}
+		for _, v := range b {
+			if !Contains(u, v) {
+				return false
+			}
+		}
+		return len(u) <= len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortU32(t *testing.T) {
+	s := []uint32{9, 1, 1, 0, 4294967295, 7}
+	SortU32(s)
+	if !reflect.DeepEqual(s, []uint32{0, 1, 1, 7, 9, 4294967295}) {
+		t.Fatalf("SortU32 = %v", s)
+	}
+}

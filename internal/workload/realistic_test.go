@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+)
+
+// tinyRealConfig keeps the corpus small enough for fast unit tests while
+// preserving the generator's structure.
+func tinyRealConfig() RealConfig {
+	return RealConfig{
+		NumDocs:    20_000,
+		NumTerms:   2_000,
+		NumQueries: 200,
+		ZipfS:      1.0,
+		TopDFFrac:  0.2,
+		HotFrac:    0.2,
+		HotWeight:  4,
+		Seed:       1,
+	}
+}
+
+func TestRealPostingsValid(t *testing.T) {
+	r := NewReal(tinyRealConfig())
+	if len(r.Postings) != 2000 {
+		t.Fatalf("got %d terms", len(r.Postings))
+	}
+	prev := int(^uint(0) >> 1)
+	for tid, p := range r.Postings {
+		if err := sets.Validate(p); err != nil {
+			t.Fatalf("posting %d invalid: %v", tid, err)
+		}
+		if len(p) > prev {
+			t.Fatalf("df not non-increasing at term %d: %d > %d", tid, len(p), prev)
+		}
+		prev = len(p)
+		for _, d := range p {
+			if d >= r.Config.NumDocs {
+				t.Fatalf("doc %d outside corpus", d)
+			}
+		}
+	}
+	// Zipf head: the most frequent term should be close to TopDFFrac·N.
+	if head := len(r.Postings[0]); head < 3000 || head > 4100 {
+		t.Fatalf("head df %d, want ≈4000", head)
+	}
+}
+
+func TestRealQueriesShape(t *testing.T) {
+	r := NewReal(tinyRealConfig())
+	if len(r.Queries) != 200 {
+		t.Fatalf("got %d queries", len(r.Queries))
+	}
+	for _, q := range r.Queries {
+		if len(q.Terms) < 2 || len(q.Terms) > 5 {
+			t.Fatalf("query with %d terms", len(q.Terms))
+		}
+		seen := map[int]bool{}
+		for i, tid := range q.Terms {
+			if tid < 0 || tid >= len(r.Postings) {
+				t.Fatalf("term id %d out of range", tid)
+			}
+			if seen[tid] {
+				t.Fatalf("duplicate term in query %v", q.Terms)
+			}
+			seen[tid] = true
+			if i > 0 && len(r.Postings[q.Terms[i-1]]) > len(r.Postings[tid]) {
+				t.Fatalf("query terms not ordered by df: %v", q.Terms)
+			}
+		}
+	}
+}
+
+func TestRealKDistribution(t *testing.T) {
+	cfg := tinyRealConfig()
+	cfg.NumQueries = 2000
+	r := NewReal(cfg)
+	counts := map[int]int{}
+	for _, q := range r.Queries {
+		counts[len(q.Terms)]++
+	}
+	// Paper: 68 / 23 / 6 / 3 percent. Allow generous tolerance.
+	checks := []struct {
+		k      int
+		lo, hi float64
+	}{
+		{2, 0.60, 0.76}, {3, 0.16, 0.30}, {4, 0.03, 0.10}, {5, 0.01, 0.06},
+	}
+	for _, c := range checks {
+		frac := float64(counts[c.k]) / float64(len(r.Queries))
+		if frac < c.lo || frac > c.hi {
+			t.Fatalf("k=%d fraction %.3f outside [%v,%v]", c.k, frac, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRealStatsMatchPaperShape(t *testing.T) {
+	cfg := tinyRealConfig()
+	cfg.NumQueries = 500
+	r := NewReal(cfg)
+	st := r.ComputeStats()
+	// The paper reports |L1|/|L2| ≈ 0.21 for 2-word queries; the simulator
+	// aims for that neighbourhood.
+	if v := st.AvgRatioL1L2[2]; v < 0.10 || v > 0.40 {
+		t.Fatalf("avg |L1|/|L2| for k=2 is %.3f, want ≈0.21", v)
+	}
+	// Intersections must be substantially smaller than the smallest list on
+	// average (paper: r/|L1| ≈ 0.19), but not degenerate.
+	if st.AvgInterOverL1 <= 0 || st.AvgInterOverL1 > 0.6 {
+		t.Fatalf("avg r/|L1| = %.3f, want small positive", st.AvgInterOverL1)
+	}
+	// Most queries should have intersections an order of magnitude smaller
+	// than the rarest keyword (intro statistic: 94% at 10x).
+	if st.Frac10xSmaller < 0.4 {
+		t.Fatalf("only %.2f of queries are 10x smaller", st.Frac10xSmaller)
+	}
+	if st.Frac100xSmaller > st.Frac10xSmaller {
+		t.Fatal("100x fraction exceeds 10x fraction")
+	}
+}
+
+func TestRealDeterminism(t *testing.T) {
+	a := NewReal(tinyRealConfig())
+	b := NewReal(tinyRealConfig())
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("query counts differ")
+	}
+	for i := range a.Queries {
+		if len(a.Queries[i].Terms) != len(b.Queries[i].Terms) {
+			t.Fatal("queries differ across identical seeds")
+		}
+		for j := range a.Queries[i].Terms {
+			if a.Queries[i].Terms[j] != b.Queries[i].Terms[j] {
+				t.Fatal("queries differ across identical seeds")
+			}
+		}
+	}
+	if !sets.Equal(a.Postings[7], b.Postings[7]) {
+		t.Fatal("postings differ across identical seeds")
+	}
+}
+
+func TestFindTermByDF(t *testing.T) {
+	dfs := []int{100, 50, 25, 12, 6}
+	cases := map[float64]int{200: 0, 100: 0, 70: 1, 50: 1, 24: 2, 5: 4, 1: 4}
+	for want, idx := range cases {
+		if got := findTermByDF(dfs, want); got != idx {
+			t.Fatalf("findTermByDF(%v) = %d, want %d", want, got, idx)
+		}
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	s, f := SmallRealConfig(), FullRealConfig()
+	if s.NumDocs >= f.NumDocs || s.NumQueries >= f.NumQueries {
+		t.Fatal("full preset not larger than small preset")
+	}
+}

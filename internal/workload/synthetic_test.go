@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/xhash"
+)
+
+func TestSamplerDrawDistinct(t *testing.T) {
+	rng := xhash.NewRNG(1)
+	s := NewSampler(1000, rng)
+	got := s.Draw(nil, 500)
+	seen := map[uint32]bool{}
+	for _, x := range got {
+		if x >= 1000 {
+			t.Fatalf("element %d outside universe", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate element %d", x)
+		}
+		seen[x] = true
+	}
+	more := s.Draw(nil, 400)
+	for _, x := range more {
+		if seen[x] {
+			t.Fatalf("Draw repeated %d across calls", x)
+		}
+	}
+}
+
+func TestSamplerExclude(t *testing.T) {
+	rng := xhash.NewRNG(2)
+	s := NewSampler(64, rng)
+	var excl []uint32
+	for i := uint32(0); i < 32; i++ {
+		excl = append(excl, i)
+	}
+	s.Exclude(excl)
+	got := s.Draw(nil, 32)
+	for _, x := range got {
+		if x < 32 {
+			t.Fatalf("drew excluded element %d", x)
+		}
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	rng := xhash.NewRNG(3)
+	s := NewSampler(10, rng)
+	s.Draw(nil, 10)
+	s.Reset()
+	got := s.Draw(nil, 10) // would panic without Reset
+	if len(got) != 10 {
+		t.Fatalf("drew %d elements after reset", len(got))
+	}
+}
+
+func TestPairWithIntersectionExact(t *testing.T) {
+	rng := xhash.NewRNG(4)
+	for _, tc := range []struct{ n1, n2, r int }{
+		{100, 100, 0},
+		{100, 100, 1},
+		{1000, 1000, 10},
+		{50, 5000, 50},
+		{1, 1, 1},
+		{300, 300, 300},
+	} {
+		a, b := PairWithIntersection(100_000, tc.n1, tc.n2, tc.r, rng)
+		if len(a) != tc.n1 || len(b) != tc.n2 {
+			t.Fatalf("sizes %d/%d, want %d/%d", len(a), len(b), tc.n1, tc.n2)
+		}
+		if err := sets.Validate(a); err != nil {
+			t.Fatalf("a invalid: %v", err)
+		}
+		if err := sets.Validate(b); err != nil {
+			t.Fatalf("b invalid: %v", err)
+		}
+		if got := len(sets.IntersectReference(a, b)); got != tc.r {
+			t.Fatalf("intersection %d, want %d (n1=%d n2=%d)", got, tc.r, tc.n1, tc.n2)
+		}
+	}
+}
+
+func TestPairWithIntersectionPanics(t *testing.T) {
+	rng := xhash.NewRNG(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("r > n1 did not panic")
+		}
+	}()
+	PairWithIntersection(1000, 5, 10, 6, rng)
+}
+
+func TestKWithIntersectionExact(t *testing.T) {
+	rng := xhash.NewRNG(6)
+	ls := KWithIntersection(1_000_000, []int{500, 700, 900, 1100}, 37, rng)
+	if len(ls) != 4 {
+		t.Fatalf("got %d sets", len(ls))
+	}
+	for i, l := range ls {
+		if err := sets.Validate(l); err != nil {
+			t.Fatalf("set %d invalid: %v", i, err)
+		}
+	}
+	if got := len(sets.IntersectReference(ls...)); got != 37 {
+		t.Fatalf("full intersection %d, want 37", got)
+	}
+	// Disjoint fillers ⇒ every pairwise intersection is exactly r too.
+	if got := len(sets.IntersectReference(ls[0], ls[2])); got != 37 {
+		t.Fatalf("pairwise intersection %d, want 37", got)
+	}
+}
+
+func TestRandomSets(t *testing.T) {
+	rng := xhash.NewRNG(7)
+	ls := RandomSets(10_000, []int{100, 200, 300}, rng)
+	for i, l := range ls {
+		if len(l) != (i+1)*100 {
+			t.Fatalf("set %d has size %d", i, len(l))
+		}
+		if err := sets.Validate(l); err != nil {
+			t.Fatalf("set %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a1, b1 := PairWithIntersection(10_000, 100, 100, 5, xhash.NewRNG(42))
+	a2, b2 := PairWithIntersection(10_000, 100, 100, 5, xhash.NewRNG(42))
+	if !sets.Equal(a1, a2) || !sets.Equal(b1, b2) {
+		t.Fatal("same seed produced different workloads")
+	}
+}

@@ -1,0 +1,142 @@
+// Package xhash provides the randomized mappings the paper's data structures
+// are built from: 2-universal hash functions h : Σ → [w] (multiply-shift),
+// a random permutation g : Σ → Σ realized as a Feistel network over 32 bits,
+// and a small deterministic PRNG (splitmix64) used to derive all randomness
+// from a single seed so every experiment is reproducible.
+package xhash
+
+import "math/bits"
+
+// RNG is a splitmix64 pseudo-random generator. It is deterministic for a
+// given seed and is the only source of randomness in this repository.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xhash: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// WordHash is a 2-universal hash function h : Σ → [w] with w = 64,
+// implemented as a multiply-shift hash over 64-bit arithmetic:
+//
+//	h(x) = (a·x + b) >> 58,  a odd.
+//
+// The paper uses 2-universal functions for h and the hj's of RanGroupScan.
+type WordHash struct {
+	a, b uint64
+}
+
+// NewWordHash draws a fresh hash function from rng.
+func NewWordHash(rng *RNG) WordHash {
+	return WordHash{a: rng.Uint64() | 1, b: rng.Uint64()}
+}
+
+// Hash maps x into [0, 64).
+func (h WordHash) Hash(x uint32) uint8 {
+	return uint8((h.a*uint64(x) + h.b) >> 58)
+}
+
+// NewWordHashes draws m independent hash functions h1..hm.
+func NewWordHashes(rng *RNG, m int) []WordHash {
+	hs := make([]WordHash, m)
+	for i := range hs {
+		hs[i] = NewWordHash(rng)
+	}
+	return hs
+}
+
+// Perm is the random permutation g : Σ → Σ of Section 3.2.1, realized as a
+// 4-round Feistel network over the 32-bit universe. A Feistel construction
+// is a bijection for any round functions, is invertible (required by the
+// Lowbits compression of Appendix B, which reconstructs g(x) and must map it
+// back), and needs O(1) space — unlike an explicit table over 2³² elements.
+type Perm struct {
+	keys [4]uint32
+}
+
+// NewPerm draws a fresh permutation from rng.
+func NewPerm(rng *RNG) Perm {
+	var p Perm
+	for i := range p.keys {
+		p.keys[i] = rng.Uint32()
+	}
+	return p
+}
+
+// feistelRound mixes a 16-bit half with a round key into 16 bits.
+func feistelRound(half uint16, key uint32) uint16 {
+	x := uint32(half) ^ key
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return uint16(x)
+}
+
+// Apply computes g(x).
+func (p Perm) Apply(x uint32) uint32 {
+	l, r := uint16(x>>16), uint16(x)
+	for _, k := range p.keys {
+		l, r = r, l^feistelRound(r, k)
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// Invert computes g⁻¹(y), the pre-image of y under the permutation.
+func (p Perm) Invert(y uint32) uint32 {
+	l, r := uint16(y>>16), uint16(y)
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		l, r = r^feistelRound(l, p.keys[i]), l
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// Prefix returns gt(x): the t most significant bits of g(x), the group
+// identifier z ∈ {0,1}^t of Section 3.2. t must be in [0, 32].
+func (p Perm) Prefix(x uint32, t uint) uint32 {
+	return PrefixOf(p.Apply(x), t)
+}
+
+// PrefixOf returns the t most significant bits of an (already permuted)
+// 32-bit value. t must be in [0, 32].
+func PrefixOf(g uint32, t uint) uint32 {
+	if t == 0 {
+		return 0
+	}
+	if t > 32 {
+		panic("xhash: prefix length out of range")
+	}
+	return g >> (32 - t)
+}
+
+// CeilLog2 returns ⌈log2(n)⌉ for n ≥ 1, and 0 for n ≤ 1. The paper's group
+// counts t_i = ⌈log(n_i/√w)⌉ are computed with it.
+func CeilLog2(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(uint64(n - 1)))
+}

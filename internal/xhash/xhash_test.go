@@ -1,0 +1,221 @@
+package xhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestWordHashRange(t *testing.T) {
+	rng := NewRNG(1)
+	h := NewWordHash(rng)
+	for i := 0; i < 10000; i++ {
+		y := h.Hash(uint32(i * 2654435761))
+		if y >= 64 {
+			t.Fatalf("hash value %d out of [0,64)", y)
+		}
+	}
+}
+
+func TestWordHashUniformity(t *testing.T) {
+	// Chi-squared style sanity: buckets of a multiply-shift hash over a
+	// structured input should all be populated and roughly balanced.
+	rng := NewRNG(2)
+	h := NewWordHash(rng)
+	var counts [64]int
+	const n = 64 * 1000
+	for i := 0; i < n; i++ {
+		counts[h.Hash(uint32(i))]++
+	}
+	for y, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty", y)
+		}
+		if math.Abs(float64(c)-1000) > 400 {
+			t.Fatalf("bucket %d badly skewed: %d", y, c)
+		}
+	}
+}
+
+func TestWordHashCollisionRate(t *testing.T) {
+	// 2-universality: Pr[h(x)=h(x')] ≈ 1/64 for x ≠ x'.
+	rng := NewRNG(3)
+	const trials = 200
+	collisions, pairs := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		h := NewWordHash(rng)
+		x, y := rng.Uint32(), rng.Uint32()
+		if x == y {
+			continue
+		}
+		pairs++
+		if h.Hash(x) == h.Hash(y) {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / float64(pairs)
+	if rate > 0.08 {
+		t.Fatalf("collision rate %v too high for 2-universal family", rate)
+	}
+}
+
+func TestNewWordHashesIndependence(t *testing.T) {
+	rng := NewRNG(4)
+	hs := NewWordHashes(rng, 4)
+	if len(hs) != 4 {
+		t.Fatalf("got %d hashes", len(hs))
+	}
+	agree := 0
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint32()
+		if hs[0].Hash(x) == hs[1].Hash(x) {
+			agree++
+		}
+	}
+	if agree > 100 { // expect ~1000/64 ≈ 16
+		t.Fatalf("h1 and h2 agree on %d/1000 inputs; not independent", agree)
+	}
+}
+
+func TestPermBijection(t *testing.T) {
+	rng := NewRNG(5)
+	p := NewPerm(rng)
+	f := func(x uint32) bool { return p.Invert(p.Apply(x)) == x }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint32{0, 1, math.MaxUint32, math.MaxUint32 - 1, 1 << 31} {
+		if p.Invert(p.Apply(x)) != x {
+			t.Fatalf("Invert(Apply(%d)) != %d", x, x)
+		}
+	}
+}
+
+func TestPermInjectiveOnSample(t *testing.T) {
+	rng := NewRNG(6)
+	p := NewPerm(rng)
+	seen := make(map[uint32]uint32, 1<<16)
+	for x := uint32(0); x < 1<<16; x++ {
+		g := p.Apply(x)
+		if prev, ok := seen[g]; ok {
+			t.Fatalf("collision: Apply(%d) == Apply(%d) == %d", x, prev, g)
+		}
+		seen[g] = x
+	}
+}
+
+func TestPermPrefixSpreads(t *testing.T) {
+	// Consecutive inputs should land in different prefix buckets: this is
+	// the property RanGroup's partitioning relies on.
+	rng := NewRNG(7)
+	p := NewPerm(rng)
+	const tbits = 8
+	var counts [1 << tbits]int
+	const n = 1 << 14
+	for x := uint32(0); x < n; x++ {
+		counts[p.Prefix(x, tbits)]++
+	}
+	want := float64(n) / (1 << tbits)
+	for z, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bucket %d has %d elements, want ≈%v", z, c, want)
+		}
+	}
+}
+
+func TestPrefixOf(t *testing.T) {
+	if got := PrefixOf(0xABCD1234, 0); got != 0 {
+		t.Fatalf("t=0 prefix = %d", got)
+	}
+	if got := PrefixOf(0xABCD1234, 4); got != 0xA {
+		t.Fatalf("t=4 prefix = %x", got)
+	}
+	if got := PrefixOf(0xABCD1234, 16); got != 0xABCD {
+		t.Fatalf("t=16 prefix = %x", got)
+	}
+	if got := PrefixOf(0xABCD1234, 32); got != 0xABCD1234 {
+		t.Fatalf("t=32 prefix = %x", got)
+	}
+}
+
+func TestPrefixOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrefixOf(t=33) did not panic")
+		}
+	}()
+	PrefixOf(1, 33)
+}
+
+func TestPrefixConsistency(t *testing.T) {
+	// z1 = t1-prefix of z2 whenever both come from the same g(x): the
+	// correctness condition behind Algorithm 3/4's group matching.
+	rng := NewRNG(8)
+	p := NewPerm(rng)
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint32()
+		t1, t2 := uint(5), uint(11)
+		z1, z2 := p.Prefix(x, t1), p.Prefix(x, t2)
+		if z1 != z2>>(t2-t1) {
+			t.Fatalf("prefix inconsistency for x=%d", x)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]uint{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

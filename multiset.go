@@ -1,0 +1,101 @@
+package fastintersect
+
+import (
+	"fmt"
+	"sort"
+
+	"fastintersect/internal/sets"
+)
+
+// MultiSet extends List with bag semantics: each element carries a
+// multiplicity, as the paper's §3 notes ("Our approach can be extended to
+// bag semantics by additionally storing element frequency"). Intersection
+// under bag semantics takes the minimum multiplicity of each common
+// element.
+type MultiSet struct {
+	list   *List
+	counts []uint32 // parallel to list.set
+}
+
+// PreprocessBag builds a MultiSet from an arbitrary (unsorted, repeating)
+// stream of IDs; the multiplicity of each ID is its number of occurrences.
+func PreprocessBag(ids []uint32, opts ...Option) (*MultiSet, error) {
+	sorted := append([]uint32(nil), ids...)
+	sets.SortU32(sorted)
+	var uniq, counts []uint32
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		uniq = append(uniq, sorted[i])
+		counts = append(counts, uint32(j-i))
+		i = j
+	}
+	l, err := Preprocess(uniq, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSet{list: l, counts: counts}, nil
+}
+
+// PreprocessBagCounts builds a MultiSet from parallel (sorted unique ID,
+// count) slices. Counts must be positive.
+func PreprocessBagCounts(ids, counts []uint32, opts ...Option) (*MultiSet, error) {
+	if len(ids) != len(counts) {
+		return nil, fmt.Errorf("fastintersect: %d ids but %d counts", len(ids), len(counts))
+	}
+	for i, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("fastintersect: zero count at index %d", i)
+		}
+	}
+	l, err := Preprocess(ids, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSet{list: l, counts: append([]uint32(nil), counts...)}, nil
+}
+
+// Len returns the number of distinct elements.
+func (m *MultiSet) Len() int { return m.list.Len() }
+
+// List returns the underlying set-semantics list.
+func (m *MultiSet) List() *List { return m.list }
+
+// Count returns the multiplicity of id (0 if absent).
+func (m *MultiSet) Count(id uint32) uint32 {
+	s := m.list.set
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return m.counts[i]
+	}
+	return 0
+}
+
+// IntersectBag intersects multisets: the result contains each common ID
+// with the minimum of its multiplicities, sorted ascending.
+func IntersectBag(mss ...*MultiSet) (ids, counts []uint32, err error) {
+	if len(mss) == 0 {
+		return nil, nil, ErrNoLists
+	}
+	lists := make([]*List, len(mss))
+	for i, m := range mss {
+		lists[i] = m.list
+	}
+	common, err := IntersectSorted(lists...)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts = make([]uint32, len(common))
+	for i, id := range common {
+		c := mss[0].Count(id)
+		for _, m := range mss[1:] {
+			if mc := m.Count(id); mc < c {
+				c = mc
+			}
+		}
+		counts[i] = c
+	}
+	return common, counts, nil
+}
