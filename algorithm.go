@@ -1,5 +1,10 @@
 package fastintersect
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Algorithm selects an intersection strategy. The first four are the
 // paper's contributions; the rest are the baselines of its evaluation.
 type Algorithm int
@@ -62,6 +67,19 @@ func (a Algorithm) String() string {
 		return algoNames[a]
 	}
 	return "Algorithm(?)"
+}
+
+// ParseAlgorithm parses an algorithm name, case-insensitively, into the
+// corresponding Algorithm. It inverts Algorithm.String and accepts "Auto"
+// as well as every name returned by Algorithms.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for i, n := range algoNames {
+		if strings.EqualFold(n, name) {
+			return Algorithm(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fastintersect: unknown algorithm %q (known: %s)",
+		name, strings.Join(algoNames[:], ", "))
 }
 
 // Algorithms lists every selectable algorithm (excluding Auto), in the

@@ -31,9 +31,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fsi [-algo NAME] [-time] file1 [file2 ...]")
 		os.Exit(2)
 	}
-	algo, ok := parseAlgo(*algoName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "fsi: unknown algorithm %q\n", *algoName)
+	algo, err := fastintersect.ParseAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsi: %v\n", err)
 		os.Exit(2)
 	}
 	lists := make([]*fastintersect.List, flag.NArg())
@@ -71,18 +71,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "algorithm=%v preprocess=%v intersect=%v result=%d\n",
 			algo, prep.Round(time.Microsecond), elapsed.Round(time.Microsecond), len(out))
 	}
-}
-
-func parseAlgo(name string) (fastintersect.Algorithm, bool) {
-	if strings.EqualFold(name, "Auto") {
-		return fastintersect.Auto, true
-	}
-	for _, a := range fastintersect.Algorithms() {
-		if strings.EqualFold(a.String(), name) {
-			return a, true
-		}
-	}
-	return 0, false
 }
 
 func readIDs(path string) ([]uint32, error) {

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"fastintersect"
 	"fastintersect/internal/harness"
 )
 
@@ -25,6 +27,7 @@ func main() {
 		reps  = flag.Int("reps", 3, "timing repetitions (minimum is reported)")
 		seed  = flag.Uint64("seed", 0x5EED_F00D, "workload seed")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		algos = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
 	)
 	flag.Parse()
 
@@ -35,6 +38,16 @@ func main() {
 		return
 	}
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Reps: *reps}
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			a, err := fastintersect.ParseAlgorithm(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fsibench: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Algos = append(cfg.Algos, a)
+		}
+	}
 	if cfg.Scale != "small" && cfg.Scale != "full" {
 		fmt.Fprintln(os.Stderr, "fsibench: -scale must be 'small' or 'full'")
 		os.Exit(2)

@@ -1,0 +1,313 @@
+// Command fsiserve serves conjunctive/boolean queries over a sharded
+// in-memory inverted index built on the fastintersect library — the
+// query-serving system the paper's search-engine motivation points at.
+//
+// On startup it generates a synthetic corpus (the same simulated-real
+// workload the benchmark harness uses), hash-partitions it across shards,
+// and serves an HTTP JSON API:
+//
+//	GET /query?q=a+AND+b&limit=10   boolean query (AND/OR/NOT, parens)
+//	GET /stats                      engine + cache counters
+//	GET /healthz                    liveness
+//
+// With -load N it instead replays N queries from the synthetic query
+// stream through the engine at -concurrency workers and reports QPS and
+// latency percentiles:
+//
+//	fsiserve -shards 8 -load 50000 -concurrency 16
+//	fsiserve -addr :8466            # then: curl 'localhost:8466/query?q=t0+AND+t17'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"fastintersect"
+	"fastintersect/internal/engine"
+	"fastintersect/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8466", "listen address (serve mode)")
+		shards      = flag.Int("shards", 4, "index shards")
+		workers     = flag.Int("workers", 0, "shard-query worker pool size (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 4096, "result-cache entries (0 disables)")
+		algoName    = flag.String("algo", "Auto", "intersection algorithm for conjunctions")
+		docs        = flag.Uint("docs", 200_000, "synthetic corpus: number of documents")
+		terms       = flag.Int("terms", 20_000, "synthetic corpus: vocabulary size")
+		queries     = flag.Int("queries", 2_000, "synthetic corpus: base query count")
+		seed        = flag.Uint64("seed", 0xC0FFEE, "corpus seed")
+		load        = flag.Int("load", 0, "load-generator mode: replay N queries and exit (0 = serve)")
+		concurrency = flag.Int("concurrency", 8, "load-generator worker goroutines")
+		orFrac      = flag.Float64("or", 0.10, "load-generator fraction of queries with an OR branch")
+		notFrac     = flag.Float64("not", 0.05, "load-generator fraction of queries with a NOT term")
+	)
+	flag.Parse()
+
+	algo, err := fastintersect.ParseAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *docs > math.MaxUint32 {
+		fmt.Fprintf(os.Stderr, "fsiserve: -docs %d exceeds the uint32 docID space\n", *docs)
+		os.Exit(2)
+	}
+	// The corpus generator samples up to 5 distinct terms per query from a
+	// head band of the vocabulary; tiny vocabularies cannot satisfy that.
+	if *terms < 16 {
+		fmt.Fprintf(os.Stderr, "fsiserve: -terms must be at least 16 (got %d)\n", *terms)
+		os.Exit(2)
+	}
+	cfg := workload.SmallRealConfig()
+	cfg.NumDocs = uint32(*docs)
+	cfg.NumTerms = *terms
+	cfg.NumQueries = *queries
+	cfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "fsiserve: generating corpus (%d docs, %d terms)...\n", cfg.NumDocs, cfg.NumTerms)
+	genStart := time.Now()
+	corpus := workload.NewReal(cfg)
+
+	eng := engine.New(engine.Config{
+		Shards:    *shards,
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Algorithm: algo,
+	})
+	if err := loadCorpus(eng, corpus); err != nil {
+		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
+		os.Exit(1)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "fsiserve: indexed %d docs, %d (term,shard) postings across %d shards in %v\n",
+		st.Docs, st.Terms, st.Shards, time.Since(genStart).Round(time.Millisecond))
+
+	if *load > 0 {
+		runLoad(eng, corpus, *load, *concurrency, workload.StreamConfig{
+			OrFrac: *orFrac, NotFrac: *notFrac, Seed: *seed + 1,
+		})
+		return
+	}
+	serve(eng, *addr)
+}
+
+// loadCorpus installs the simulated-real corpus, term-major.
+func loadCorpus(eng *engine.Engine, corpus *workload.Real) error {
+	b := eng.NewBuilder()
+	for t, postings := range corpus.Postings {
+		if err := b.AddPosting(workload.TermName(t), postings); err != nil {
+			return err
+		}
+	}
+	b.SetDocCount(uint64(corpus.Config.NumDocs))
+	return eng.Install(b)
+}
+
+// serve runs the HTTP API until SIGINT/SIGTERM, then drains connections.
+func serve(eng *engine.Engine, addr string) {
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      newServer(eng).handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fsiserve: listening on %s\n", addr)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "fsiserve: shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "fsiserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server wires the engine to HTTP.
+type server struct {
+	eng     *engine.Engine
+	started time.Time
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type queryResponse struct {
+	Query      string   `json:"query"`
+	Normalized string   `json:"normalized"`
+	Count      int      `json:"count"`
+	Docs       []uint32 `json:"docs"`
+	Truncated  bool     `json:"truncated"`
+	Cached     bool     `json:"cached"`
+	ElapsedUS  int64    `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad limit %q", ls)})
+			return
+		}
+		limit = v
+	}
+	start := time.Now()
+	res, err := s.eng.Query(q)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, engine.ErrNotBuilt) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	docs := res.Docs
+	truncated := false
+	if limit >= 0 && len(docs) > limit {
+		docs = docs[:limit]
+		truncated = true
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:      q,
+		Normalized: res.Normalized,
+		Count:      len(res.Docs),
+		Docs:       docs,
+		Truncated:  truncated,
+		Cached:     res.Cached,
+		ElapsedUS:  time.Since(start).Microseconds(),
+	})
+}
+
+type statsResponse struct {
+	engine.Stats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:         s.eng.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// runLoad replays a synthetic query stream through the engine and reports
+// throughput and latency percentiles.
+func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency int, scfg workload.StreamConfig) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	stream := corpus.QueryStream(n, scfg)
+	if len(stream) == 0 {
+		fmt.Fprintln(os.Stderr, "fsiserve: empty query stream (need -load > 0 and -queries > 0)")
+		os.Exit(2)
+	}
+	n = len(stream)
+	fmt.Fprintf(os.Stderr, "fsiserve: replaying %d queries at concurrency %d...\n", n, concurrency)
+	latencies := make([]time.Duration, n)
+	var queryErrs uint64
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				qs := time.Now()
+				_, err := eng.Query(stream[i])
+				latencies[i] = time.Since(qs)
+				if err != nil {
+					mu.Lock()
+					queryErrs++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	st := eng.Stats()
+	fmt.Printf("queries      %d\n", n)
+	fmt.Printf("errors       %d\n", queryErrs)
+	fmt.Printf("wall         %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("qps          %.0f\n", float64(n)/wall.Seconds())
+	fmt.Printf("latency p50  %v\n", percentile(latencies, 50).Round(time.Microsecond))
+	fmt.Printf("latency p90  %v\n", percentile(latencies, 90).Round(time.Microsecond))
+	fmt.Printf("latency p99  %v\n", percentile(latencies, 99).Round(time.Microsecond))
+	fmt.Printf("latency max  %v\n", latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Printf("cache        %d hits / %d misses / %d evictions\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted
+// latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

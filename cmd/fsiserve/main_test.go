@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fastintersect"
+	"fastintersect/internal/engine"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+)
+
+func testCorpus(t testing.TB) *workload.Real {
+	t.Helper()
+	return workload.NewReal(workload.RealConfig{
+		NumDocs:    20_000,
+		NumTerms:   2_000,
+		NumQueries: 300,
+		ZipfS:      0.7,
+		TopDFFrac:  0.2,
+		HotFrac:    0.08,
+		HotWeight:  8,
+		Seed:       0xFEED,
+	})
+}
+
+func testServer(t testing.TB, corpus *workload.Real, shards int) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Config{Shards: shards, CacheSize: 256})
+	if err := loadCorpus(eng, corpus); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func getQuery(t *testing.T, ts *httptest.Server, q string) (queryResponse, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/query?" + url.Values{"q": {q}, "limit": {"-1"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return qr, resp.StatusCode
+}
+
+// TestServeMatchesDirectIntersection is the acceptance test: served /query
+// results over a >= 4-shard index must equal fastintersect.IntersectSorted
+// run directly over the same posting lists, under concurrent requests.
+func TestServeMatchesDirectIntersection(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 5)
+
+	// Preprocess each referenced posting list once, directly via the
+	// public API — the ground truth the served results must match.
+	prepped := map[int]*fastintersect.List{}
+	var mu sync.Mutex
+	direct := func(q workload.Query) []uint32 {
+		mu.Lock()
+		defer mu.Unlock()
+		lists := make([]*fastintersect.List, len(q.Terms))
+		for i, term := range q.Terms {
+			l, ok := prepped[term]
+			if !ok {
+				var err error
+				l, err = fastintersect.Preprocess(corpus.Postings[term])
+				if err != nil {
+					t.Errorf("preprocess term %d: %v", term, err)
+					return nil
+				}
+				prepped[term] = l
+			}
+			lists[i] = l
+		}
+		out, err := fastintersect.IntersectSorted(lists...)
+		if err != nil {
+			t.Errorf("direct intersect: %v", err)
+			return nil
+		}
+		return out
+	}
+
+	queries := corpus.Queries[:100]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(queries); i += 8 {
+				q := queries[i]
+				names := make([]string, len(q.Terms))
+				for j, term := range q.Terms {
+					names[j] = workload.TermName(term)
+				}
+				qs := strings.Join(names, " AND ")
+				qr, code := getQuery(t, ts, qs)
+				if code != http.StatusOK {
+					t.Errorf("query %q: status %d", qs, code)
+					return
+				}
+				want := direct(q)
+				if !sets.Equal(qr.Docs, want) {
+					t.Errorf("query %q: served %d docs, direct %d", qs, len(qr.Docs), len(want))
+					return
+				}
+				if qr.Count != len(want) {
+					t.Errorf("query %q: count %d != %d", qs, qr.Count, len(want))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestServeBooleanOperators verifies OR/NOT queries against reference set
+// algebra over the raw posting lists.
+func TestServeBooleanOperators(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 4)
+	p := func(term int) []uint32 { return corpus.Postings[term] }
+	name := workload.TermName
+
+	cases := []struct {
+		q    string
+		want []uint32
+	}{
+		{
+			fmt.Sprintf("%s OR %s", name(10), name(11)),
+			sets.Union(p(10), p(11)),
+		},
+		{
+			fmt.Sprintf("%s AND NOT %s", name(5), name(6)),
+			sets.Difference(p(5), p(6)),
+		},
+		{
+			fmt.Sprintf("(%s AND %s) OR %s", name(3), name(4), name(900)),
+			sets.Union(sets.IntersectReference(p(3), p(4)), p(900)),
+		},
+		{
+			fmt.Sprintf("%s AND (%s OR %s)", name(7), name(8), name(9)),
+			sets.IntersectReference(p(7), sets.Union(p(8), p(9))),
+		},
+	}
+	for _, c := range cases {
+		qr, code := getQuery(t, ts, c.q)
+		if code != http.StatusOK {
+			t.Fatalf("query %q: status %d", c.q, code)
+		}
+		if !sets.Equal(qr.Docs, c.want) {
+			t.Fatalf("query %q: served %d docs, reference %d", c.q, len(qr.Docs), len(c.want))
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 4)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// A couple of queries so /stats has something to report.
+	if _, code := getQuery(t, ts, workload.TermName(42)); code != http.StatusOK {
+		t.Fatalf("warm-up query failed: %d", code)
+	}
+	if _, code := getQuery(t, ts, workload.TermName(42)); code != http.StatusOK {
+		t.Fatalf("warm-up query failed: %d", code)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Queries < 2 || st.Cache.Hits < 1 || st.Docs != 20_000 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Bad queries are 400s with a JSON error.
+	for _, bad := range []string{"", "NOT x", "a AND ("} {
+		_, code := getQuery(t, ts, bad)
+		if code != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", bad, code)
+		}
+	}
+
+	// Truncation contract.
+	respT, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(workload.TermName(0)) + "&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respT.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(respT.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Docs) != 5 || !qr.Truncated || qr.Count <= 5 {
+		t.Fatalf("truncated response = docs:%d truncated:%v count:%d", len(qr.Docs), qr.Truncated, qr.Count)
+	}
+}
+
+func TestQueryStreamParsesAndServes(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 4)
+	stream := corpus.QueryStream(60, workload.StreamConfig{OrFrac: 0.3, NotFrac: 0.3, Seed: 7})
+	if len(stream) != 60 {
+		t.Fatalf("stream length %d", len(stream))
+	}
+	for _, q := range stream {
+		if _, code := getQuery(t, ts, q); code != http.StatusOK {
+			t.Fatalf("stream query %q: status %d", q, code)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(durs, 50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(durs, 99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(durs[:1], 99); got != 1*time.Millisecond {
+		t.Fatalf("p99 of singleton = %v", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v", got)
+	}
+}

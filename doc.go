@@ -32,4 +32,16 @@
 // permutation g and hash functions h1..hm and can be intersected together.
 // A List lazily materializes the per-algorithm structures on first use, so
 // you pay only for the algorithms you run.
+//
+// Algorithm names round-trip through ParseAlgorithm and Algorithm.String,
+// which is how the CLI tools (cmd/fsi, cmd/fsibench, cmd/fsiserve) select
+// algorithms.
+//
+// Above the library sits a query-serving subsystem (internal/engine,
+// served by cmd/fsiserve): an inverted index hash-partitioned across
+// shards, a planner for a small AND/OR/NOT query language that pushes
+// conjunctions down to IntersectWith cost-ordered by document frequency,
+// an LRU result cache keyed by the normalized query, and an HTTP JSON API
+// with a built-in load generator — the search-engine setting that
+// motivates the paper, end to end.
 package fastintersect

@@ -235,6 +235,57 @@ func TestListsShareFamilyAcrossCalls(t *testing.T) {
 	}
 }
 
+func seqSet(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+// TestAutoSkewThresholdBoundary pins the exact size ratio at which Auto
+// switches from RanGroupScan to HashBin.
+func TestAutoSkewThresholdBoundary(t *testing.T) {
+	const minN = 10
+	small := mustPreprocess(t, seqSet(minN))
+	atThreshold := mustPreprocess(t, seqSet(minN*AutoSkewThreshold))
+	belowThreshold := mustPreprocess(t, seqSet(minN*AutoSkewThreshold-1))
+	if got := autoPick([]*List{small, atThreshold}); got != HashBin {
+		t.Fatalf("ratio = threshold: auto = %v, want HashBin", got)
+	}
+	if got := autoPick([]*List{atThreshold, small}); got != HashBin {
+		t.Fatalf("order must not matter: auto = %v, want HashBin", got)
+	}
+	if got := autoPick([]*List{small, belowThreshold}); got != RanGroupScan {
+		t.Fatalf("ratio just below threshold: auto = %v, want RanGroupScan", got)
+	}
+	empty := mustPreprocess(t, nil)
+	if got := autoPick([]*List{empty, atThreshold}); got != Merge {
+		t.Fatalf("empty operand: auto = %v, want Merge", got)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range append([]Algorithm{Auto}, Algorithms()...) {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v -> %v", a, got)
+		}
+	}
+	if a, err := ParseAlgorithm("rangroupscan"); err != nil || a != RanGroupScan {
+		t.Fatalf("case-insensitive parse = %v, %v", a, err)
+	}
+	if _, err := ParseAlgorithm("NoSuchAlgo"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := ParseAlgorithm(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
 func ExampleIntersectSorted() {
 	l1, _ := Preprocess([]uint32{1, 3, 5, 7, 9})
 	l2, _ := Preprocess([]uint32{3, 4, 5, 6, 7})

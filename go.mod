@@ -1,0 +1,3 @@
+module fastintersect
+
+go 1.24

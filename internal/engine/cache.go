@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Purges    uint64 `json:"purges"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// cache is a mutex-guarded LRU of query results keyed by the normalized
+// query string. Values are treated as immutable: Get returns the cached
+// slice without copying, so callers must not modify it.
+type cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	gen       uint64 // bumped by purge; stale puts are dropped
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	purges    uint64
+}
+
+type cacheEntry struct {
+	key  string
+	docs []uint32
+}
+
+// newCache returns an LRU holding at most capacity entries, or nil when
+// capacity <= 0 (caching disabled; the engine treats a nil cache as a
+// permanent miss).
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *cache) get(key string) ([]uint32, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).docs, true
+}
+
+// generation returns the current purge generation. A caller that snapshots
+// it BEFORE reading the index and passes it to put cannot install results
+// computed against a shard set that a later purge invalidated.
+func (c *cache) generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// put stores a result computed at purge generation gen; it is dropped if a
+// purge has happened since (the result may reflect a replaced index).
+func (c *cache) put(key string, docs []uint32, gen uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).docs = docs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, docs: docs})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry (used on index rebuild) and counts the
+// invalidation.
+func (c *cache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+	c.gen++
+	c.purges++
+}
+
+func (c *cache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Purges:    c.purges,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", []uint32{1}, c.generation())
+	c.put("b", []uint32{2}, c.generation())
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []uint32{3}, c.generation()) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newCache(8)
+	if _, ok := c.get("x"); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.put("x", []uint32{9}, c.generation())
+	if v, ok := c.get("x"); !ok || len(v) != 1 || v[0] != 9 {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+	c.put("x", []uint32{9, 10}, c.generation()) // overwrite updates in place
+	if v, _ := c.get("x"); len(v) != 2 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.purge()
+	if _, ok := c.get("x"); ok {
+		t.Fatal("purge did not clear")
+	}
+	if st := c.stats(); st.Purges != 1 || st.Entries != 0 {
+		t.Fatalf("after purge: %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0) // nil
+	c.put("a", []uint32{1}, c.generation())
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	c.purge()
+	if st := c.stats(); st != (CacheStats{}) {
+		t.Fatalf("disabled stats = %+v", st)
+	}
+}
+
+// TestCacheStalePutDropped pins the rebuild-invalidation guarantee: a put
+// carrying a generation from before a purge must not land.
+func TestCacheStalePutDropped(t *testing.T) {
+	c := newCache(8)
+	gen := c.generation() // snapshot, as Query does before evaluating
+	c.purge()             // rebuild happens mid-flight
+	c.put("q", []uint32{1}, gen)
+	if _, ok := c.get("q"); ok {
+		t.Fatal("stale put survived a purge")
+	}
+	c.put("q", []uint32{2}, c.generation())
+	if v, ok := c.get("q"); !ok || v[0] != 2 {
+		t.Fatal("fresh put after purge rejected")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				if v, ok := c.get(key); ok && v[0] != uint32(i%100) {
+					t.Errorf("corrupt value for %s: %v", key, v)
+					return
+				}
+				c.put(key, []uint32{uint32(i % 100)}, c.generation())
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,266 @@
+// Package engine is the query-serving subsystem built on top of the
+// fastintersect library: the layer between the paper's intersection
+// algorithms and a search service.
+//
+// Documents are hash-partitioned across S shards, each an independent
+// invindex.Index built concurrently. A query is parsed from a small
+// AND/OR/NOT language (see planner.go), normalized into a canonical form,
+// looked up in an LRU result cache, and on a miss fanned out to every
+// shard through a bounded worker pool; conjunctions of terms are pushed
+// down to fastintersect with operands cost-ordered by document frequency,
+// and the per-shard sorted results are merged. Rebuilding the index swaps
+// the shard set atomically and invalidates the cache.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastintersect"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/sets"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of hash partitions (default 1).
+	Shards int
+	// Workers bounds the pool evaluating shard sub-queries across ALL
+	// in-flight queries (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the result-cache capacity in entries (0 disables it).
+	CacheSize int
+	// Algorithm intersects term conjunctions (default Auto). Algorithms
+	// with a set-count limit fall back to Auto for wider conjunctions.
+	Algorithm fastintersect.Algorithm
+	// IndexOptions are forwarded to fastintersect.Preprocess for every
+	// posting list.
+	IndexOptions []fastintersect.Option
+}
+
+// Engine serves queries against a sharded inverted index. All methods are
+// safe for concurrent use; Query may run while Install swaps in a rebuilt
+// index.
+type Engine struct {
+	cfg     Config
+	workers chan struct{}
+	cache   *cache
+
+	mu     sync.RWMutex
+	shards []*invindex.Index
+	docs   uint64
+
+	queries  atomic.Uint64
+	errors   atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+// ErrNotBuilt is returned by Query before any index has been installed.
+var ErrNotBuilt = errors.New("engine: no index installed; Install a Builder first")
+
+// New creates an engine with no index installed.
+func New(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		cfg:     cfg,
+		workers: make(chan struct{}, cfg.Workers),
+		cache:   newCache(cfg.CacheSize),
+	}
+}
+
+// shardOf routes a document to its partition (Fibonacci hashing on the
+// docID so consecutive IDs spread evenly).
+func shardOf(docID uint32, shards int) int {
+	return int((uint64(docID) * 0x9E3779B97F4A7C15 >> 33) % uint64(shards))
+}
+
+// Builder accumulates documents for one build. It is not safe for
+// concurrent use; Build (via Engine.Install) parallelizes internally.
+type Builder struct {
+	cfg    Config
+	shards []*invindex.Index
+	docs   uint64
+}
+
+// NewBuilder returns an empty builder with the engine's sharding and
+// preprocessing configuration.
+func (e *Engine) NewBuilder() *Builder {
+	b := &Builder{cfg: e.cfg, shards: make([]*invindex.Index, e.cfg.Shards)}
+	for i := range b.shards {
+		b.shards[i] = invindex.New(e.cfg.IndexOptions...)
+	}
+	return b
+}
+
+// Add records a document in its home shard.
+func (b *Builder) Add(docID uint32, terms []string) error {
+	b.docs++
+	return b.shards[shardOf(docID, len(b.shards))].Add(docID, terms)
+}
+
+// AddPosting records a whole term → docIDs posting list, partitioning it
+// across shards (builder-style input for corpora that arrive term-major).
+func (b *Builder) AddPosting(term string, docIDs []uint32) error {
+	if len(b.shards) == 1 {
+		return b.shards[0].AddPosting(term, docIDs)
+	}
+	parts := make([][]uint32, len(b.shards))
+	for _, d := range docIDs {
+		s := shardOf(d, len(b.shards))
+		parts[s] = append(parts[s], d)
+	}
+	for s, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if err := b.shards[s].AddPosting(term, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDocCount records the corpus size reported by Stats when documents are
+// loaded term-major via AddPosting (which cannot count distinct documents).
+func (b *Builder) SetDocCount(n uint64) { b.docs = n }
+
+// Install builds every shard concurrently (each shard additionally
+// parallelizes over its terms, so total build goroutines ≈ max(Workers,
+// Shards) — one per shard at minimum), swaps the new shard set in, and
+// invalidates the result cache. The builder must not be reused afterwards.
+func (e *Engine) Install(b *Builder) error {
+	perShard := e.cfg.Workers / len(b.shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	errs := make([]error, len(b.shards))
+	var wg sync.WaitGroup
+	for i, ix := range b.shards {
+		wg.Add(1)
+		go func(i int, ix *invindex.Index) {
+			defer wg.Done()
+			errs[i] = ix.BuildParallel(perShard)
+		}(i, ix)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	e.mu.Lock()
+	e.shards = b.shards
+	e.docs = b.docs
+	e.mu.Unlock()
+	e.cache.purge()
+	e.rebuilds.Add(1)
+	return nil
+}
+
+// Result is one query's outcome.
+type Result struct {
+	// Docs are the matching document IDs, ascending. The slice is shared
+	// with the cache; callers must not modify it.
+	Docs []uint32
+	// Normalized is the canonical form of the query (the cache key).
+	Normalized string
+	// Cached reports whether the result came from the LRU.
+	Cached bool
+}
+
+// Query parses, plans and executes a query across all shards.
+func (e *Engine) Query(q string) (*Result, error) {
+	e.queries.Add(1)
+	ast, err := Parse(q)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	key := ast.String()
+	if docs, ok := e.cache.get(key); ok {
+		return &Result{Docs: docs, Normalized: key, Cached: true}, nil
+	}
+	// Snapshot the purge generation BEFORE the shard set: if Install swaps
+	// and purges while we evaluate, our put below is recognized as stale
+	// and dropped instead of resurrecting pre-rebuild results.
+	gen := e.cache.generation()
+	e.mu.RLock()
+	shards := e.shards
+	e.mu.RUnlock()
+	if shards == nil {
+		e.errors.Add(1)
+		return nil, ErrNotBuilt
+	}
+	results := make([][]uint32, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, ix := range shards {
+		wg.Add(1)
+		go func(i int, ix *invindex.Index) {
+			defer wg.Done()
+			e.workers <- struct{}{} // acquire a bounded worker slot
+			defer func() { <-e.workers }()
+			results[i], errs[i] = evalShard(ix, ast, e.cfg.Algorithm)
+		}(i, ix)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+	}
+	// Shards partition the document space, so the per-shard sorted results
+	// are disjoint and merging is a pure interleave. Union always returns a
+	// fresh slice, so the merged result never aliases a posting list.
+	var merged []uint32
+	for _, r := range results {
+		merged = sets.Union(merged, r)
+	}
+	e.cache.put(key, merged, gen)
+	return &Result{Docs: merged, Normalized: key}, nil
+}
+
+// Stats is a point-in-time snapshot of the engine.
+type Stats struct {
+	Shards      int        `json:"shards"`
+	Docs        uint64     `json:"docs"`
+	Terms       int        `json:"terms"`
+	ShardTerms  []int      `json:"shard_terms,omitempty"`
+	Queries     uint64     `json:"queries"`
+	QueryErrors uint64     `json:"query_errors"`
+	Rebuilds    uint64     `json:"rebuilds"`
+	Workers     int        `json:"workers"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// Stats returns current counters. Terms counts distinct (term, shard)
+// pairs: a term whose postings span k shards contributes k.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	shards := e.shards
+	docs := e.docs
+	e.mu.RUnlock()
+	st := Stats{
+		Shards:      e.cfg.Shards,
+		Docs:        docs,
+		Queries:     e.queries.Load(),
+		QueryErrors: e.errors.Load(),
+		Rebuilds:    e.rebuilds.Load(),
+		Workers:     e.cfg.Workers,
+		Cache:       e.cache.stats(),
+	}
+	for _, ix := range shards {
+		st.Terms += ix.TermCount()
+		st.ShardTerms = append(st.ShardTerms, ix.TermCount())
+	}
+	return st
+}

@@ -1,0 +1,489 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastintersect"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/sets"
+)
+
+// The engine's query language:
+//
+//	query   := or
+//	or      := and ( "OR" and )*
+//	and     := unary ( "AND"? unary )*          // adjacency is implicit AND
+//	unary   := "NOT" unary | term | "(" query ")"
+//
+// Keywords are case-insensitive; terms are any other whitespace- and
+// paren-free token and are matched case-sensitively against the index.
+// Every query must select a bounded set: "NOT a" alone (or "a OR NOT b")
+// is rejected because its result is the complement of a posting list.
+
+// Node is a parsed query expression. Its String method renders the
+// normalized form used as the cache key.
+type Node interface {
+	String() string
+}
+
+type termNode string
+
+type notNode struct{ kid Node }
+
+type andNode struct{ kids []Node }
+
+type orNode struct{ kids []Node }
+
+func (t termNode) String() string { return string(t) }
+
+func (n notNode) String() string { return "(NOT " + n.kid.String() + ")" }
+
+func (n andNode) String() string { return joinKids(n.kids, " AND ") }
+
+func (n orNode) String() string { return joinKids(n.kids, " OR ") }
+
+func joinKids(kids []Node, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Parse errors.
+var (
+	ErrEmptyQuery = errors.New("engine: empty query")
+	// ErrUnbounded rejects queries whose result is the complement of a
+	// posting set (e.g. "NOT a", "a OR NOT b", "a AND (b OR NOT c)"):
+	// evaluating them would require materializing the whole document
+	// universe. NOT is only valid as a direct operand of a conjunction that
+	// also has a positive operand.
+	ErrUnbounded = errors.New("engine: query selects an unbounded set; NOT is only valid inside a conjunction with a positive term (e.g. \"a AND NOT b\")")
+)
+
+type syntaxError struct {
+	pos int
+	msg string
+}
+
+func (e *syntaxError) Error() string {
+	return fmt.Sprintf("engine: syntax error at offset %d: %s", e.pos, e.msg)
+}
+
+type tokKind int
+
+const (
+	tokTerm tokKind = iota
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(q string) []token {
+	var toks []token
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		default:
+			start := i
+			for i < len(q) && !strings.ContainsRune(" \t\n\r()", rune(q[i])) {
+				i++
+			}
+			word := q[start:i]
+			switch {
+			case strings.EqualFold(word, "AND"):
+				toks = append(toks, token{tokAnd, word, start})
+			case strings.EqualFold(word, "OR"):
+				toks = append(toks, token{tokOr, word, start})
+			case strings.EqualFold(word, "NOT"):
+				toks = append(toks, token{tokNot, word, start})
+			default:
+				toks = append(toks, token{tokTerm, word, start})
+			}
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.i < len(p.toks) {
+		return p.toks[p.i], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.i++
+	}
+	return t, ok
+}
+
+// Parse parses, normalizes and validates a query. The returned Node's
+// String is the canonical cache key: AND/OR operands are flattened, sorted
+// and deduplicated, and double negations are eliminated, so semantically
+// identical queries share a cache entry.
+func Parse(q string) (Node, error) {
+	toks := lex(q)
+	if len(toks) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		return nil, &syntaxError{t.pos, fmt.Sprintf("unexpected %q", t.text)}
+	}
+	n = normalize(n)
+	if !bounded(n) {
+		return nil, ErrUnbounded
+	}
+	return n, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOr {
+			break
+		}
+		p.i++
+		k, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return orNode{kids}, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case tokAnd:
+			p.i++
+		case tokTerm, tokNot, tokLParen:
+			// adjacency: implicit AND
+		default:
+			if len(kids) == 1 {
+				return first, nil
+			}
+			return andNode{kids}, nil
+		}
+		k, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return andNode{kids}, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	t, ok := p.next()
+	if !ok {
+		end := 0
+		if n := len(p.toks); n > 0 {
+			end = p.toks[n-1].pos + len(p.toks[n-1].text)
+		}
+		return nil, &syntaxError{end, "unexpected end of query"}
+	}
+	switch t.kind {
+	case tokNot:
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{kid}, nil
+	case tokTerm:
+		return termNode(t.text), nil
+	case tokLParen:
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		rp, ok := p.next()
+		if !ok || rp.kind != tokRParen {
+			return nil, &syntaxError{t.pos, "unclosed parenthesis"}
+		}
+		return n, nil
+	default:
+		return nil, &syntaxError{t.pos, fmt.Sprintf("unexpected %q", t.text)}
+	}
+}
+
+// normalize canonicalizes an expression: nested same-operator nodes are
+// flattened, operands sorted and deduplicated, single-child connectives
+// collapsed, and NOT(NOT x) reduced to x.
+func normalize(n Node) Node {
+	switch n := n.(type) {
+	case termNode:
+		return n
+	case notNode:
+		kid := normalize(n.kid)
+		if inner, ok := kid.(notNode); ok {
+			return inner.kid
+		}
+		return notNode{kid}
+	case andNode:
+		return normalizeKids(n.kids, true)
+	case orNode:
+		return normalizeKids(n.kids, false)
+	}
+	panic("engine: unknown node type")
+}
+
+func normalizeKids(kids []Node, isAnd bool) Node {
+	var flat []Node
+	for _, k := range kids {
+		k = normalize(k)
+		if isAnd {
+			if a, ok := k.(andNode); ok {
+				flat = append(flat, a.kids...)
+				continue
+			}
+		} else {
+			if o, ok := k.(orNode); ok {
+				flat = append(flat, o.kids...)
+				continue
+			}
+		}
+		flat = append(flat, k)
+	}
+	sort.SliceStable(flat, func(i, j int) bool { return flat[i].String() < flat[j].String() })
+	dedup := flat[:0]
+	for i, k := range flat {
+		if i > 0 && k.String() == flat[i-1].String() {
+			continue
+		}
+		dedup = append(dedup, k)
+	}
+	if len(dedup) == 1 {
+		return dedup[0]
+	}
+	if isAnd {
+		return andNode{dedup}
+	}
+	return orNode{dedup}
+}
+
+// bounded reports whether n is evaluable as a subset of materialized
+// posting lists. NOT is only allowed as a direct operand of a conjunction
+// that has at least one positive operand (`a AND NOT b`), never standalone
+// or under OR — anything else would require complementing over the whole
+// document universe.
+func bounded(n Node) bool {
+	switch n := n.(type) {
+	case termNode:
+		return true
+	case notNode:
+		return false
+	case andNode:
+		positive := false
+		for _, k := range n.kids {
+			if nk, ok := k.(notNode); ok {
+				if !bounded(nk.kid) {
+					return false
+				}
+				continue
+			}
+			if !bounded(k) {
+				return false
+			}
+			positive = true
+		}
+		return positive
+	case orNode:
+		for _, k := range n.kids {
+			if !bounded(k) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Terms returns the distinct positive and negated terms referenced by n.
+func Terms(n Node) []string {
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch n := n.(type) {
+		case termNode:
+			seen[string(n)] = true
+		case notNode:
+			walk(n.kid)
+		case andNode:
+			for _, k := range n.kids {
+				walk(k)
+			}
+		case orNode:
+			for _, k := range n.kids {
+				walk(k)
+			}
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalShard evaluates a normalized, bounded expression against one shard's
+// index, returning sorted docIDs. The returned slice may alias a posting
+// list; callers must treat it as read-only.
+//
+// Conjunctions of plain terms are pushed down to fastintersect with the
+// operand lists cost-ordered by ascending document frequency — the planner
+// move that lets the paper's algorithms (whose cost is driven by the
+// smallest list and the intersection size) do the heavy lifting. Unions and
+// negations are evaluated as linear merges over the sorted sub-results.
+func evalShard(ix *invindex.Index, n Node, algo fastintersect.Algorithm) ([]uint32, error) {
+	switch n := n.(type) {
+	case termNode:
+		l := ix.Postings(string(n))
+		if l == nil {
+			return nil, nil
+		}
+		return l.Set(), nil
+
+	case orNode:
+		var out []uint32
+		for _, k := range n.kids {
+			s, err := evalShard(ix, k, algo)
+			if err != nil {
+				return nil, err
+			}
+			out = sets.Union(out, s)
+		}
+		return out, nil
+
+	case andNode:
+		var (
+			lists  []*fastintersect.List
+			others [][]uint32
+			negs   []Node
+		)
+		for _, k := range n.kids {
+			switch k := k.(type) {
+			case termNode:
+				l := ix.Postings(string(k))
+				if l == nil || l.Len() == 0 {
+					return nil, nil // empty operand: whole conjunction is empty
+				}
+				lists = append(lists, l)
+			case notNode:
+				negs = append(negs, k.kid)
+			default:
+				s, err := evalShard(ix, k, algo)
+				if err != nil {
+					return nil, err
+				}
+				if len(s) == 0 {
+					return nil, nil
+				}
+				others = append(others, s)
+			}
+		}
+		var cur []uint32
+		switch {
+		case len(lists) >= 2:
+			sort.SliceStable(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
+			a := algo
+			if mx := a.MaxSets(); mx > 0 && len(lists) > mx {
+				a = fastintersect.Auto
+			}
+			out, err := fastintersect.IntersectWith(a, lists...)
+			if err != nil {
+				return nil, err
+			}
+			if !a.Sorted() {
+				sets.SortU32(out)
+			}
+			cur = out
+		case len(lists) == 1:
+			cur = lists[0].Set()
+		}
+		for _, o := range others {
+			if cur == nil {
+				cur = o
+				continue
+			}
+			cur = sets.IntersectReference(cur, o)
+			if len(cur) == 0 {
+				return nil, nil
+			}
+		}
+		// cur is non-nil here: bounded() guarantees at least one positive
+		// operand, and empty positives short-circuited above.
+		for _, neg := range negs {
+			if len(cur) == 0 {
+				return nil, nil
+			}
+			s, err := evalShard(ix, neg, algo)
+			if err != nil {
+				return nil, err
+			}
+			if len(s) > 0 {
+				cur = sets.Difference(cur, s)
+			}
+		}
+		return cur, nil
+
+	case notNode:
+		return nil, ErrUnbounded // unreachable after validation
+	}
+	return nil, fmt.Errorf("engine: unknown node %T", n)
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseNormalization(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a", "a"},
+		{"a AND b", "(a AND b)"},
+		{"b AND a", "(a AND b)"},
+		{"a b", "(a AND b)"}, // implicit AND
+		{"a and b AND c", "(a AND b AND c)"},
+		{"a AND (b AND c)", "(a AND b AND c)"}, // flattening
+		{"a OR b OR a", "(a OR b)"},            // dedup
+		{"a AND a", "a"},                       // collapse to single child
+		{"a AND NOT b", "((NOT b) AND a)"},
+		{"a AND NOT NOT b", "(a AND b)"}, // double negation
+		{"(a)", "a"},
+		{"((a OR b)) AND c", "((a OR b) AND c)"},
+		{"a OR b AND c", "((b AND c) OR a)"}, // AND binds tighter
+		{"not x AND y", "((NOT x) AND y)"},   // case-insensitive keywords
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseEquivalentQueriesShareKeys(t *testing.T) {
+	groups := [][]string{
+		{"a AND b", "b AND a", "a b", "b AND (a)", "a AND b AND a"},
+		{"a OR (b AND c)", "(c AND b) OR a"},
+		{"x AND NOT y", "NOT y AND x"},
+	}
+	for _, g := range groups {
+		first, err := Parse(g[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g[1:] {
+			n, err := Parse(q)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", q, err)
+			}
+			if n.String() != first.String() {
+				t.Errorf("Parse(%q) = %q, want same key as %q (%q)", q, n.String(), g[0], first.String())
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr error // nil = any error
+	}{
+		{"", ErrEmptyQuery},
+		{"   ", ErrEmptyQuery},
+		{"NOT a", ErrUnbounded},
+		{"NOT NOT NOT a", ErrUnbounded},
+		{"a OR NOT b", ErrUnbounded},
+		{"NOT a AND NOT b", ErrUnbounded},
+		{"a AND (b OR NOT c)", ErrUnbounded}, // NOT must be a direct AND operand
+		{"(a", nil},
+		{"a)", nil},
+		{"()", nil},
+		{"a AND", nil},
+		{"AND a", nil},
+		{"a OR", nil},
+		{"NOT", nil},
+		{"a (", nil},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted, want error", c.in)
+			continue
+		}
+		if c.wantErr != nil && !errors.Is(err, c.wantErr) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	n, err := Parse("a AND (b OR c) AND NOT d AND a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Terms(n)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Terms = %v, want %v", got, want)
+		}
+	}
+}
+
+// FuzzParseQuery checks that Parse never panics and that the normalized
+// rendering is a fixed point: it reparses successfully to the same string.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"a", "a AND b", "a OR b", "a AND NOT b", "(a OR b) AND c",
+		"a b c", "NOT a", "((x))", "a AND (b OR (c AND d))", "()", "a )(",
+		"AND OR NOT", "ümlaut AND 漢字", "a\tAND\nb",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n, err := Parse(q)
+		if err != nil {
+			return
+		}
+		key := n.String()
+		n2, err := Parse(key)
+		if err != nil {
+			t.Fatalf("normalized form %q (of %q) does not reparse: %v", key, q, err)
+		}
+		if n2.String() != key {
+			t.Fatalf("normalization not a fixed point: %q -> %q -> %q", q, key, n2.String())
+		}
+	})
+}

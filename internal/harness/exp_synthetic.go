@@ -85,20 +85,22 @@ func fig4Sizes(cfg Config) []int {
 }
 
 func runFig4(cfg Config) []*Table {
+	algos := cfg.FilterAlgos(fig4Algorithms)
 	t := &Table{
 		ID:      "fig4",
 		Title:   "Intersection time (ms), 2 sets of equal size, |L1∩L2| = 1%",
-		Columns: append([]string{"size"}, algoNames(fig4Algorithms)...),
+		Columns: append([]string{"size"}, algoNames(algos)...),
 		Notes: []string{
 			"paper shape: RanGroupScan and IntGroup fastest (40-50% below Merge); Hash, SkipList, BPP worst; ordering stable across sizes",
 		},
 	}
+	t.NoteEmptyFilter(cfg, algos)
 	rng := xhash.NewRNG(cfg.Seed)
 	for _, n := range fig4Sizes(cfg) {
 		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n, n, n/100, rng)
 		lists := prepLists(cfg, 4, a, b)
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, algo := range fig4Algorithms {
+		for _, algo := range algos {
 			row = append(row, ms(timeAlgo(cfg, algo, lists)))
 		}
 		t.AddRow(row...)
@@ -117,21 +119,23 @@ func runFig5(cfg Config) []*Table {
 	if cfg.Full() {
 		n = 10_000_000
 	}
+	algos := cfg.FilterAlgos(fig5Algorithms)
 	t := &Table{
 		ID:      "fig5",
 		Title:   fmt.Sprintf("Intersection time (ms), 2 sets of %d elements, varying r", n),
-		Columns: append([]string{"r"}, algoNames(fig5Algorithms)...),
+		Columns: append([]string{"r"}, algoNames(algos)...),
 		Notes: []string{
 			"paper shape: RanGroupScan/IntGroup best for r < 0.7n; Merge best beyond, with RanGroupScan a close 2nd up to r = n",
 		},
 	}
+	t.NoteEmptyFilter(cfg, algos)
 	rng := xhash.NewRNG(cfg.Seed + 5)
 	rs := []int{500, n / 100, n / 10, 3 * n / 10, n / 2, 7 * n / 10, 9 * n / 10, n}
 	for _, r := range rs {
 		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n, n, r, rng)
 		lists := prepLists(cfg, 4, a, b)
 		row := []string{fmt.Sprintf("%d", r)}
-		for _, algo := range fig5Algorithms {
+		for _, algo := range algos {
 			row = append(row, ms(timeAlgo(cfg, algo, lists)))
 		}
 		t.AddRow(row...)
@@ -151,14 +155,16 @@ func runFig6(cfg Config) []*Table {
 	if cfg.Full() {
 		n = 10_000_000
 	}
+	algos := cfg.FilterAlgos(fig6Algorithms)
 	t := &Table{
 		ID:      "fig6",
 		Title:   fmt.Sprintf("Intersection time (ms), k sets of %d uniform IDs, m = 2", n),
-		Columns: append([]string{"k"}, algoNames(fig6Algorithms)...),
+		Columns: append([]string{"k"}, algoNames(algos)...),
 		Notes: []string{
 			"paper shape: RanGroupScan fastest, margin growing with k; RanGroup next; Merge strong among the rest",
 		},
 	}
+	t.NoteEmptyFilter(cfg, algos)
 	rng := xhash.NewRNG(cfg.Seed + 6)
 	for _, k := range []int{2, 3, 4} {
 		ns := make([]int, k)
@@ -168,7 +174,7 @@ func runFig6(cfg Config) []*Table {
 		raw := workload.RandomSets(workload.DefaultUniverse, ns, rng)
 		lists := prepLists(cfg, 2, raw...)
 		row := []string{fmt.Sprintf("%d", k)}
-		for _, algo := range fig6Algorithms {
+		for _, algo := range algos {
 			row = append(row, ms(timeAlgo(cfg, algo, lists)))
 		}
 		t.AddRow(row...)
@@ -187,14 +193,16 @@ func runRatio(cfg Config) []*Table {
 	if cfg.Full() {
 		n2 = 10_000_000
 	}
+	algos := cfg.FilterAlgos(ratioAlgorithms)
 	t := &Table{
 		ID:      "ratio",
 		Title:   fmt.Sprintf("Intersection time (ms), |L2| = %d, varying sr = |L2|/|L1|, r = 1%%·|L1|", n2),
-		Columns: append([]string{"sr", "|L1|"}, algoNames(ratioAlgorithms)...),
+		Columns: append([]string{"sr", "|L1|"}, algoNames(algos)...),
 		Notes: []string{
 			"paper shape: RanGroupScan best for sr < 32; Hash/Lookup best for sr ≥ 100; HashBin and RanGroupScan close to the best everywhere",
 		},
 	}
+	t.NoteEmptyFilter(cfg, algos)
 	rng := xhash.NewRNG(cfg.Seed + 7)
 	for _, sr := range []int{1, 4, 16, 32, 64, 128, 256, 625} {
 		n1 := n2 / sr
@@ -204,7 +212,7 @@ func runRatio(cfg Config) []*Table {
 		a, b := workload.PairWithIntersection(workload.DefaultUniverse, n1, n2, n1/100, rng)
 		lists := prepLists(cfg, 4, a, b)
 		row := []string{fmt.Sprintf("%d", sr), fmt.Sprintf("%d", n1)}
-		for _, algo := range ratioAlgorithms {
+		for _, algo := range algos {
 			row = append(row, ms(timeAlgo(cfg, algo, lists)))
 		}
 		t.AddRow(row...)

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"fastintersect"
 )
 
 // Config parameterizes a run.
@@ -22,6 +24,38 @@ type Config struct {
 	Scale string // "small" or "full"
 	Seed  uint64
 	Reps  int // timing repetitions; the minimum is reported
+	// Algos optionally restricts the algorithms an experiment times. Empty
+	// means "the experiment's own default list". Experiments whose layout
+	// depends on a fixed algorithm set (e.g. the Merge-relative speedups of
+	// the real-workload tables) may ignore the filter.
+	Algos []fastintersect.Algorithm
+}
+
+// NoteEmptyFilter appends a visible warning to a table when an -algos
+// filter removed every one of an experiment's algorithms (the run would
+// otherwise silently emit tables with no timing columns).
+func (t *Table) NoteEmptyFilter(c Config, algos []fastintersect.Algorithm) {
+	if len(c.Algos) > 0 && len(algos) == 0 {
+		t.Notes = append(t.Notes, "warning: -algos filter matches none of this experiment's algorithms; no timings measured")
+	}
+}
+
+// FilterAlgos restricts def to the members of c.Algos, preserving def's
+// order. With no filter configured it returns def unchanged.
+func (c Config) FilterAlgos(def []fastintersect.Algorithm) []fastintersect.Algorithm {
+	if len(c.Algos) == 0 {
+		return def
+	}
+	out := make([]fastintersect.Algorithm, 0, len(def))
+	for _, a := range def {
+		for _, want := range c.Algos {
+			if a == want {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // DefaultConfig is the small-scale default.

@@ -9,7 +9,9 @@ package invindex
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"fastintersect"
 	"fastintersect/internal/sets"
@@ -61,17 +63,54 @@ func (ix *Index) AddPosting(term string, docIDs []uint32) error {
 // preprocessed. After Build the index is read-only and safe for concurrent
 // queries.
 func (ix *Index) Build() error {
+	return ix.BuildParallel(1)
+}
+
+// BuildParallel is Build with posting-list preprocessing spread across
+// workers goroutines (0 = GOMAXPROCS). This is the shard-friendly build
+// path: a sharded engine builds many independent indexes concurrently, and
+// each can additionally parallelize over its own terms.
+func (ix *Index) BuildParallel(workers int) error {
 	if ix.built != nil {
 		return errors.New("invindex: Build called twice")
 	}
-	ix.built = make(map[string]*fastintersect.List, len(ix.pending))
-	for term, ids := range ix.pending {
-		l, err := fastintersect.Preprocess(sets.SortDedup(ids), ix.opts...)
-		if err != nil {
-			return fmt.Errorf("invindex: term %q: %w", term, err)
-		}
-		ix.built[term] = l
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	terms := make([]string, 0, len(ix.pending))
+	for t := range ix.pending {
+		terms = append(terms, t)
+	}
+	built := make(map[string]*fastintersect.List, len(terms))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+	)
+	for _, term := range terms {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(term string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			l, err := fastintersect.Preprocess(sets.SortDedup(ix.pending[term]), ix.opts...)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("invindex: term %q: %w", term, err)
+				}
+				return
+			}
+			built[term] = l
+		}(term)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	ix.built = built
 	ix.pending = nil
 	return nil
 }
@@ -103,6 +142,18 @@ func (ix *Index) Postings(term string) *fastintersect.List {
 		return nil
 	}
 	return ix.built[term]
+}
+
+// Docs returns the number of documents recorded via Add. Postings added
+// with AddPosting are not counted.
+func (ix *Index) Docs() int { return ix.docs }
+
+// TermCount returns the number of distinct indexed terms.
+func (ix *Index) TermCount() int {
+	if ix.built != nil {
+		return len(ix.built)
+	}
+	return len(ix.pending)
 }
 
 // DocFreq returns the document frequency of a term (0 if unknown).

@@ -133,3 +133,97 @@ func TestIndexAddPostingAndTerms(t *testing.T) {
 		t.Fatalf("query = %v", got)
 	}
 }
+
+func TestIndexAddPostingAfterBuild(t *testing.T) {
+	ix := buildTestIndex(t)
+	if err := ix.AddPosting("late", []uint32{1, 2}); err == nil {
+		t.Fatal("AddPosting after Build accepted")
+	}
+}
+
+func TestIndexDocsAndTermCount(t *testing.T) {
+	ix := New()
+	if ix.Docs() != 0 || ix.TermCount() != 0 {
+		t.Fatalf("empty index: docs=%d terms=%d", ix.Docs(), ix.TermCount())
+	}
+	_ = ix.Add(1, []string{"a", "b"})
+	_ = ix.Add(2, []string{"b"})
+	if ix.Docs() != 2 || ix.TermCount() != 2 {
+		t.Fatalf("pending: docs=%d terms=%d", ix.Docs(), ix.TermCount())
+	}
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Docs() != 2 || ix.TermCount() != 2 {
+		t.Fatalf("built: docs=%d terms=%d", ix.Docs(), ix.TermCount())
+	}
+}
+
+// TestBuildParallelMatchesSerial checks the shard-friendly build path
+// produces an identical index.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	mk := func() *Index {
+		ix := New()
+		for d := uint32(0); d < 500; d++ {
+			terms := []string{"all"}
+			if d%2 == 0 {
+				terms = append(terms, "even")
+			}
+			if d%3 == 0 {
+				terms = append(terms, "triple")
+			}
+			if err := ix.Add(d, terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	serial, parallel := mk(), mk()
+	if err := serial.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.BuildParallel(8); err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []string{"all", "even", "triple"} {
+		a, err := serial.Query(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.Query(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sets.Equal(a, b) {
+			t.Fatalf("term %q: serial %d docs, parallel %d", term, len(a), len(b))
+		}
+	}
+	got, err := parallel.Query("even", "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Query("even", "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(got, want) {
+		t.Fatal("conjunctive query differs between build paths")
+	}
+}
+
+func TestBuildParallelErrors(t *testing.T) {
+	ix := New()
+	_ = ix.Add(1, []string{"a"})
+	if err := ix.BuildParallel(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.BuildParallel(4); err == nil {
+		t.Fatal("double BuildParallel accepted")
+	}
+	// Invalid options surface as a build error, not a panic.
+	bad := New(fastintersect.WithHashImages(99))
+	_ = bad.Add(1, []string{"a"})
+	if err := bad.BuildParallel(4); err == nil {
+		t.Fatal("invalid preprocess options accepted")
+	}
+}

@@ -139,6 +139,23 @@ func Union(a, b []uint32) []uint32 {
 	return out
 }
 
+// Difference returns the sorted elements of a that are not in b; both
+// inputs must be sorted ascending.
+func Difference(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
 // SortU32 sorts a []uint32 ascending in place. Shared helper so hot callers
 // avoid the closure allocation of sort.Slice.
 func SortU32(s []uint32) {

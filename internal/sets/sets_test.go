@@ -190,3 +190,25 @@ func TestSortU32(t *testing.T) {
 		t.Fatalf("SortU32 = %v", s)
 	}
 }
+
+func TestDifference(t *testing.T) {
+	cases := []struct{ a, b, want []uint32 }{
+		{[]uint32{1, 2, 3}, []uint32{2}, []uint32{1, 3}},
+		{[]uint32{1, 2, 3}, nil, []uint32{1, 2, 3}},
+		{nil, []uint32{1}, []uint32{}},
+		{[]uint32{1, 2}, []uint32{1, 2}, []uint32{}},
+		{[]uint32{5, 10, 15}, []uint32{0, 10, 20}, []uint32{5, 15}},
+		{[]uint32{0, 4294967295}, []uint32{7}, []uint32{0, 4294967295}},
+	}
+	for _, c := range cases {
+		got := Difference(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("Difference(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Difference(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+
+	"fastintersect/internal/xhash"
+)
+
+// TermName renders term rank t as the engine-facing token used when a Real
+// corpus is loaded into the query engine ("t0" is the most frequent term).
+func TermName(t int) string { return "t" + strconv.Itoa(t) }
+
+// StreamConfig controls the operator mix of a generated query stream.
+type StreamConfig struct {
+	// OrFrac is the fraction of queries extended with an OR branch
+	// ("(a AND b) OR c").
+	OrFrac float64
+	// NotFrac is the fraction of queries extended with a negated term
+	// ("a AND b AND NOT c").
+	NotFrac float64
+	Seed    uint64
+}
+
+// DefaultStreamConfig mirrors observed web-query operator rates: boolean
+// operators are rare relative to bare conjunctions.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{OrFrac: 0.10, NotFrac: 0.05, Seed: 0xD15C0}
+}
+
+// QueryStream renders n query-language strings for the engine by replaying
+// the workload's conjunctive queries round-robin and extending a
+// cfg-controlled fraction with OR and NOT operators. Deterministic in
+// cfg.Seed; the stream repeats (with different operator decorations) once
+// n exceeds len(r.Queries), which is exactly what gives a result cache
+// something to do.
+func (r *Real) QueryStream(n int, cfg StreamConfig) []string {
+	if n <= 0 || len(r.Queries) == 0 {
+		return nil
+	}
+	rng := xhash.NewRNG(cfg.Seed)
+	terms := len(r.Postings)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		q := r.Queries[i%len(r.Queries)]
+		parts := make([]string, len(q.Terms))
+		for j, t := range q.Terms {
+			parts[j] = TermName(t)
+		}
+		s := strings.Join(parts, " AND ")
+		if rng.Float64() < cfg.NotFrac {
+			// Negate a tail (low-df) term so the difference rarely wipes
+			// out the whole result.
+			t := terms/2 + rng.Intn(terms-terms/2)
+			s += " AND NOT " + TermName(t)
+		}
+		if terms >= 2 && rng.Float64() < cfg.OrFrac {
+			// Union in a mid-rank term.
+			t := rng.Intn(terms / 2)
+			s = "(" + s + ") OR " + TermName(t)
+		}
+		out = append(out, s)
+	}
+	return out
+}

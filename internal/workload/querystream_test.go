@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryStreamDeterministicAndShaped(t *testing.T) {
+	r := NewReal(RealConfig{
+		NumDocs: 5_000, NumTerms: 500, NumQueries: 50,
+		ZipfS: 0.7, TopDFFrac: 0.2, HotFrac: 0.08, HotWeight: 8, Seed: 1,
+	})
+	cfg := StreamConfig{OrFrac: 0.5, NotFrac: 0.5, Seed: 99}
+	a := r.QueryStream(200, cfg)
+	b := r.QueryStream(200, cfg)
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+	var ors, nots int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+		if strings.Contains(a[i], " OR ") {
+			ors++
+		}
+		if strings.Contains(a[i], "NOT ") {
+			nots++
+		}
+		if !strings.Contains(a[i], "AND") {
+			t.Fatalf("query %q has no conjunction", a[i])
+		}
+	}
+	// With 50% rates over 200 queries, both operators must show up often.
+	if ors < 50 || nots < 50 {
+		t.Fatalf("operator mix off: %d OR, %d NOT of 200", ors, nots)
+	}
+	// And a pure-conjunctive stream has neither.
+	plain := r.QueryStream(50, StreamConfig{Seed: 3})
+	for _, q := range plain {
+		if strings.Contains(q, " OR ") || strings.Contains(q, "NOT ") {
+			t.Fatalf("plain stream contains operator: %q", q)
+		}
+	}
+}
+
+func TestTermName(t *testing.T) {
+	if TermName(0) != "t0" || TermName(123) != "t123" {
+		t.Fatalf("TermName = %q, %q", TermName(0), TermName(123))
+	}
+}
