@@ -7,9 +7,11 @@
 //	fsibench -list
 //	fsibench -exp fig4                 # one experiment, small scale
 //	fsibench -exp all -scale full      # the whole evaluation, paper scale
+//	fsibench -json BENCH_compress.json # machine-readable encoding benchmark
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		scale = flag.String("scale", "small", "'small' (minutes) or 'full' (paper-scale sizes)")
-		reps  = flag.Int("reps", 3, "timing repetitions (minimum is reported)")
-		seed  = flag.Uint64("seed", 0x5EED_F00D, "workload seed")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		algos = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
+		exp     = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		scale   = flag.String("scale", "small", "'small' (minutes) or 'full' (paper-scale sizes)")
+		reps    = flag.Int("reps", 3, "timing repetitions (minimum is reported)")
+		seed    = flag.Uint64("seed", 0x5EED_F00D, "workload seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		algos   = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
+		jsonOut = flag.String("json", "", "run the storage-sweep encoding benchmark and write it as JSON to this file (ns/op and bytes/posting per encoding), then exit")
 	)
 	flag.Parse()
 
@@ -51,6 +54,21 @@ func main() {
 	if cfg.Scale != "small" && cfg.Scale != "full" {
 		fmt.Fprintln(os.Stderr, "fsibench: -scale must be 'small' or 'full'")
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		rep := harness.CompressBench(cfg)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsibench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fsibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d workloads × %d encodings)\n",
+			*jsonOut, len(rep.Workloads), len(rep.Workloads[0].Encodings))
+		return
 	}
 	run := func(e harness.Experiment) {
 		start := time.Now()

@@ -36,6 +36,7 @@ import (
 
 	"fastintersect"
 	"fastintersect/internal/engine"
+	"fastintersect/internal/invindex"
 	"fastintersect/internal/workload"
 )
 
@@ -45,7 +46,8 @@ func main() {
 		shards      = flag.Int("shards", 4, "index shards")
 		workers     = flag.Int("workers", 0, "shard-query worker pool size (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 4096, "result-cache entries (0 disables)")
-		algoName    = flag.String("algo", "Auto", "intersection algorithm for conjunctions")
+		algoName    = flag.String("algo", "Auto", "intersection algorithm for conjunctions (raw storage only)")
+		storageName = flag.String("storage", "raw", "posting storage: 'raw' or 'compressed' (adaptive per-list encoding)")
 		docs        = flag.Uint("docs", 200_000, "synthetic corpus: number of documents")
 		terms       = flag.Int("terms", 20_000, "synthetic corpus: vocabulary size")
 		queries     = flag.Int("queries", 2_000, "synthetic corpus: base query count")
@@ -58,6 +60,11 @@ func main() {
 	flag.Parse()
 
 	algo, err := fastintersect.ParseAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
+		os.Exit(2)
+	}
+	storage, err := invindex.ParseStorage(*storageName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
 		os.Exit(2)
@@ -87,14 +94,16 @@ func main() {
 		Workers:   *workers,
 		CacheSize: *cacheSize,
 		Algorithm: algo,
+		Storage:   storage,
 	})
 	if err := loadCorpus(eng, corpus); err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
 		os.Exit(1)
 	}
 	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "fsiserve: indexed %d docs, %d (term,shard) postings across %d shards in %v\n",
-		st.Docs, st.Terms, st.Shards, time.Since(genStart).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "fsiserve: indexed %d docs, %d (term,shard) postings across %d shards (%s storage, %.2f B/posting) in %v\n",
+		st.Docs, st.Terms, st.Shards, st.Storage, st.Postings.BytesPerPosting,
+		time.Since(genStart).Round(time.Millisecond))
 
 	if *load > 0 {
 		runLoad(eng, corpus, *load, *concurrency, workload.StreamConfig{

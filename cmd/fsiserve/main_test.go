@@ -13,6 +13,7 @@ import (
 
 	"fastintersect"
 	"fastintersect/internal/engine"
+	"fastintersect/internal/invindex"
 	"fastintersect/internal/sets"
 	"fastintersect/internal/workload"
 )
@@ -32,8 +33,12 @@ func testCorpus(t testing.TB) *workload.Real {
 }
 
 func testServer(t testing.TB, corpus *workload.Real, shards int) (*httptest.Server, *engine.Engine) {
+	return testServerStorage(t, corpus, shards, invindex.StorageRaw)
+}
+
+func testServerStorage(t testing.TB, corpus *workload.Real, shards int, st invindex.Storage) (*httptest.Server, *engine.Engine) {
 	t.Helper()
-	eng := engine.New(engine.Config{Shards: shards, CacheSize: 256})
+	eng := engine.New(engine.Config{Shards: shards, CacheSize: 256, Storage: st})
 	if err := loadCorpus(eng, corpus); err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +130,55 @@ func TestServeMatchesDirectIntersection(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestServeCompressedStorage runs the same service over compressed posting
+// storage: served results must match the raw-storage server query for
+// query, and /stats must expose the per-encoding posting accounting.
+func TestServeCompressedStorage(t *testing.T) {
+	corpus := testCorpus(t)
+	tsRaw, _ := testServer(t, corpus, 3)
+	tsComp, _ := testServerStorage(t, corpus, 3, invindex.StorageCompressed)
+
+	queries := []string{
+		workload.TermName(0),
+		workload.TermName(0) + " AND " + workload.TermName(3),
+		workload.TermName(1) + " AND (" + workload.TermName(5) + " OR " + workload.TermName(9) + ")",
+		workload.TermName(2) + " AND NOT " + workload.TermName(4),
+	}
+	for _, q := range queries {
+		rr, code := getQuery(t, tsRaw, q)
+		if code != http.StatusOK {
+			t.Fatalf("raw %q: status %d", q, code)
+		}
+		cr, code := getQuery(t, tsComp, q)
+		if code != http.StatusOK {
+			t.Fatalf("compressed %q: status %d", q, code)
+		}
+		if !sets.Equal(rr.Docs, cr.Docs) {
+			t.Fatalf("storage changed result of %q: raw %d docs, compressed %d docs",
+				q, len(rr.Docs), len(cr.Docs))
+		}
+	}
+
+	resp, err := http.Get(tsComp.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage != "compressed" {
+		t.Fatalf("storage = %q", st.Storage)
+	}
+	if st.Postings.Total == 0 || st.Postings.StoredBytes >= st.Postings.RawBytes {
+		t.Fatalf("postings accounting = %+v", st.Postings)
+	}
+	if len(st.Postings.Encodings) < 2 {
+		t.Fatalf("expected multiple encodings, got %v", st.Postings.Encodings)
+	}
 }
 
 // TestServeBooleanOperators verifies OR/NOT queries against reference set

@@ -44,4 +44,16 @@
 // an LRU result cache keyed by the normalized query, and an HTTP JSON API
 // with a built-in load generator — the search-engine setting that
 // motivates the paper, end to end.
+//
+// The serving tier's posting storage is pluggable (§4.1 and Appendix B of
+// the paper): besides raw slices, internal/invindex can hold each posting
+// list compressed — Elias γ/δ gap codes behind a bucket directory, or the
+// paper's Lowbits grouping whose decode is a single bit concatenation —
+// with the encoding chosen per list from its length and density (short
+// lists stay raw, γ wins on dense lists, δ on sparse ones, and long
+// mid-density lists take Lowbits, trading ≤2× the best gap-coded size for
+// the fastest compressed intersections). Queries intersect directly over
+// the compressed representations, and engine.Stats reports the exact
+// bytes-per-posting footprint per encoding. See ARCHITECTURE.md for the
+// full map from packages to paper sections.
 package fastintersect

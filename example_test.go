@@ -1,0 +1,40 @@
+package fastintersect_test
+
+import (
+	"fmt"
+	"sort"
+
+	"fastintersect"
+)
+
+// ExampleIntersect preprocesses two sorted ID lists and intersects them
+// with the auto-selected algorithm. Intersect returns results in an
+// algorithm-dependent order, so they are sorted for display (or use
+// IntersectSorted).
+func ExampleIntersect() {
+	a, _ := fastintersect.Preprocess([]uint32{2, 4, 8, 16, 32, 64})
+	b, _ := fastintersect.Preprocess([]uint32{3, 4, 9, 16, 27, 64})
+	res, _ := fastintersect.Intersect(a, b)
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	fmt.Println(res)
+	// Output: [4 16 64]
+}
+
+// ExampleIntersectWith selects a specific algorithm — here the Merge
+// baseline, which emits ascending IDs — making head-to-head comparisons on
+// one workload a one-line change.
+func ExampleIntersectWith() {
+	a, _ := fastintersect.Preprocess([]uint32{1, 3, 5, 7, 9})
+	b, _ := fastintersect.Preprocess([]uint32{3, 4, 5, 6, 7})
+	res, _ := fastintersect.IntersectWith(fastintersect.Merge, a, b)
+	fmt.Println(res)
+	// Output: [3 5 7]
+}
+
+// ExampleParseAlgorithm round-trips an algorithm name, the mechanism the
+// CLI tools use for their -algo flags.
+func ExampleParseAlgorithm() {
+	algo, _ := fastintersect.ParseAlgorithm("rangroupscan")
+	fmt.Println(algo)
+	// Output: RanGroupScan
+}

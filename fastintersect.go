@@ -42,6 +42,18 @@ func WithHashImages(m int) Option { return func(o *Options) { o.m = m } }
 // layers enabling IntGroupOpt (§A.1.1). Costs additional O(n) space.
 func WithAllWidths() Option { return func(o *Options) { o.allWidths = true } }
 
+// OptionsSeed resolves the hash-family seed an option list selects
+// (DefaultSeed when none is set). The serving tier's compressed storage
+// (internal/invindex with StorageCompressed) derives its grouped structures
+// from the same seed so every representation of an index shares one family.
+func OptionsSeed(opts ...Option) uint64 {
+	o := Options{seed: DefaultSeed}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o.seed
+}
+
 // families caches hash families so lists built independently with the same
 // seed share pointer-identical functions.
 var (

@@ -5,6 +5,15 @@
 // t bits are the group identifier — whose decoding is a single concatenation
 // (Appendix B).
 //
+// Beyond reproducing the paper's Figure 8 variants, the package is the
+// storage tier of the serving path: Stored holds one posting list under one
+// Encoding (raw, γ, δ, or Lowbits), ChooseEncoding picks the encoding per
+// list from its length and density (exact γ/δ bit counts from the gaps,
+// with a bounded space allowance that buys Lowbits' concatenation decode
+// for long lists), and IntersectStored intersects directly over the stored
+// representations without materializing raw slices. internal/invindex and
+// internal/engine build on these under StorageCompressed.
+//
 // Bit streams are LSB-first within 64-bit words, so unary runs are scanned
 // with a single TrailingZeros instruction.
 package compress

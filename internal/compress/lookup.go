@@ -78,6 +78,12 @@ func (l *LookupList) SizeWords() int {
 	return len(l.words) + (len(l.dir)+1)/2
 }
 
+// SizeBytes returns the exact payload footprint in bytes: the bit stream
+// plus the 32-bit directory.
+func (l *LookupList) SizeBytes() int {
+	return 8*len(l.words) + 4*len(l.dir)
+}
+
 // decodeBucket appends bucket q's elements to dst.
 func (l *LookupList) decodeBucket(q uint32, dst []uint32) []uint32 {
 	if q >= uint32(len(l.dir))-1 {

@@ -32,6 +32,9 @@ func (l *MergeList) Len() int { return l.n }
 // SizeWords returns the compressed size in 64-bit words.
 func (l *MergeList) SizeWords() int { return len(l.words) }
 
+// SizeBytes returns the exact payload footprint in bytes.
+func (l *MergeList) SizeBytes() int { return 8 * len(l.words) }
+
 // Decode reconstructs the full posting list.
 func (l *MergeList) Decode() []uint32 {
 	out := make([]uint32, 0, l.n)

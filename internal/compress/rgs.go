@@ -138,6 +138,12 @@ func (l *RGSList) SizeWords() int { return len(l.stream) + (len(l.dir)+1)/2 }
 // directory).
 func (l *RGSList) SizeWordsNoDir() int { return len(l.stream) }
 
+// SizeBytes returns the exact payload footprint in bytes: the bit stream
+// plus the 32-bit directory.
+func (l *RGSList) SizeBytes() int {
+	return 8*len(l.stream) + 4*len(l.dir)
+}
+
 // group decodes group z in full (header + elements): used by tests and
 // one-shot callers. For Lowbits the returned elements are g-values
 // (ascending); for γ/δ they are document IDs (ascending). The images slice

@@ -1,0 +1,275 @@
+package compress
+
+import (
+	"fmt"
+
+	"fastintersect/internal/bitword"
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+)
+
+// StoredHashImages is the m used by EncLowbits stored lists: the paper's
+// compressed experiments run RanGroupScan with a single image word per
+// group (§4.1), and one word already filters the overwhelming majority of
+// non-matching group pairs.
+const StoredHashImages = 1
+
+// Stored is one posting list held under a serving-tier Encoding: the
+// pluggable representation behind invindex's compressed storage mode.
+// A Stored is immutable after construction and safe for concurrent use.
+//
+// Each encoding keeps exactly one structure:
+//
+//	EncRaw      the sorted []uint32 itself (shared with the caller)
+//	EncGamma/δ  a LookupList — gap-coded buckets behind a directory, so
+//	            intersections decode only the buckets they visit
+//	EncLowbits  an RGSList — the Appendix B grouped structure whose decode
+//	            is a single bit concatenation
+type Stored struct {
+	enc    Encoding
+	n      int
+	raw    []uint32
+	lookup *LookupList
+	rgs    *RGSList
+}
+
+// NewStored stores a sorted set under the given encoding. EncLowbits needs
+// fam (with at least StoredHashImages provisioned images); the other
+// encodings ignore it. For EncRaw the set slice is retained, not copied.
+func NewStored(fam *core.Family, set []uint32, enc Encoding) (*Stored, error) {
+	s := &Stored{enc: enc, n: len(set)}
+	var err error
+	switch enc {
+	case EncRaw:
+		if err = sets.Validate(set); err == nil {
+			s.raw = set
+		}
+	case EncGamma:
+		s.lookup, err = NewLookupListAuto(set, Gamma, DefaultStoredBucket)
+	case EncDelta:
+		s.lookup, err = NewLookupListAuto(set, Delta, DefaultStoredBucket)
+	case EncLowbits:
+		s.rgs, err = NewRGSList(fam, set, StoredHashImages, RGSLowbits)
+	default:
+		err = fmt.Errorf("compress: unknown encoding %d", int(enc))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DefaultStoredBucket is the average bucket population of the γ/δ lookup
+// directories: the paper's B = 32.
+const DefaultStoredBucket = 32
+
+// NewStoredAdaptive stores a sorted set under the encoding ChooseEncoding
+// picks from its length and density.
+func NewStoredAdaptive(fam *core.Family, set []uint32) (*Stored, error) {
+	return NewStored(fam, set, ChooseEncoding(set))
+}
+
+// Encoding returns the representation the list is stored under.
+func (s *Stored) Encoding() Encoding { return s.enc }
+
+// Len returns the number of postings.
+func (s *Stored) Len() int { return s.n }
+
+// SizeBytes returns the exact payload footprint: element storage plus any
+// directory, excluding only the fixed-size struct headers.
+func (s *Stored) SizeBytes() int {
+	switch s.enc {
+	case EncRaw:
+		return 4 * len(s.raw)
+	case EncGamma, EncDelta:
+		return s.lookup.SizeBytes()
+	case EncLowbits:
+		return s.rgs.SizeBytes()
+	}
+	return 0
+}
+
+// Decode materializes the sorted posting list. For EncRaw the returned
+// slice is the stored one — treat it as read-only; the compressed encodings
+// return a fresh slice.
+func (s *Stored) Decode() []uint32 {
+	switch s.enc {
+	case EncRaw:
+		return s.raw
+	case EncGamma, EncDelta:
+		return s.lookup.Decode()
+	case EncLowbits:
+		return s.rgs.DecodeDocs()
+	}
+	return nil
+}
+
+// IntersectStored intersects k ≥ 1 stored lists directly over their
+// representations, returning ascending document IDs. Operands are
+// cost-ordered by length, then the best kernel for the shapes at hand runs:
+//
+//   - two EncLowbits lists: Algorithm 5 over the compressed groups
+//     (IntersectRGS) — image-word filtering plus concatenation decode;
+//   - all-γ/δ lists: bucket-directory probe intersection (IntersectLookup),
+//     decoding only the buckets the smallest list occupies;
+//   - any other mix: the smallest list is decoded once and filtered through
+//     each remaining list in ascending size order, probing buckets (γ/δ),
+//     groups (Lowbits, pre-filtered by the image words), or merging (raw)
+//     without materializing the larger lists.
+//
+// The result may share memory with an EncRaw operand when no filtering was
+// required; callers must treat it as read-only.
+func IntersectStored(ss ...*Stored) []uint32 {
+	switch len(ss) {
+	case 0:
+		return nil
+	case 1:
+		return ss[0].Decode()
+	}
+	ord := make([]*Stored, len(ss))
+	copy(ord, ss)
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && ord[j].n < ord[j-1].n; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	if ord[0].n == 0 {
+		return nil
+	}
+	if len(ord) == 2 && ord[0].enc == EncLowbits && ord[1].enc == EncLowbits {
+		out := IntersectRGS(ord[0].rgs, ord[1].rgs)
+		sets.SortU32(out)
+		return out
+	}
+	allLookup := true
+	for _, s := range ord {
+		if s.enc != EncGamma && s.enc != EncDelta {
+			allLookup = false
+			break
+		}
+	}
+	if allLookup {
+		lls := make([]*LookupList, len(ord))
+		for i, s := range ord {
+			lls[i] = s.lookup
+		}
+		return IntersectLookup(lls...)
+	}
+	cur := ord[0].Decode()
+	for _, s := range ord[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = s.filterSorted(cur)
+	}
+	return cur
+}
+
+// filterSorted returns the members of probe (ascending document IDs) that s
+// contains. probe is never modified; the result is a fresh slice.
+func (s *Stored) filterSorted(probe []uint32) []uint32 {
+	if s.enc == EncRaw {
+		return sets.IntersectReference(probe, s.raw)
+	}
+	capHint := len(probe)
+	if s.n < capHint {
+		capHint = s.n
+	}
+	out := make([]uint32, 0, capHint)
+	switch s.enc {
+	case EncGamma, EncDelta:
+		out = s.lookup.filterSorted(probe, out)
+	case EncLowbits:
+		out = s.rgs.filterDocs(probe, out)
+	}
+	return out
+}
+
+// filterSorted appends the members of probe (ascending) present in l to
+// out. Consecutive probes share a bucket decode: ascending probes visit
+// buckets in order, so each occupied bucket is decoded at most once.
+func (l *LookupList) filterSorted(probe []uint32, out []uint32) []uint32 {
+	buckets := uint32(len(l.dir)) - 1
+	curQ := ^uint32(0)
+	bucket := make([]uint32, 0, 2*DefaultStoredBucket)
+	i := 0
+	for _, x := range probe {
+		q := x / l.b
+		if q >= buckets {
+			break
+		}
+		if q != curQ {
+			curQ = q
+			bucket = l.decodeBucket(q, bucket[:0])
+			i = 0
+		}
+		for i < len(bucket) && bucket[i] < x {
+			i++
+		}
+		if i < len(bucket) && bucket[i] == x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// filterDocs appends the members of probe (ascending document IDs) present
+// in l to out. Each probe hashes to its group, the group's image words are
+// checked first (the Algorithm 5 filter, rejecting most absent candidates
+// from the header alone), and only survivors pay an element decode.
+func (l *RGSList) filterDocs(probe []uint32, out []uint32) []uint32 {
+	var imgs [core.MaxImageCount]bitword.Word
+	buf := make([]uint32, 0, 4*bitword.SqrtW)
+	lowWidth := uint(32) - l.t
+	for _, x := range probe {
+		g := l.fam.Perm.Apply(x)
+		z := int(g >> lowWidth)
+		cnt, pos := l.groupHeader(z, imgs[:l.m])
+		if cnt == 0 {
+			continue
+		}
+		alive := true
+		for j := 0; j < l.m; j++ {
+			if !imgs[j].Contains(uint(l.fam.Images[j].Hash(x))) {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		target := x
+		if l.coding == RGSLowbits {
+			target = g // Lowbits groups hold g-values, not document IDs
+		}
+		buf = l.groupElems(z, cnt, pos, buf)
+		for _, v := range buf {
+			if v == target {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DecodeDocs reconstructs the sorted document IDs of the whole structure
+// (Lowbits groups hold g-values, which are mapped back through g⁻¹).
+func (l *RGSList) DecodeDocs() []uint32 {
+	out := make([]uint32, 0, l.n)
+	var imgs [core.MaxImageCount]bitword.Word
+	buf := make([]uint32, 0, 4*bitword.SqrtW)
+	groups := 1 << l.t
+	for z := 0; z < groups; z++ {
+		buf = l.group(z, imgs[:l.m], buf)
+		if l.coding == RGSLowbits {
+			for _, g := range buf {
+				out = append(out, l.fam.Perm.Invert(g))
+			}
+		} else {
+			out = append(out, buf...)
+		}
+	}
+	sets.SortU32(out)
+	return out
+}

@@ -1,0 +1,259 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func storedFam() *core.Family { return core.NewFamily(0x5708ED, StoredHashImages) }
+
+// edgeSets are the shapes most likely to break an encoder: empty,
+// singletons at the extremes, dense runs starting at zero, a dense run with
+// a far outlier, and adjacent values around word boundaries.
+func edgeSets() [][]uint32 {
+	denseRun := make([]uint32, 500)
+	for i := range denseRun {
+		denseRun[i] = uint32(i)
+	}
+	offsetRun := make([]uint32, 300)
+	for i := range offsetRun {
+		offsetRun[i] = 1<<30 + uint32(i)
+	}
+	return [][]uint32{
+		nil,
+		{0},
+		{42},
+		{1<<32 - 1},
+		{0, 1<<32 - 1},
+		{0, 1, 2, 3},
+		denseRun,
+		append(append([]uint32(nil), denseRun...), 1<<31),
+		offsetRun,
+	}
+}
+
+func TestStoredRoundtripEdges(t *testing.T) {
+	fam := storedFam()
+	for _, set := range edgeSets() {
+		for _, enc := range Encodings() {
+			s, err := NewStored(fam, set, enc)
+			if err != nil {
+				t.Fatalf("%v on %d elems: %v", enc, len(set), err)
+			}
+			if s.Len() != len(set) {
+				t.Fatalf("%v: Len = %d, want %d", enc, s.Len(), len(set))
+			}
+			if got := s.Decode(); !sets.Equal(got, set) {
+				t.Fatalf("%v on %d elems: decode mismatch (got %d elems)", enc, len(set), len(got))
+			}
+		}
+	}
+}
+
+func TestStoredRoundtripProperty(t *testing.T) {
+	fam := storedFam()
+	f := func(raw []uint32) bool {
+		set := sets.SortDedup(append([]uint32(nil), raw...))
+		for _, enc := range Encodings() {
+			s, err := NewStored(fam, set, enc)
+			if err != nil {
+				return false
+			}
+			if !sets.Equal(s.Decode(), set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectStoredAllEncodingPairs(t *testing.T) {
+	fam := storedFam()
+	rng := xhash.NewRNG(0xA11)
+	for trial := 0; trial < 8; trial++ {
+		n1 := 200 + rng.Intn(2000)
+		n2 := 200 + rng.Intn(5000)
+		maxR := n1
+		if n2 < maxR {
+			maxR = n2
+		}
+		a, b := workload.PairWithIntersection(1<<22, n1, n2, rng.Intn(maxR), rng)
+		want := sets.IntersectReference(a, b)
+		for _, ea := range Encodings() {
+			sa, err := NewStored(fam, a, ea)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eb := range Encodings() {
+				sb, err := NewStored(fam, b, eb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := IntersectStored(sa, sb); !sets.Equal(got, want) {
+					t.Fatalf("trial %d %v∩%v: got %d, want %d", trial, ea, eb, len(got), len(want))
+				}
+				// Operand order must not matter.
+				if got := IntersectStored(sb, sa); !sets.Equal(got, want) {
+					t.Fatalf("trial %d %v∩%v swapped: got %d, want %d", trial, eb, ea, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectStoredKWayMixed(t *testing.T) {
+	fam := storedFam()
+	rng := xhash.NewRNG(0xB22)
+	for trial := 0; trial < 6; trial++ {
+		lists := workload.KWithIntersection(1<<20, []int{400, 900, 1500, 2500}, 50+rng.Intn(200), rng)
+		want := sets.IntersectReference(lists...)
+		encs := Encodings()
+		ss := make([]*Stored, len(lists))
+		for i, l := range lists {
+			var err error
+			ss[i], err = NewStored(fam, l, encs[(trial+i)%len(encs)])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := IntersectStored(ss...); !sets.Equal(got, want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestIntersectStoredAdaptiveMatchesReference(t *testing.T) {
+	fam := storedFam()
+	rng := xhash.NewRNG(0xC33)
+	// Spans the heuristic's regimes so adaptive intersections cross
+	// encodings (raw tiny ∩ lowbits large, γ dense ∩ δ sparse, ...).
+	shapes := []struct {
+		n1, n2   int
+		universe uint32
+	}{
+		{16, 5000, 1 << 24},
+		{2048, 2048, 1 << 13},
+		{2048, 8192, 1 << 26},
+		{300, 70000, 1 << 26},
+		{70000, 70000, 1 << 26},
+	}
+	for _, sh := range shapes {
+		r := sh.n1 / 10
+		if r < 1 {
+			r = 1
+		}
+		a, b := workload.PairWithIntersection(sh.universe, sh.n1, sh.n2, r, rng)
+		want := sets.IntersectReference(a, b)
+		sa, err := NewStoredAdaptive(fam, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := NewStoredAdaptive(fam, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := IntersectStored(sa, sb); !sets.Equal(got, want) {
+			t.Fatalf("n1=%d n2=%d u=%d (%v∩%v): got %d, want %d",
+				sh.n1, sh.n2, sh.universe, sa.Encoding(), sb.Encoding(), len(got), len(want))
+		}
+	}
+}
+
+func TestIntersectStoredDegenerate(t *testing.T) {
+	fam := storedFam()
+	if got := IntersectStored(); got != nil {
+		t.Fatalf("no lists: %v", got)
+	}
+	one, _ := NewStored(fam, []uint32{3, 7, 11}, EncGamma)
+	if got := IntersectStored(one); !sets.Equal(got, []uint32{3, 7, 11}) {
+		t.Fatalf("single list: %v", got)
+	}
+	empty, _ := NewStored(fam, nil, EncLowbits)
+	if got := IntersectStored(one, empty); len(got) != 0 {
+		t.Fatalf("∩ empty: %v", got)
+	}
+	single, _ := NewStored(fam, []uint32{7}, EncRaw)
+	if got := IntersectStored(one, single); !sets.Equal(got, []uint32{7}) {
+		t.Fatalf("∩ singleton: %v", got)
+	}
+}
+
+func TestChooseEncodingRegimes(t *testing.T) {
+	rng := xhash.NewRNG(0xD44)
+	cases := []struct {
+		name     string
+		n        int
+		universe uint32
+		want     Encoding
+	}{
+		{"tiny", 32, 1 << 16, EncRaw},
+		{"small-dense", 2048, 1 << 13, EncGamma},
+		{"small-sparse", 2048, 1 << 26, EncDelta},
+		{"large-dense", 1 << 16, 1 << 18, EncGamma},
+		{"large-mid", 1 << 16, 1 << 26, EncLowbits},
+	}
+	for _, c := range cases {
+		set := workload.RandomSets(c.universe, []int{c.n}, rng)[0]
+		if got := ChooseEncoding(set); got != c.want {
+			t.Errorf("%s (n=%d, u=%d): chose %v, want %v", c.name, c.n, c.universe, got, c.want)
+		}
+	}
+}
+
+func TestGapCodeBitsMatchesWriter(t *testing.T) {
+	rng := xhash.NewRNG(0xE55)
+	for _, n := range []int{0, 1, 100, 5000} {
+		set := workload.RandomSets(1<<24, []int{n}, rng)[0]
+		if n == 0 {
+			set = nil
+		}
+		gamma, delta := GapCodeBits(set)
+		var wg, wd BitWriter
+		writeGaps(&wg, Gamma, set, 0)
+		writeGaps(&wd, Delta, set, 0)
+		if gamma != wg.Len() || delta != wd.Len() {
+			t.Fatalf("n=%d: GapCodeBits = (%d, %d), writer wrote (%d, %d)",
+				n, gamma, delta, wg.Len(), wd.Len())
+		}
+	}
+}
+
+func TestStoredSizeBytes(t *testing.T) {
+	fam := storedFam()
+	rng := xhash.NewRNG(0xF66)
+	set := workload.RandomSets(1<<15, []int{8192}, rng)[0] // dense: gaps ≈ 4
+	raw, _ := NewStored(fam, set, EncRaw)
+	if raw.SizeBytes() != 4*len(set) {
+		t.Fatalf("raw SizeBytes = %d, want %d", raw.SizeBytes(), 4*len(set))
+	}
+	for _, enc := range []Encoding{EncGamma, EncDelta} {
+		s, _ := NewStored(fam, set, enc)
+		if s.SizeBytes() >= raw.SizeBytes() {
+			t.Fatalf("%v (%d B) not smaller than raw (%d B) on a dense list",
+				enc, s.SizeBytes(), raw.SizeBytes())
+		}
+	}
+}
+
+func TestParseEncodingRoundtrip(t *testing.T) {
+	for _, enc := range Encodings() {
+		got, err := ParseEncoding(enc.String())
+		if err != nil || got != enc {
+			t.Fatalf("ParseEncoding(%q) = %v, %v", enc.String(), got, err)
+		}
+	}
+	if _, err := ParseEncoding("zstd"); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+	if Encoding(99).String() != "Encoding(?)" {
+		t.Fatal("unknown stringer wrong")
+	}
+}

@@ -10,6 +10,13 @@
 // down to fastintersect with operands cost-ordered by document frequency,
 // and the per-shard sorted results are merged. Rebuilding the index swaps
 // the shard set atomically and invalidates the cache.
+//
+// The posting storage is pluggable (Config.Storage): under
+// invindex.StorageCompressed each shard stores every posting list under
+// the encoding compress.ChooseEncoding picks from its density, conjunctions
+// run compress.IntersectStored directly over the compressed
+// representations, and Stats reports the exact per-encoding
+// bytes-per-posting footprint.
 package engine
 
 import (
@@ -35,7 +42,14 @@ type Config struct {
 	CacheSize int
 	// Algorithm intersects term conjunctions (default Auto). Algorithms
 	// with a set-count limit fall back to Auto for wider conjunctions.
+	// Ignored under StorageCompressed, which intersects directly over the
+	// compressed representations.
 	Algorithm fastintersect.Algorithm
+	// Storage selects the posting-list representation of every shard
+	// (default StorageRaw). StorageCompressed stores each list under the
+	// encoding compress.ChooseEncoding picks from its length and density;
+	// Stats then reports the per-encoding footprint.
+	Storage invindex.Storage
 	// IndexOptions are forwarded to fastintersect.Preprocess for every
 	// posting list.
 	IndexOptions []fastintersect.Option
@@ -95,7 +109,7 @@ type Builder struct {
 func (e *Engine) NewBuilder() *Builder {
 	b := &Builder{cfg: e.cfg, shards: make([]*invindex.Index, e.cfg.Shards)}
 	for i := range b.shards {
-		b.shards[i] = invindex.New(e.cfg.IndexOptions...)
+		b.shards[i] = invindex.NewWithStorage(e.cfg.Storage, e.cfg.IndexOptions...)
 	}
 	return b
 }
@@ -229,17 +243,39 @@ func (e *Engine) Query(q string) (*Result, error) {
 	return &Result{Docs: merged, Normalized: key}, nil
 }
 
+// EncodingStat aggregates the posting lists stored under one encoding
+// across all shards.
+type EncodingStat struct {
+	Lists           int     `json:"lists"`
+	Postings        uint64  `json:"postings"`
+	Bytes           uint64  `json:"bytes"`
+	BytesPerPosting float64 `json:"bytes_per_posting"`
+}
+
+// PostingStats is the engine-wide posting-payload accounting: how many
+// bytes the index actually holds versus the 4-byte-per-posting raw
+// footprint, broken down per encoding.
+type PostingStats struct {
+	Total           uint64                  `json:"total"`
+	RawBytes        uint64                  `json:"raw_bytes"`
+	StoredBytes     uint64                  `json:"stored_bytes"`
+	BytesPerPosting float64                 `json:"bytes_per_posting"`
+	Encodings       map[string]EncodingStat `json:"encodings"`
+}
+
 // Stats is a point-in-time snapshot of the engine.
 type Stats struct {
-	Shards      int        `json:"shards"`
-	Docs        uint64     `json:"docs"`
-	Terms       int        `json:"terms"`
-	ShardTerms  []int      `json:"shard_terms,omitempty"`
-	Queries     uint64     `json:"queries"`
-	QueryErrors uint64     `json:"query_errors"`
-	Rebuilds    uint64     `json:"rebuilds"`
-	Workers     int        `json:"workers"`
-	Cache       CacheStats `json:"cache"`
+	Shards      int          `json:"shards"`
+	Storage     string       `json:"storage"`
+	Docs        uint64       `json:"docs"`
+	Terms       int          `json:"terms"`
+	ShardTerms  []int        `json:"shard_terms,omitempty"`
+	Postings    PostingStats `json:"postings"`
+	Queries     uint64       `json:"queries"`
+	QueryErrors uint64       `json:"query_errors"`
+	Rebuilds    uint64       `json:"rebuilds"`
+	Workers     int          `json:"workers"`
+	Cache       CacheStats   `json:"cache"`
 }
 
 // Stats returns current counters. Terms counts distinct (term, shard)
@@ -251,7 +287,9 @@ func (e *Engine) Stats() Stats {
 	e.mu.RUnlock()
 	st := Stats{
 		Shards:      e.cfg.Shards,
+		Storage:     e.cfg.Storage.String(),
 		Docs:        docs,
+		Postings:    PostingStats{Encodings: map[string]EncodingStat{}},
 		Queries:     e.queries.Load(),
 		QueryErrors: e.errors.Load(),
 		Rebuilds:    e.rebuilds.Load(),
@@ -261,6 +299,26 @@ func (e *Engine) Stats() Stats {
 	for _, ix := range shards {
 		st.Terms += ix.TermCount()
 		st.ShardTerms = append(st.ShardTerms, ix.TermCount())
+		ms := ix.MemStats()
+		st.Postings.Total += ms.Postings
+		st.Postings.RawBytes += ms.RawBytes
+		st.Postings.StoredBytes += ms.StoredBytes
+		for enc, es := range ms.Encodings {
+			agg := st.Postings.Encodings[enc]
+			agg.Lists += es.Lists
+			agg.Postings += es.Postings
+			agg.Bytes += es.Bytes
+			st.Postings.Encodings[enc] = agg
+		}
+	}
+	if st.Postings.Total > 0 {
+		st.Postings.BytesPerPosting = float64(st.Postings.StoredBytes) / float64(st.Postings.Total)
+	}
+	for enc, agg := range st.Postings.Encodings {
+		if agg.Postings > 0 {
+			agg.BytesPerPosting = float64(agg.Bytes) / float64(agg.Postings)
+			st.Postings.Encodings[enc] = agg
+		}
 	}
 	return st
 }

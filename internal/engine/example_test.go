@@ -1,0 +1,25 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"fastintersect/internal/engine"
+)
+
+// ExampleEngine_Query stands up a two-shard engine, installs a small
+// corpus, and runs a boolean query end to end — the same path
+// cmd/fsiserve exposes over HTTP.
+func ExampleEngine_Query() {
+	eng := engine.New(engine.Config{Shards: 2, CacheSize: 16})
+	b := eng.NewBuilder()
+	_ = b.Add(1, []string{"go", "fast", "sets"})
+	_ = b.Add(2, []string{"go", "slow"})
+	_ = b.Add(3, []string{"go", "fast", "maps"})
+	_ = b.Add(4, []string{"rust", "fast"})
+	if err := eng.Install(b); err != nil {
+		panic(err)
+	}
+	res, _ := eng.Query("go AND fast AND NOT maps")
+	fmt.Println(res.Docs, res.Normalized)
+	// Output: [1] ((NOT maps) AND fast AND go)
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"fastintersect"
+	"fastintersect/internal/compress"
 	"fastintersect/internal/invindex"
 	"fastintersect/internal/sets"
 )
@@ -385,14 +386,25 @@ func Terms(n Node) []string {
 // index, returning sorted docIDs. The returned slice may alias a posting
 // list; callers must treat it as read-only.
 //
-// Conjunctions of plain terms are pushed down to fastintersect with the
-// operand lists cost-ordered by ascending document frequency — the planner
-// move that lets the paper's algorithms (whose cost is driven by the
-// smallest list and the intersection size) do the heavy lifting. Unions and
-// negations are evaluated as linear merges over the sorted sub-results.
+// Conjunctions of plain terms are pushed down with the operand lists
+// cost-ordered by ascending document frequency — the planner move that lets
+// the paper's algorithms (whose cost is driven by the smallest list and the
+// intersection size) do the heavy lifting. Under raw storage they run
+// fastintersect.IntersectWith; under compressed storage they run
+// compress.IntersectStored directly over the stored representations (γ/δ
+// buckets decoded on the fly, Lowbits groups filtered by their image words
+// and decoded by concatenation). Unions and negations are evaluated as
+// linear merges over the sorted sub-results either way.
 func evalShard(ix *invindex.Index, n Node, algo fastintersect.Algorithm) ([]uint32, error) {
 	switch n := n.(type) {
 	case termNode:
+		if ix.Storage() == invindex.StorageCompressed {
+			s := ix.Stored(string(n))
+			if s == nil {
+				return nil, nil
+			}
+			return s.Decode(), nil
+		}
 		l := ix.Postings(string(n))
 		if l == nil {
 			return nil, nil
@@ -413,12 +425,22 @@ func evalShard(ix *invindex.Index, n Node, algo fastintersect.Algorithm) ([]uint
 	case andNode:
 		var (
 			lists  []*fastintersect.List
+			stored []*compress.Stored
 			others [][]uint32
 			negs   []Node
 		)
+		compressed := ix.Storage() == invindex.StorageCompressed
 		for _, k := range n.kids {
 			switch k := k.(type) {
 			case termNode:
+				if compressed {
+					s := ix.Stored(string(k))
+					if s == nil || s.Len() == 0 {
+						return nil, nil // empty operand: whole conjunction is empty
+					}
+					stored = append(stored, s)
+					continue
+				}
 				l := ix.Postings(string(k))
 				if l == nil || l.Len() == 0 {
 					return nil, nil // empty operand: whole conjunction is empty
@@ -439,6 +461,10 @@ func evalShard(ix *invindex.Index, n Node, algo fastintersect.Algorithm) ([]uint
 		}
 		var cur []uint32
 		switch {
+		case len(stored) > 0:
+			// IntersectStored cost-orders its operands internally and
+			// returns ascending IDs.
+			cur = compress.IntersectStored(stored...)
 		case len(lists) >= 2:
 			sort.SliceStable(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
 			a := algo

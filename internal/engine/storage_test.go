@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/sets"
+)
+
+// TestEngineCompressedStorageParity runs the whole boolean-query matrix
+// (AND/OR/NOT, parens, unknown terms) against a compressed-storage engine:
+// every result must be byte-identical to the first-principles reference,
+// i.e. to what the raw-slice path produces.
+func TestEngineCompressedStorageParity(t *testing.T) {
+	const numDocs = 5000
+	for _, shards := range []int{1, 4} {
+		e := buildTestEngine(t, Config{
+			Shards:    shards,
+			CacheSize: 32,
+			Storage:   invindex.StorageCompressed,
+		}, numDocs)
+		for _, tc := range testQueries {
+			checkQuery(t, e, numDocs, tc.q, tc.pred)
+		}
+	}
+}
+
+func TestEngineCompressedMatchesRaw(t *testing.T) {
+	const numDocs = 4000
+	raw := buildTestEngine(t, Config{Shards: 3}, numDocs)
+	comp := buildTestEngine(t, Config{Shards: 3, Storage: invindex.StorageCompressed}, numDocs)
+	for _, tc := range testQueries {
+		if tc.pred == nil {
+			continue
+		}
+		rr, err := raw.Query(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := comp.Query(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sets.Equal(rr.Docs, cr.Docs) {
+			t.Fatalf("storage changed result of %q: raw %d docs, compressed %d docs",
+				tc.q, len(rr.Docs), len(cr.Docs))
+		}
+	}
+}
+
+func TestStatsPostings(t *testing.T) {
+	const numDocs = 5000
+	raw := buildTestEngine(t, Config{Shards: 2}, numDocs)
+	comp := buildTestEngine(t, Config{Shards: 2, Storage: invindex.StorageCompressed}, numDocs)
+
+	rs := raw.Stats()
+	if rs.Storage != "raw" {
+		t.Fatalf("raw Storage = %q", rs.Storage)
+	}
+	if rs.Postings.Total == 0 || rs.Postings.StoredBytes != rs.Postings.RawBytes {
+		t.Fatalf("raw postings accounting: %+v", rs.Postings)
+	}
+	if rs.Postings.BytesPerPosting != 4 {
+		t.Fatalf("raw bytes/posting = %v, want 4", rs.Postings.BytesPerPosting)
+	}
+
+	cs := comp.Stats()
+	if cs.Storage != "compressed" {
+		t.Fatalf("compressed Storage = %q", cs.Storage)
+	}
+	if cs.Postings.Total != rs.Postings.Total {
+		t.Fatalf("posting totals differ: %d vs %d", cs.Postings.Total, rs.Postings.Total)
+	}
+	// The divisibility corpus is dense; compression must shrink it.
+	if cs.Postings.StoredBytes >= cs.Postings.RawBytes/2 {
+		t.Fatalf("compressed %d B not well under half of raw %d B",
+			cs.Postings.StoredBytes, cs.Postings.RawBytes)
+	}
+	if cs.Postings.BytesPerPosting <= 0 || cs.Postings.BytesPerPosting >= 4 {
+		t.Fatalf("compressed bytes/posting = %v", cs.Postings.BytesPerPosting)
+	}
+	if len(cs.Postings.Encodings) < 2 {
+		t.Fatalf("expected multiple encodings in use, got %v", cs.Postings.Encodings)
+	}
+	var sum uint64
+	for enc, es := range cs.Postings.Encodings {
+		if es.Lists == 0 || es.Postings == 0 || es.BytesPerPosting <= 0 {
+			t.Fatalf("empty encoding stat %q: %+v", enc, es)
+		}
+		sum += es.Bytes
+	}
+	if sum != cs.Postings.StoredBytes {
+		t.Fatalf("per-encoding bytes sum %d != total %d", sum, cs.Postings.StoredBytes)
+	}
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+
+	"fastintersect/internal/compress"
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "storage-sweep",
+		Title: "Adaptive posting storage: encoding choice, space and time per density",
+		Paper: "§4.1/App. B applied to the serving tier",
+		Run:   runStorageSweep,
+	})
+}
+
+// StorageMeasure is one (workload, encoding) cell of the storage sweep.
+type StorageMeasure struct {
+	Encoding        string  `json:"encoding"`
+	BytesPerPosting float64 `json:"bytes_per_posting"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	// Chosen marks the encoding ChooseEncoding picks for this workload's
+	// lists.
+	Chosen bool `json:"chosen"`
+	// ResultOK confirms the intersection over this encoding matched the
+	// reference merge.
+	ResultOK bool `json:"result_ok"`
+}
+
+// StorageWorkload is one synthetic density point of the storage sweep.
+type StorageWorkload struct {
+	Name      string           `json:"name"`
+	N         int              `json:"n"`
+	Universe  uint32           `json:"universe"`
+	Chosen    string           `json:"chosen"`
+	Encodings []StorageMeasure `json:"encodings"`
+}
+
+// CompressReport is the machine-readable result of the storage sweep: the
+// BENCH_compress.json artifact emitted by fsibench -json, seeding the
+// performance trajectory CI tracks across commits.
+type CompressReport struct {
+	Schema    string            `json:"schema"`
+	Scale     string            `json:"scale"`
+	Seed      uint64            `json:"seed"`
+	Reps      int               `json:"reps"`
+	Workloads []StorageWorkload `json:"workloads"`
+}
+
+// storageWorkloads spans the density regimes of the encoding heuristic:
+// tiny lists stay raw, small dense lists take γ, small sparse lists take δ,
+// and long lists take Lowbits once its space estimate is within
+// LowbitsSpaceFactor of the best gap code (dense long lists still take γ —
+// their gaps are too short for Lowbits' trade to pay).
+func storageWorkloads(cfg Config) []StorageWorkload {
+	ws := []StorageWorkload{
+		{Name: "tiny", N: 32, Universe: 1 << 16},
+		{Name: "small-dense", N: 2048, Universe: 1 << 13},
+		{Name: "small-sparse", N: 2048, Universe: 1 << 26},
+		{Name: "large-dense", N: 1 << 16, Universe: 1 << 18},
+		{Name: "large-mid", N: 1 << 16, Universe: 1 << 26},
+	}
+	if cfg.Full() {
+		ws = append(ws, StorageWorkload{Name: "large-paper", N: 1 << 20, Universe: workload.DefaultUniverse})
+	}
+	return ws
+}
+
+// CompressBench measures every storage encoding on every sweep workload:
+// bytes per posting (both lists, exact payload accounting) and the
+// two-list intersection time over the stored representations.
+func CompressBench(cfg Config) *CompressReport {
+	fam := core.NewFamily(cfg.Seed, compress.StoredHashImages)
+	rng := xhash.NewRNG(cfg.Seed + 121)
+	rep := &CompressReport{
+		Schema: "fsibench/compress/v1",
+		Scale:  cfg.Scale,
+		Seed:   cfg.Seed,
+		Reps:   cfg.Reps,
+	}
+	for _, w := range storageWorkloads(cfg) {
+		r := w.N / 100
+		if r < 1 {
+			r = 1
+		}
+		a, b := workload.PairWithIntersection(w.Universe, w.N, w.N, r, rng)
+		want := sets.IntersectReference(a, b)
+		chosen := compress.ChooseEncoding(a)
+		w.Chosen = chosen.String()
+		for _, enc := range compress.Encodings() {
+			sa, err := compress.NewStored(fam, a, enc)
+			if err != nil {
+				panic(fmt.Sprintf("harness: storage sweep %s/%v: %v", w.Name, enc, err))
+			}
+			sb, err := compress.NewStored(fam, b, enc)
+			if err != nil {
+				panic(fmt.Sprintf("harness: storage sweep %s/%v: %v", w.Name, enc, err))
+			}
+			got := compress.IntersectStored(sa, sb) // warm + correctness
+			d := timeIt(cfg.Reps, func() { compress.IntersectStored(sa, sb) })
+			w.Encodings = append(w.Encodings, StorageMeasure{
+				Encoding:        enc.String(),
+				BytesPerPosting: float64(sa.SizeBytes()+sb.SizeBytes()) / float64(sa.Len()+sb.Len()),
+				NsPerOp:         d.Nanoseconds(),
+				Chosen:          enc == chosen,
+				ResultOK:        sets.Equal(got, want),
+			})
+		}
+		rep.Workloads = append(rep.Workloads, w)
+	}
+	return rep
+}
+
+func runStorageSweep(cfg Config) []*Table {
+	rep := CompressBench(cfg)
+	encNames := make([]string, 0, 4)
+	for _, e := range compress.Encodings() {
+		encNames = append(encNames, e.String())
+	}
+	tSpace := &Table{
+		ID:      "storage-sweep-space",
+		Title:   "Stored bytes/posting per encoding (pair of equal lists, r = 1%)",
+		Columns: append([]string{"workload", "n", "universe", "chosen"}, encNames...),
+		Notes: []string{
+			"chosen = ChooseEncoding's pick: Raw for tiny lists, Gamma for dense, Delta for sparse, Lowbits for long mid-density lists",
+		},
+	}
+	tTime := &Table{
+		ID:      "storage-sweep-time",
+		Title:   "Intersection time (ms) over the stored representations",
+		Columns: append([]string{"workload", "n", "universe", "chosen"}, encNames...),
+		Notes: []string{
+			"Lowbits intersects without per-element decode (Appendix B); γ/δ pay a bucket decode per surviving probe",
+		},
+	}
+	for _, w := range rep.Workloads {
+		rowS := []string{w.Name, fmt.Sprintf("%d", w.N), fmt.Sprintf("%d", w.Universe), w.Chosen}
+		rowT := []string{w.Name, fmt.Sprintf("%d", w.N), fmt.Sprintf("%d", w.Universe), w.Chosen}
+		for _, m := range w.Encodings {
+			rowS = append(rowS, fmt.Sprintf("%.2f", m.BytesPerPosting))
+			cell := fmt.Sprintf("%.3f", float64(m.NsPerOp)/1e6)
+			if !m.ResultOK {
+				cell += " (WRONG RESULT)"
+			}
+			rowT = append(rowT, cell)
+		}
+		tSpace.AddRow(rowS...)
+		tTime.AddRow(rowT...)
+	}
+	return []*Table{tSpace, tTime}
+}

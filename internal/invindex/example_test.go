@@ -1,0 +1,47 @@
+package invindex_test
+
+import (
+	"fmt"
+
+	"fastintersect/internal/invindex"
+)
+
+// ExampleNew builds a tiny inverted index and runs a conjunctive query:
+// the documented entry point of the serving substrate.
+func ExampleNew() {
+	ix := invindex.New()
+	_ = ix.Add(1, []string{"fast", "set"})
+	_ = ix.Add(2, []string{"fast", "intersection"})
+	_ = ix.Add(3, []string{"set", "intersection", "fast"})
+	if err := ix.Build(); err != nil {
+		panic(err)
+	}
+	docs, _ := ix.Query("fast", "intersection")
+	fmt.Println(docs)
+	// Output: [2 3]
+}
+
+// ExampleNewWithStorage builds the same index under compressed storage:
+// each posting list is stored under the encoding ChooseEncoding picks from
+// its density, and queries intersect directly over the compressed
+// representations.
+func ExampleNewWithStorage() {
+	ix := invindex.NewWithStorage(invindex.StorageCompressed)
+	for d := uint32(0); d < 1000; d++ {
+		terms := []string{"all"}
+		if d%2 == 0 {
+			terms = append(terms, "even")
+		}
+		if d%3 == 0 {
+			terms = append(terms, "triple")
+		}
+		_ = ix.Add(d, terms)
+	}
+	if err := ix.Build(); err != nil {
+		panic(err)
+	}
+	docs, _ := ix.Query("even", "triple")
+	ms := ix.MemStats()
+	fmt.Println(len(docs), docs[:3], ms.StoredBytes < ms.RawBytes)
+	// Output: 167 [0 6 12] true
+}

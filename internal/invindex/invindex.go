@@ -1,9 +1,16 @@
 // Package invindex is a small in-memory inverted index — the substrate the
 // paper's motivating applications (enterprise/web search, conjunctive
 // predicate evaluation) sit on. Documents are added as (docID, terms)
-// pairs; Build freezes the index, preprocessing every posting list with the
-// fastintersect public API so conjunctive queries run any of the paper's
-// algorithms.
+// pairs; Build freezes the index, preprocessing every posting list for
+// conjunctive queries.
+//
+// The posting-list representation is pluggable (see Storage): StorageRaw
+// wraps each list in the fastintersect public API so queries run any of the
+// paper's algorithms; StorageCompressed stores each list under the encoding
+// compress.ChooseEncoding picks from its length and density (raw, Elias
+// γ/δ gap codes, or the paper's Lowbits grouping of Appendix B) and
+// intersects directly over the compressed representations. MemStats
+// reports the exact per-encoding payload footprint.
 package invindex
 
 import (
@@ -14,27 +21,48 @@ import (
 	"sync"
 
 	"fastintersect"
+	"fastintersect/internal/compress"
+	"fastintersect/internal/core"
 	"fastintersect/internal/sets"
 )
 
 // Index maps terms to preprocessed posting lists.
 type Index struct {
 	opts    []fastintersect.Option
+	storage Storage
+	fam     *core.Family // shared family of compressed grouped structures
 	pending map[string][]uint32
-	built   map[string]*fastintersect.List
+	built   map[string]*fastintersect.List // StorageRaw
+	stored  map[string]*compress.Stored    // StorageCompressed
+	frozen  bool
 	docs    int
 }
 
-// New creates an empty index; opts are forwarded to
+// New creates an empty raw-storage index; opts are forwarded to
 // fastintersect.Preprocess for every posting list.
 func New(opts ...fastintersect.Option) *Index {
-	return &Index{opts: opts, pending: map[string][]uint32{}}
+	return NewWithStorage(StorageRaw, opts...)
 }
+
+// NewWithStorage creates an empty index holding its built posting lists
+// under the given storage mode. Compressed grouped structures share the
+// hash family the option seed selects, so they remain intersectable with
+// raw lists preprocessed under the same options.
+func NewWithStorage(st Storage, opts ...fastintersect.Option) *Index {
+	return &Index{
+		opts:    opts,
+		storage: st,
+		pending: map[string][]uint32{},
+	}
+}
+
+// Storage returns the index's posting-storage mode.
+func (ix *Index) Storage() Storage { return ix.storage }
 
 // Add records a document. Duplicate terms within a document are fine.
 // Add must not be called after Build.
 func (ix *Index) Add(docID uint32, terms []string) error {
-	if ix.built != nil {
+	if ix.frozen {
 		return errors.New("invindex: Add after Build")
 	}
 	seen := map[string]bool{}
@@ -52,7 +80,7 @@ func (ix *Index) Add(docID uint32, terms []string) error {
 // AddPosting records a whole posting list for a term (builder-style input,
 // used when the caller already has term → docIDs data).
 func (ix *Index) AddPosting(term string, docIDs []uint32) error {
-	if ix.built != nil {
+	if ix.frozen {
 		return errors.New("invindex: AddPosting after Build")
 	}
 	ix.pending[term] = append(ix.pending[term], docIDs...)
@@ -60,8 +88,8 @@ func (ix *Index) AddPosting(term string, docIDs []uint32) error {
 }
 
 // Build freezes the index: posting lists are sorted, deduplicated and
-// preprocessed. After Build the index is read-only and safe for concurrent
-// queries.
+// preprocessed into the configured storage representation. After Build the
+// index is read-only and safe for concurrent queries.
 func (ix *Index) Build() error {
 	return ix.BuildParallel(1)
 }
@@ -71,17 +99,21 @@ func (ix *Index) Build() error {
 // path: a sharded engine builds many independent indexes concurrently, and
 // each can additionally parallelize over its own terms.
 func (ix *Index) BuildParallel(workers int) error {
-	if ix.built != nil {
+	if ix.frozen {
 		return errors.New("invindex: Build called twice")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if ix.storage == StorageCompressed {
+		ix.fam = core.NewFamily(fastintersect.OptionsSeed(ix.opts...), compress.StoredHashImages)
+	}
 	terms := make([]string, 0, len(ix.pending))
 	for t := range ix.pending {
 		terms = append(terms, t)
 	}
-	built := make(map[string]*fastintersect.List, len(terms))
+	built := make(map[string]*fastintersect.List)
+	stored := make(map[string]*compress.Stored)
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -94,7 +126,17 @@ func (ix *Index) BuildParallel(workers int) error {
 		go func(term string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			l, err := fastintersect.Preprocess(sets.SortDedup(ix.pending[term]), ix.opts...)
+			set := sets.SortDedup(ix.pending[term])
+			var (
+				l   *fastintersect.List
+				s   *compress.Stored
+				err error
+			)
+			if ix.storage == StorageCompressed {
+				s, err = compress.NewStoredAdaptive(ix.fam, set)
+			} else {
+				l, err = fastintersect.Preprocess(set, ix.opts...)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -103,30 +145,40 @@ func (ix *Index) BuildParallel(workers int) error {
 				}
 				return
 			}
-			built[term] = l
+			if s != nil {
+				stored[term] = s
+			} else {
+				built[term] = l
+			}
 		}(term)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
 	}
-	ix.built = built
+	if ix.storage == StorageCompressed {
+		ix.stored = stored
+	} else {
+		ix.built = built
+	}
+	ix.frozen = true
 	ix.pending = nil
 	return nil
 }
 
 // Terms returns the indexed terms, sorted.
 func (ix *Index) Terms() []string {
-	var m map[string][]uint32
-	if ix.built == nil {
-		m = ix.pending
-	}
 	var out []string
-	if m != nil {
-		for t := range m {
+	switch {
+	case !ix.frozen:
+		for t := range ix.pending {
 			out = append(out, t)
 		}
-	} else {
+	case ix.storage == StorageCompressed:
+		for t := range ix.stored {
+			out = append(out, t)
+		}
+	default:
 		for t := range ix.built {
 			out = append(out, t)
 		}
@@ -136,12 +188,23 @@ func (ix *Index) Terms() []string {
 }
 
 // Postings returns the preprocessed posting list of a term, or nil if the
-// term is unknown or the index is not built.
+// term is unknown, the index is not built, or the index uses compressed
+// storage (see Stored).
 func (ix *Index) Postings(term string) *fastintersect.List {
 	if ix.built == nil {
 		return nil
 	}
 	return ix.built[term]
+}
+
+// Stored returns the compressed representation of a term's posting list,
+// or nil if the term is unknown, the index is not built, or the index uses
+// raw storage (see Postings).
+func (ix *Index) Stored(term string) *compress.Stored {
+	if ix.stored == nil {
+		return nil
+	}
+	return ix.stored[term]
 }
 
 // Docs returns the number of documents recorded via Add. Postings added
@@ -150,16 +213,23 @@ func (ix *Index) Docs() int { return ix.docs }
 
 // TermCount returns the number of distinct indexed terms.
 func (ix *Index) TermCount() int {
-	if ix.built != nil {
+	switch {
+	case !ix.frozen:
+		return len(ix.pending)
+	case ix.storage == StorageCompressed:
+		return len(ix.stored)
+	default:
 		return len(ix.built)
 	}
-	return len(ix.pending)
 }
 
 // DocFreq returns the document frequency of a term (0 if unknown).
 func (ix *Index) DocFreq(term string) int {
 	if l := ix.Postings(term); l != nil {
 		return l.Len()
+	}
+	if s := ix.Stored(term); s != nil {
+		return s.Len()
 	}
 	return 0
 }
@@ -168,19 +238,32 @@ func (ix *Index) DocFreq(term string) int {
 var ErrUnknownTerm = errors.New("invindex: unknown term")
 
 // Query returns the sorted documents containing every term, using the Auto
-// algorithm.
+// algorithm (raw storage) or the compressed kernels (compressed storage).
 func (ix *Index) Query(terms ...string) ([]uint32, error) {
 	return ix.QueryWith(fastintersect.Auto, terms...)
 }
 
 // QueryWith runs a conjunctive query with a specific algorithm. Results
-// are sorted ascending.
+// are sorted ascending. Under compressed storage the intersection runs
+// directly over the stored representations (γ/δ buckets decoded on the
+// fly, Lowbits groups filtered and concatenated) and algo is ignored.
 func (ix *Index) QueryWith(algo fastintersect.Algorithm, terms ...string) ([]uint32, error) {
-	if ix.built == nil {
+	if !ix.frozen {
 		return nil, errors.New("invindex: Query before Build")
 	}
 	if len(terms) == 0 {
 		return nil, errors.New("invindex: empty query")
+	}
+	if ix.storage == StorageCompressed {
+		ss := make([]*compress.Stored, len(terms))
+		for i, t := range terms {
+			s := ix.stored[t]
+			if s == nil {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownTerm, t)
+			}
+			ss[i] = s
+		}
+		return compress.IntersectStored(ss...), nil
 	}
 	lists := make([]*fastintersect.List, len(terms))
 	for i, t := range terms {

@@ -1,0 +1,96 @@
+package invindex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Storage selects how a built index holds its posting lists: the pluggable
+// representation tier of the serving path.
+type Storage int
+
+const (
+	// StorageRaw keeps every posting list as a sorted []uint32 wrapped in
+	// a fastintersect.List, with the per-algorithm structures built lazily:
+	// 32 bits per posting, zero decode cost, every algorithm available.
+	StorageRaw Storage = iota
+	// StorageCompressed holds each posting list under the encoding
+	// compress.ChooseEncoding picks from its length and density — raw for
+	// short lists, γ/δ gap-coded buckets for dense/sparse lists, and the
+	// Lowbits-grouped RanGroupScan structure (Appendix B) for the long
+	// lists that dominate query time. Queries intersect directly over the
+	// compressed representations; the explicit-algorithm selection of
+	// QueryWith applies only to raw storage.
+	StorageCompressed
+)
+
+// storageNames in declaration order.
+var storageNames = [...]string{"raw", "compressed"}
+
+// String names the storage mode.
+func (s Storage) String() string {
+	if int(s) < len(storageNames) {
+		return storageNames[s]
+	}
+	return "Storage(?)"
+}
+
+// ParseStorage parses a storage-mode name, case-insensitively, inverting
+// Storage.String.
+func ParseStorage(name string) (Storage, error) {
+	for i, n := range storageNames {
+		if strings.EqualFold(n, name) {
+			return Storage(i), nil
+		}
+	}
+	return 0, fmt.Errorf("invindex: unknown storage mode %q (known: %s)",
+		name, strings.Join(storageNames[:], ", "))
+}
+
+// EncodingStats aggregates the posting lists stored under one encoding.
+type EncodingStats struct {
+	// Lists is the number of posting lists under this encoding.
+	Lists int `json:"lists"`
+	// Postings is the total number of postings they hold.
+	Postings uint64 `json:"postings"`
+	// Bytes is their exact payload footprint (element storage plus
+	// directories; struct headers and the lazily built per-algorithm
+	// structures of raw lists are not counted).
+	Bytes uint64 `json:"bytes"`
+}
+
+// MemStats is the exact posting-payload accounting of a built index.
+type MemStats struct {
+	// Postings is the total posting count across all terms.
+	Postings uint64 `json:"postings"`
+	// RawBytes is the uncompressed footprint those postings would occupy
+	// (4 bytes each) — the baseline compression is measured against.
+	RawBytes uint64 `json:"raw_bytes"`
+	// StoredBytes is the footprint actually held.
+	StoredBytes uint64 `json:"stored_bytes"`
+	// Encodings breaks the footprint down per encoding name.
+	Encodings map[string]EncodingStats `json:"encodings"`
+}
+
+// MemStats returns the index's posting-payload accounting. Before Build it
+// reports zero values.
+func (ix *Index) MemStats() MemStats {
+	st := MemStats{Encodings: map[string]EncodingStats{}}
+	add := func(enc string, postings, bytes uint64) {
+		e := st.Encodings[enc]
+		e.Lists++
+		e.Postings += postings
+		e.Bytes += bytes
+		st.Encodings[enc] = e
+		st.Postings += postings
+		st.RawBytes += 4 * postings
+		st.StoredBytes += bytes
+	}
+	for _, l := range ix.built {
+		add("Raw", uint64(l.Len()), 4*uint64(l.Len()))
+	}
+	for _, s := range ix.stored {
+		add(s.Encoding().String(), uint64(s.Len()), uint64(s.SizeBytes()))
+	}
+	return st
+}
