@@ -1,0 +1,30 @@
+package compress
+
+import (
+	"testing"
+
+	"fastintersect/internal/core"
+)
+
+func TestReproIntersectStoredNil(t *testing.T) {
+	fam := core.NewFamily(1, StoredHashImages)
+	var as, bs []uint32
+	for i := uint32(0); i < 20000; i++ {
+		if i%2 == 0 {
+			as = append(as, i)
+		} else {
+			bs = append(bs, i)
+		}
+	}
+	sa, err := NewStoredAdaptive(fam, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStoredAdaptive(fam, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("enc a=%v b=%v", sa.Encoding(), sb.Encoding())
+	out := IntersectStored(sa, sb)
+	t.Logf("out=%v nil=%v len=%d", out, out == nil, len(out))
+}
