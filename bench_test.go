@@ -70,6 +70,38 @@ func BenchmarkFig4SetSize(b *testing.B) {
 	}
 }
 
+// BenchmarkIntersectBuffered contrasts the allocating API with the pooled
+// buffered one on the Figure 4 pair: same kernel work, zero allocations
+// per op once the context and destination are warm.
+func BenchmarkIntersectBuffered(b *testing.B) {
+	la, lb := fig4Fixture.get(b)
+	b.Run("IntersectWith", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = IntersectWith(RanGroupScan, la, lb)
+		}
+	})
+	b.Run("IntersectWithBuf", func(b *testing.B) {
+		ctx := GetExecContext()
+		defer ctx.Release()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = IntersectWithBuf(ctx, RanGroupScan, la, lb)
+		}
+	})
+	b.Run("IntersectInto", func(b *testing.B) {
+		ctx := GetExecContext()
+		defer ctx.Release()
+		dst := make([]uint32, 0, la.Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = IntersectInto(ctx, dst[:0], RanGroupScan, la, lb)
+		}
+	})
+}
+
 var fig5Fixtures = map[int]*pairFixture{
 	1:  newPairFixture(500_000, 5_000, 51),
 	50: newPairFixture(500_000, 250_000, 52),

@@ -8,6 +8,7 @@
 //	fsibench -exp fig4                 # one experiment, small scale
 //	fsibench -exp all -scale full      # the whole evaluation, paper scale
 //	fsibench -json BENCH_compress.json # machine-readable encoding benchmark
+//	fsibench -serve-json BENCH_serve.json # machine-readable serving benchmark
 package main
 
 import (
@@ -24,13 +25,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		scale   = flag.String("scale", "small", "'small' (minutes) or 'full' (paper-scale sizes)")
-		reps    = flag.Int("reps", 3, "timing repetitions (minimum is reported)")
-		seed    = flag.Uint64("seed", 0x5EED_F00D, "workload seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		algos   = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
-		jsonOut = flag.String("json", "", "run the storage-sweep encoding benchmark and write it as JSON to this file (ns/op and bytes/posting per encoding), then exit")
+		exp      = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		scale    = flag.String("scale", "small", "'small' (minutes) or 'full' (paper-scale sizes)")
+		reps     = flag.Int("reps", 3, "timing repetitions (minimum is reported)")
+		seed     = flag.Uint64("seed", 0x5EED_F00D, "workload seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		algos    = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
+		jsonOut  = flag.String("json", "", "run the storage-sweep encoding benchmark and write it as JSON to this file (ns/op and bytes/posting per encoding), then exit")
+		serveOut = flag.String("serve-json", "", "run the engine serving benchmark (mixed AND/OR workload) and write it as JSON to this file (QPS, ns/op, B/op, allocs/op per storage mode), then exit")
 	)
 	flag.Parse()
 
@@ -55,19 +57,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsibench: -scale must be 'small' or 'full'")
 		os.Exit(2)
 	}
-	if *jsonOut != "" {
-		rep := harness.CompressBench(cfg)
+	writeJSON := func(path string, rep any) {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsibench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "fsibench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonOut != "" {
+		rep := harness.CompressBench(cfg)
+		writeJSON(*jsonOut, rep)
 		fmt.Printf("wrote %s (%d workloads × %d encodings)\n",
 			*jsonOut, len(rep.Workloads), len(rep.Workloads[0].Encodings))
+		return
+	}
+	if *serveOut != "" {
+		rep := harness.ServeBench(cfg)
+		writeJSON(*serveOut, rep)
+		fmt.Printf("wrote %s (%d scenarios)\n", *serveOut, len(rep.Scenarios))
 		return
 	}
 	run := func(e harness.Experiment) {

@@ -28,7 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"syscall"
@@ -291,7 +291,7 @@ func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency int, scfg
 	wg.Wait()
 	wall := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	slices.Sort(latencies)
 	st := eng.Stats()
 	fmt.Printf("queries      %d\n", n)
 	fmt.Printf("errors       %d\n", queryErrs)

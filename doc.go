@@ -37,6 +37,14 @@
 // which is how the CLI tools (cmd/fsi, cmd/fsibench, cmd/fsiserve) select
 // algorithms.
 //
+// High-QPS callers can eliminate per-query allocations entirely: acquire a
+// pooled ExecContext with GetExecContext and use IntersectInto (append into
+// a caller buffer) or IntersectWithBuf (reuse the context's buffer). With
+// warm structures the core kernels run at 0 allocs/op; IntersectWith is a
+// thin wrapper that borrows a context per call and returns a fresh slice.
+// See ARCHITECTURE.md's "Query execution and memory discipline" for the
+// ownership rules.
+//
 // Above the library sits a query-serving subsystem (internal/engine,
 // served by cmd/fsiserve): an inverted index hash-partitioned across
 // shards, a planner for a small AND/OR/NOT query language that pushes

@@ -232,89 +232,16 @@ func IntersectSorted(lists ...*List) ([]uint32, error) {
 	return out, nil
 }
 
-// IntersectWith computes the intersection with a specific algorithm.
+// IntersectWith computes the intersection with a specific algorithm. The
+// result is always a fresh slice. Transient workspace comes from the
+// package's ExecContext pool; callers issuing many queries can hold a
+// context themselves and use IntersectInto / IntersectWithBuf to avoid
+// allocating results too.
 func IntersectWith(algo Algorithm, lists ...*List) ([]uint32, error) {
-	if len(lists) == 0 {
-		return nil, ErrNoLists
-	}
-	for _, l := range lists[1:] {
-		if l.opts.seed != lists[0].opts.seed {
-			return nil, fmt.Errorf("fastintersect: lists preprocessed with different seeds (%#x vs %#x)",
-				lists[0].opts.seed, l.opts.seed)
-		}
-	}
-	if mx := algo.MaxSets(); mx > 0 && len(lists) > mx {
-		return nil, fmt.Errorf("fastintersect: %v supports at most %d sets, got %d", algo, mx, len(lists))
-	}
-	if len(lists) == 1 {
-		return append([]uint32(nil), lists[0].set...), nil
-	}
-	if algo == Auto {
-		algo = autoPick(lists)
-	}
-	switch algo {
-	case RanGroupScan:
-		rgs := make([]*core.RanGroupScanList, len(lists))
-		for i, l := range lists {
-			rgs[i] = l.ranGroupScan()
-		}
-		return core.IntersectRanGroupScan(rgs...), nil
-	case RanGroup:
-		rg := make([]*core.RanGroupList, len(lists))
-		for i, l := range lists {
-			rg[i] = l.ranGroup()
-		}
-		return core.IntersectRanGroup(rg...), nil
-	case IntGroup:
-		return core.IntersectIntGroup(lists[0].intGroup(), lists[1].intGroup()), nil
-	case IntGroupOpt:
-		return core.IntersectIntGroupOptimal(lists[0].intGroupOpt(), lists[1].intGroupOpt()), nil
-	case HashBin:
-		hb := make([]*core.HashBinList, len(lists))
-		for i, l := range lists {
-			hb[i] = l.hashBin()
-		}
-		return core.IntersectHashBin(hb...), nil
-	case Merge:
-		return baseline.Merge(rawSets(lists)...), nil
-	case Hash:
-		ordered := bySize(lists)
-		tables := make([]*baseline.HashSet, len(ordered)-1)
-		for i, l := range ordered[1:] {
-			tables[i] = l.hashSet()
-		}
-		return baseline.HashIntersect(ordered[0].set, tables...), nil
-	case SkipList:
-		ordered := bySize(lists)
-		others := make([]*baseline.SkipList, len(ordered)-1)
-		for i, l := range ordered[1:] {
-			others[i] = l.skipList()
-		}
-		return baseline.SkipIntersect(ordered[0].set, others...), nil
-	case SvS:
-		return baseline.SvS(rawSets(lists)...), nil
-	case Adaptive:
-		return baseline.Adaptive(rawSets(lists)...), nil
-	case BaezaYates:
-		return baseline.BaezaYates(rawSets(lists)...), nil
-	case SmallAdaptive:
-		return baseline.SmallAdaptive(rawSets(lists)...), nil
-	case Lookup:
-		ordered := bySize(lists)
-		others := make([]*baseline.Lookup, len(ordered)-1)
-		for i, l := range ordered[1:] {
-			others[i] = l.lookupStruct()
-		}
-		return baseline.LookupIntersect(ordered[0].set, others...), nil
-	case BPP:
-		bpps := make([]*baseline.BPP, len(lists))
-		for i, l := range lists {
-			bpps[i] = l.bppStruct()
-		}
-		return baseline.IntersectBPP(bpps...), nil
-	default:
-		return nil, fmt.Errorf("fastintersect: unknown algorithm %d", int(algo))
-	}
+	ctx := GetExecContext()
+	out, err := IntersectInto(ctx, nil, algo, lists...)
+	ctx.Release()
+	return out, err
 }
 
 // IntersectParallel computes the intersection with RanGroupScan split
@@ -357,25 +284,4 @@ func autoPick(lists []*List) Algorithm {
 		return HashBin
 	}
 	return RanGroupScan
-}
-
-// rawSets extracts the sorted element slices.
-func rawSets(lists []*List) [][]uint32 {
-	out := make([][]uint32, len(lists))
-	for i, l := range lists {
-		out[i] = l.set
-	}
-	return out
-}
-
-// bySize returns lists ordered by ascending length.
-func bySize(lists []*List) []*List {
-	out := make([]*List, len(lists))
-	copy(out, lists)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Len() < out[j-1].Len(); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

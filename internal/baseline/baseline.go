@@ -16,7 +16,10 @@
 // sets.IntersectReference in the package tests.
 package baseline
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // gallop returns the smallest index i ≥ from with a[i] >= x, using
 // exponential probing followed by binary search. It is the standard
@@ -46,6 +49,6 @@ func gallop(a []uint32, from int, x uint32) int {
 func sortBySize(lists [][]uint32) [][]uint32 {
 	out := make([][]uint32, len(lists))
 	copy(out, lists)
-	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	slices.SortStableFunc(out, func(a, b []uint32) int { return len(a) - len(b) })
 	return out
 }

@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"testing"
+
+	"fastintersect/internal/race"
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// TestDecodeIntoMatchesDecode checks the appending decode against the
+// allocating one for every encoding and edge shape, including prefix
+// preservation.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	fam := storedFam()
+	prefix := []uint32{1 << 31, 7}
+	for _, set := range edgeSets() {
+		for _, enc := range Encodings() {
+			s, err := NewStored(fam, set, enc)
+			if err != nil {
+				t.Fatalf("%v: %v", enc, err)
+			}
+			got := s.DecodeInto(nil)
+			if !sets.Equal(got, set) {
+				t.Fatalf("%v on %d elems: DecodeInto(nil) mismatch", enc, len(set))
+			}
+			got = s.DecodeInto(sets.Clone(prefix))
+			if !sets.Equal(got[:2], prefix) || !sets.Equal(got[2:], set) {
+				t.Fatalf("%v on %d elems: DecodeInto with prefix mismatch", enc, len(set))
+			}
+			if enc == EncRaw && len(set) > 0 {
+				if &s.Decode()[0] == &got[2] {
+					t.Fatalf("DecodeInto(EncRaw) must copy, not alias the stored slice")
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectStoredIntoMatches checks the appending intersection against
+// IntersectStored and the reference merge for every encoding pair and a
+// 3-way mixed case.
+func TestIntersectStoredIntoMatches(t *testing.T) {
+	fam := storedFam()
+	rng := xhash.NewRNG(0x17054)
+	a, b := workload.PairWithIntersection(1<<22, 3000, 9000, 150, rng)
+	c := workload.RandomSets(1<<22, []int{5000}, rng)[0]
+	want2 := sets.IntersectReference(a, b)
+	want3 := sets.IntersectReference(a, b, c)
+	prefix := []uint32{5}
+	for _, encA := range Encodings() {
+		for _, encB := range Encodings() {
+			sa, err := NewStored(fam, a, encA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := NewStored(fam, b, encB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := IntersectStored(sa, sb); !sets.Equal(got, want2) {
+				t.Fatalf("%v∩%v: IntersectStored mismatch", encA, encB)
+			}
+			got := IntersectStoredInto(sets.Clone(prefix), sa, sb)
+			if !sets.Equal(got[:1], prefix) || !sets.Equal(got[1:], want2) {
+				t.Fatalf("%v∩%v: IntersectStoredInto mismatch", encA, encB)
+			}
+			for _, encC := range Encodings() {
+				sc, err := NewStored(fam, c, encC)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := IntersectStoredInto(nil, sa, sb, sc); !sets.Equal(got, want3) {
+					t.Fatalf("%v∩%v∩%v: 3-way IntersectStoredInto mismatch", encA, encB, encC)
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectStoredAllocs pins the steady-state allocation budget of the
+// stored-intersection paths: with a warm scratch pool and a caller-provided
+// destination, every kernel shape runs without per-op allocations. This is
+// the compressed serving path's half of the zero-allocation contract.
+func TestIntersectStoredAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; zero-allocation bounds cannot hold")
+	}
+	fam := storedFam()
+	rng := xhash.NewRNG(0xA110C2)
+	a, b := workload.PairWithIntersection(1<<22, 4000, 12000, 200, rng)
+	pairs := []struct {
+		name       string
+		encA, encB Encoding
+		max        float64
+	}{
+		{"lowbits-pair", EncLowbits, EncLowbits, 0},
+		{"gamma-pair", EncGamma, EncGamma, 0},
+		{"mixed-gamma-lowbits", EncGamma, EncLowbits, 0},
+		{"raw-delta", EncRaw, EncDelta, 0},
+	}
+	for _, tc := range pairs {
+		t.Run(tc.name, func(t *testing.T) {
+			sa, err := NewStored(fam, a, tc.encA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := NewStored(fam, b, tc.encB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]uint32, 0, len(a))
+			for i := 0; i < 3; i++ { // warm the scratch pool
+				IntersectStoredInto(dst[:0], sa, sb)
+			}
+			n := testing.AllocsPerRun(100, func() {
+				IntersectStoredInto(dst[:0], sa, sb)
+			})
+			if n > tc.max {
+				t.Fatalf("IntersectStoredInto(%s) allocates %.2f times per op, want ≤ %v", tc.name, n, tc.max)
+			}
+		})
+	}
+}

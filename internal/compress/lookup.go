@@ -107,11 +107,16 @@ func (l *LookupList) decodeBucket(q uint32, dst []uint32) []uint32 {
 
 // Decode reconstructs the full posting list.
 func (l *LookupList) Decode() []uint32 {
-	out := make([]uint32, 0, l.n)
+	return l.DecodeInto(make([]uint32, 0, l.n))
+}
+
+// DecodeInto appends the full posting list to dst. Beyond growing dst it
+// performs no allocations.
+func (l *LookupList) DecodeInto(dst []uint32) []uint32 {
 	for q := uint32(0); q < uint32(len(l.dir))-1; q++ {
-		out = l.decodeBucket(q, out)
+		dst = l.decodeBucket(q, dst)
 	}
-	return out
+	return dst
 }
 
 // IntersectLookup intersects compressed Lookup structures: the smallest
@@ -119,31 +124,41 @@ func (l *LookupList) Decode() []uint32 {
 // the matching buckets of the other lists are decoded through the directory
 // and merged. The result is sorted.
 func IntersectLookup(lists ...*LookupList) []uint32 {
+	sc := getScratch()
+	defer putScratch(sc)
+	return intersectLookupInto(nil, sc, lists)
+}
+
+// intersectLookupInto is IntersectLookup appending into dst with bucket
+// workspace drawn from sc.
+func intersectLookupInto(dst []uint32, sc *scratch, lists []*LookupList) []uint32 {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return lists[0].Decode()
+		return lists[0].DecodeInto(dst)
 	}
 	probe := lists[0]
-	others := make([]*LookupList, 0, len(lists)-1)
+	sc.lls = sc.lls[:0]
 	for _, l := range lists[1:] {
 		if l.Len() < probe.Len() {
-			others = append(others, probe)
+			sc.lls = append(sc.lls, probe)
 			probe = l
 		} else {
-			others = append(others, l)
+			sc.lls = append(sc.lls, l)
 		}
 	}
-	var out []uint32
-	bufP := make([]uint32, 0, 64)
-	bufO := make([]uint32, 0, 64)
-	bufT := make([]uint32, 0, 64)
+	others := sc.lls
+	out := dst
+	bufP := sc.bufA[:0]
+	bufO := sc.bufB[:0]
+	bufT := sc.bufC[:0]
 	for q := uint32(0); q < uint32(len(probe.dir))-1; q++ {
 		if probe.dir[q] == probe.dir[q+1] {
 			continue
 		}
 		cur := probe.decodeBucket(q, bufP[:0])
+		bufP = cur // retain decode growth: cur may rotate into bufT below
 		for _, o := range others {
 			if len(cur) == 0 {
 				break
@@ -174,6 +189,17 @@ func IntersectLookup(lists ...*LookupList) []uint32 {
 			cur, bufT = bufT, cur
 		}
 		out = append(out, cur...)
+	}
+	// Retain buffer growth for the next user of the scratch. bufO's chain is
+	// independent of the others and always safe to keep, as is bufP (updated
+	// after every probe decode). bufT may alias bufP's array (the cur/bufT
+	// rotation starts from it); only keep it when it is provably a different
+	// array — equal capacity means either the same array or no growth worth
+	// keeping, so skipping loses nothing.
+	sc.bufA = bufP
+	sc.bufB = bufO
+	if cap(bufT) != cap(bufP) {
+		sc.bufC = bufT
 	}
 	return out
 }

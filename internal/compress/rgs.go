@@ -208,8 +208,16 @@ func (l *RGSList) groupElems(z int, cnt int, pos uint64, dst []uint32) []uint32 
 // decoded and merged. Results are document IDs in (prefix, order-of-merge)
 // order, like the uncompressed algorithm.
 func IntersectRGS(a, b *RGSList) []uint32 {
+	sc := getScratch()
+	defer putScratch(sc)
+	return intersectRGSInto(nil, sc, a, b)
+}
+
+// intersectRGSInto is IntersectRGS appending into dst with group-decode
+// buffers drawn from sc.
+func intersectRGSInto(dst []uint32, sc *scratch, a, b *RGSList) []uint32 {
 	if a.Len() == 0 || b.Len() == 0 {
-		return nil
+		return dst
 	}
 	if !core.SameFamily(a.fam, b.fam) {
 		panic("compress: intersecting lists from different families")
@@ -222,9 +230,9 @@ func IntersectRGS(a, b *RGSList) []uint32 {
 		m = b.m
 	}
 	var imgA, imgB [core.MaxImageCount]bitword.Word
-	bufA := make([]uint32, 0, 4*bitword.SqrtW)
-	bufB := make([]uint32, 0, 4*bitword.SqrtW)
-	var out []uint32
+	bufA := sc.bufA[:0]
+	bufB := sc.bufB[:0]
+	out := dst
 	d := b.t - a.t
 	g1 := 1 << a.t
 	lowA := uint(32) - a.t
@@ -259,6 +267,7 @@ func IntersectRGS(a, b *RGSList) []uint32 {
 			out = mergeCompressed(out, a, b, bufA, bufB, lowA, lowB, z2)
 		}
 	}
+	sc.bufA, sc.bufB = bufA, bufB // keep decode-buffer growth for reuse
 	return out
 }
 

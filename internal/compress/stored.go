@@ -93,15 +93,26 @@ func (s *Stored) SizeBytes() int {
 // slice is the stored one — treat it as read-only; the compressed encodings
 // return a fresh slice.
 func (s *Stored) Decode() []uint32 {
+	if s.enc == EncRaw {
+		return s.raw
+	}
+	return s.DecodeInto(make([]uint32, 0, s.n))
+}
+
+// DecodeInto appends the sorted posting list to dst. Unlike Decode it
+// always copies, so the result never aliases stored memory — the form the
+// engine's pooled execution contexts rely on. Beyond growing dst (and the
+// one-time warm-up of the package's scratch pool) it does not allocate.
+func (s *Stored) DecodeInto(dst []uint32) []uint32 {
 	switch s.enc {
 	case EncRaw:
-		return s.raw
+		return append(dst, s.raw...)
 	case EncGamma, EncDelta:
-		return s.lookup.Decode()
+		return s.lookup.DecodeInto(dst)
 	case EncLowbits:
-		return s.rgs.DecodeDocs()
+		return s.rgs.DecodeDocsInto(dst)
 	}
-	return nil
+	return dst
 }
 
 // IntersectStored intersects k ≥ 1 stored lists directly over their
@@ -117,29 +128,44 @@ func (s *Stored) Decode() []uint32 {
 //     groups (Lowbits, pre-filtered by the image words), or merging (raw)
 //     without materializing the larger lists.
 //
-// The result may share memory with an EncRaw operand when no filtering was
-// required; callers must treat it as read-only.
+// The result may share memory with an EncRaw operand when only one list was
+// given; callers must treat it as read-only. IntersectStoredInto never
+// shares.
 func IntersectStored(ss ...*Stored) []uint32 {
-	switch len(ss) {
-	case 0:
-		return nil
-	case 1:
+	if len(ss) == 1 {
 		return ss[0].Decode()
 	}
-	ord := make([]*Stored, len(ss))
-	copy(ord, ss)
+	return IntersectStoredInto(nil, ss...)
+}
+
+// IntersectStoredInto is IntersectStored appending into dst. All per-call
+// workspace comes from the package's scratch pool, so steady-state calls
+// allocate only when the result outgrows dst. The result never aliases
+// stored memory.
+func IntersectStoredInto(dst []uint32, ss ...*Stored) []uint32 {
+	switch len(ss) {
+	case 0:
+		return dst
+	case 1:
+		return ss[0].DecodeInto(dst)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ord = append(sc.ord[:0], ss...)
+	ord := sc.ord
 	for i := 1; i < len(ord); i++ {
 		for j := i; j > 0 && ord[j].n < ord[j-1].n; j-- {
 			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
 	if ord[0].n == 0 {
-		return nil
+		return dst
 	}
 	if len(ord) == 2 && ord[0].enc == EncLowbits && ord[1].enc == EncLowbits {
-		out := IntersectRGS(ord[0].rgs, ord[1].rgs)
-		sets.SortU32(out)
-		return out
+		start := len(dst)
+		dst = intersectRGSInto(dst, sc, ord[0].rgs, ord[1].rgs)
+		sets.SortU32(dst[start:])
+		return dst
 	}
 	allLookup := true
 	for _, s := range ord {
@@ -149,38 +175,39 @@ func IntersectStored(ss ...*Stored) []uint32 {
 		}
 	}
 	if allLookup {
-		lls := make([]*LookupList, len(ord))
-		for i, s := range ord {
-			lls[i] = s.lookup
+		sc.llsIn = sc.llsIn[:0]
+		for _, s := range ord {
+			sc.llsIn = append(sc.llsIn, s.lookup)
 		}
-		return IntersectLookup(lls...)
+		return intersectLookupInto(dst, sc, sc.llsIn)
 	}
-	cur := ord[0].Decode()
+	// Mixed encodings: decode the smallest operand once, then filter it
+	// through each remaining operand, ping-ponging between two scratch
+	// buffers (bufA stays free as the per-probe bucket/group buffer).
+	cur := ord[0].DecodeInto(sc.bufC[:0])
+	spare := sc.bufB
 	for _, s := range ord[1:] {
 		if len(cur) == 0 {
-			return nil
+			break
 		}
-		cur = s.filterSorted(cur)
+		out := s.filterSortedInto(cur, spare[:0], sc)
+		cur, spare = out, cur
 	}
-	return cur
+	sc.bufB, sc.bufC = cur, spare // retain growth; the two chains stay disjoint
+	return append(dst, cur...)
 }
 
-// filterSorted returns the members of probe (ascending document IDs) that s
-// contains. probe is never modified; the result is a fresh slice.
-func (s *Stored) filterSorted(probe []uint32) []uint32 {
-	if s.enc == EncRaw {
-		return sets.IntersectReference(probe, s.raw)
-	}
-	capHint := len(probe)
-	if s.n < capHint {
-		capHint = s.n
-	}
-	out := make([]uint32, 0, capHint)
+// filterSortedInto appends the members of probe (ascending document IDs)
+// that s contains to out, using sc.bufA as bucket/group decode space.
+// probe is never modified.
+func (s *Stored) filterSortedInto(probe, out []uint32, sc *scratch) []uint32 {
 	switch s.enc {
+	case EncRaw:
+		return sets.IntersectInto(out, probe, s.raw)
 	case EncGamma, EncDelta:
-		out = s.lookup.filterSorted(probe, out)
+		return s.lookup.filterSorted(probe, out, &sc.bufA)
 	case EncLowbits:
-		out = s.rgs.filterDocs(probe, out)
+		return s.rgs.filterDocs(probe, out, &sc.bufA)
 	}
 	return out
 }
@@ -188,10 +215,11 @@ func (s *Stored) filterSorted(probe []uint32) []uint32 {
 // filterSorted appends the members of probe (ascending) present in l to
 // out. Consecutive probes share a bucket decode: ascending probes visit
 // buckets in order, so each occupied bucket is decoded at most once.
-func (l *LookupList) filterSorted(probe []uint32, out []uint32) []uint32 {
+// bucketBuf provides (and retains) the bucket decode buffer.
+func (l *LookupList) filterSorted(probe, out []uint32, bucketBuf *[]uint32) []uint32 {
 	buckets := uint32(len(l.dir)) - 1
 	curQ := ^uint32(0)
-	bucket := make([]uint32, 0, 2*DefaultStoredBucket)
+	bucket := (*bucketBuf)[:0]
 	i := 0
 	for _, x := range probe {
 		q := x / l.b
@@ -210,6 +238,7 @@ func (l *LookupList) filterSorted(probe []uint32, out []uint32) []uint32 {
 			out = append(out, x)
 		}
 	}
+	*bucketBuf = bucket
 	return out
 }
 
@@ -217,9 +246,10 @@ func (l *LookupList) filterSorted(probe []uint32, out []uint32) []uint32 {
 // in l to out. Each probe hashes to its group, the group's image words are
 // checked first (the Algorithm 5 filter, rejecting most absent candidates
 // from the header alone), and only survivors pay an element decode.
-func (l *RGSList) filterDocs(probe []uint32, out []uint32) []uint32 {
+// groupBuf provides (and retains) the group decode buffer.
+func (l *RGSList) filterDocs(probe, out []uint32, groupBuf *[]uint32) []uint32 {
 	var imgs [core.MaxImageCount]bitword.Word
-	buf := make([]uint32, 0, 4*bitword.SqrtW)
+	buf := (*groupBuf)[:0]
 	lowWidth := uint(32) - l.t
 	for _, x := range probe {
 		g := l.fam.Perm.Apply(x)
@@ -250,26 +280,36 @@ func (l *RGSList) filterDocs(probe []uint32, out []uint32) []uint32 {
 			}
 		}
 	}
+	*groupBuf = buf
 	return out
 }
 
 // DecodeDocs reconstructs the sorted document IDs of the whole structure
 // (Lowbits groups hold g-values, which are mapped back through g⁻¹).
 func (l *RGSList) DecodeDocs() []uint32 {
-	out := make([]uint32, 0, l.n)
+	return l.DecodeDocsInto(make([]uint32, 0, l.n))
+}
+
+// DecodeDocsInto appends the sorted document IDs of the whole structure to
+// dst, drawing group-decode space from the package's scratch pool.
+func (l *RGSList) DecodeDocsInto(dst []uint32) []uint32 {
+	sc := getScratch()
+	defer putScratch(sc)
+	start := len(dst)
 	var imgs [core.MaxImageCount]bitword.Word
-	buf := make([]uint32, 0, 4*bitword.SqrtW)
+	buf := sc.bufA[:0]
 	groups := 1 << l.t
 	for z := 0; z < groups; z++ {
 		buf = l.group(z, imgs[:l.m], buf)
 		if l.coding == RGSLowbits {
 			for _, g := range buf {
-				out = append(out, l.fam.Perm.Invert(g))
+				dst = append(dst, l.fam.Perm.Invert(g))
 			}
 		} else {
-			out = append(out, buf...)
+			dst = append(dst, buf...)
 		}
 	}
-	sets.SortU32(out)
-	return out
+	sc.bufA = buf
+	sets.SortU32(dst[start:])
+	return dst
 }

@@ -77,25 +77,36 @@ func (l *HashBinList) searchG(gv uint32, lo, hi int) bool {
 // bucket check every x ∈ L1^z against L2^z, ..., Lk^z by binary search in
 // g-space, stopping at the first miss. The result is in permutation order.
 func IntersectHashBin(lists ...*HashBinList) []uint32 {
+	return IntersectHashBinInto(nil, nil, lists...)
+}
+
+// IntersectHashBinInto is IntersectHashBin appending into dst, with all
+// per-call workspace drawn from sc (nil for a private one).
+func IntersectHashBinInto(dst []uint32, sc *Scratch, lists ...*HashBinList) []uint32 {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return append([]uint32(nil), lists[0].elems...)
+		return append(dst, lists[0].elems...)
 	}
-	ordered := make([]*HashBinList, len(lists))
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.hb = scratchSlice(sc.hb, len(lists))
+	ordered := sc.hb
 	copy(ordered, lists)
 	for i := 1; i < len(ordered); i++ {
 		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
 			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
 		}
 	}
+	defer clear(ordered) // do not retain operands in the pooled Scratch
 	for _, l := range ordered {
 		if !SameFamily(l.fam, ordered[0].fam) {
 			panic("core: intersecting lists from different families")
 		}
 		if l.Len() == 0 {
-			return nil
+			return dst
 		}
 	}
 	small := ordered[0]
@@ -103,10 +114,10 @@ func IntersectHashBin(lists ...*HashBinList) []uint32 {
 	if t > 32 {
 		t = 32
 	}
-	var dst []uint32
 	k := len(ordered)
-	los := make([]int, k)
-	his := make([]int, k)
+	sc.los = scratchSlice(sc.los, k)
+	sc.his = scratchSlice(sc.his, k)
+	los, his := sc.los, sc.his
 	i := 0
 	for i < len(small.gvals) {
 		z := xhash.PrefixOf(small.gvals[i], t)

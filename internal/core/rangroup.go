@@ -138,45 +138,59 @@ func (l *RanGroupList) SizeWords() int {
 // whole subtrees of z_k values, and surviving combinations run the
 // k-group IntersectSmall. The result is in permutation order, not sorted.
 func IntersectRanGroup(lists ...*RanGroupList) []uint32 {
+	return IntersectRanGroupInto(nil, nil, lists...)
+}
+
+// IntersectRanGroupInto is IntersectRanGroup appending into dst, with all
+// per-call workspace drawn from sc (nil for a private one).
+func IntersectRanGroupInto(dst []uint32, sc *Scratch, lists ...*RanGroupList) []uint32 {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return append([]uint32(nil), lists[0].data.elems...)
+		return append(dst, lists[0].data.elems...)
+	}
+	if sc == nil {
+		sc = &Scratch{}
 	}
 	// Order by size ascending; t is monotone in n so t_k is the maximum.
-	ordered := make([]*RanGroupList, len(lists))
+	sc.rg = scratchSlice(sc.rg, len(lists))
+	ordered := sc.rg
 	copy(ordered, lists)
 	for i := 1; i < len(ordered); i++ {
 		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
 			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
 		}
 	}
+	defer clear(ordered) // do not retain operands in the pooled Scratch
 	k := len(ordered)
 	for _, l := range ordered {
 		if !SameFamily(l.fam, ordered[0].fam) {
 			panic("core: intersecting lists from different families")
 		}
 		if l.Len() == 0 {
-			return nil
+			return dst
 		}
 	}
-	datas := make([]*setData, k)
-	layers := make([]*layer, k)
-	ts := make([]uint, k)
+	sc.datas = scratchSlice(sc.datas, k)
+	sc.layers = scratchSlice(sc.layers, k)
+	sc.ts = scratchSlice(sc.ts, k)
+	datas, layers, ts := sc.datas, sc.layers, sc.ts
+	defer clear(datas)
+	defer clear(layers)
 	for i, l := range ordered {
 		datas[i] = &l.data
 		layers[i] = l.layer
 		ts[i] = l.t
 	}
 	tk := ts[k-1]
-	partial := make([]bitword.Word, k)
-	prevZ := make([]int32, k)
-	zs := make([]int32, k)
+	sc.partial = scratchSlice(sc.partial, k)
+	sc.prevZ = scratchSlice(sc.prevZ, k)
+	sc.zs = scratchSlice(sc.zs, k)
+	partial, prevZ, zs := sc.partial, sc.prevZ, sc.zs
 	for i := range prevZ {
 		prevZ[i] = -1
 	}
-	var dst []uint32
 	zkMax := int32(1) << tk
 zkLoop:
 	for zk := int32(0); zk < zkMax; zk++ {

@@ -105,7 +105,18 @@ func (l *RanGroupScanList) group(z int32) []uint32 {
 // Algorithm 5. The result is ordered by (group prefix, document ID) — not
 // globally sorted.
 func IntersectRanGroupScan(lists ...*RanGroupScanList) []uint32 {
-	out, _ := intersectRGS(nil, lists, false, 0, -1)
+	return IntersectRanGroupScanInto(nil, nil, lists...)
+}
+
+// IntersectRanGroupScanInto is IntersectRanGroupScan appending into dst,
+// with all per-call workspace drawn from sc (nil for a private one). With a
+// warm Scratch and sufficient dst capacity it performs zero allocations —
+// the contract the serving tier's pooled ExecContext builds on.
+func IntersectRanGroupScanInto(dst []uint32, sc *Scratch, lists ...*RanGroupScanList) []uint32 {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	out, _ := intersectRGS(dst, sc, lists, false, 0, -1)
 	return out
 }
 
@@ -114,7 +125,16 @@ func IntersectRanGroupScan(lists ...*RanGroupScanList) []uint32 {
 // (IntersectRanGroupScanParallel): disjoint ranges partition the work with
 // no shared state.
 func IntersectRanGroupScanRange(lists []*RanGroupScanList, zkLo, zkHi int32) []uint32 {
-	out, _ := intersectRGS(nil, lists, false, zkLo, zkHi)
+	return IntersectRanGroupScanRangeInto(nil, nil, lists, zkLo, zkHi)
+}
+
+// IntersectRanGroupScanRangeInto is IntersectRanGroupScanRange appending
+// into dst with workspace drawn from sc (nil for a private one).
+func IntersectRanGroupScanRangeInto(dst []uint32, sc *Scratch, lists []*RanGroupScanList, zkLo, zkHi int32) []uint32 {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	out, _ := intersectRGS(dst, sc, lists, false, zkLo, zkHi)
 	return out
 }
 
@@ -140,13 +160,13 @@ func (s FilterStats) SuccessProbability() float64 {
 // (outside the algorithm's accounting) to learn the ground truth, so this
 // is for analysis, not benchmarking.
 func IntersectRanGroupScanStats(lists ...*RanGroupScanList) ([]uint32, FilterStats) {
-	return intersectRGS(nil, lists, true, 0, -1)
+	return intersectRGS(nil, &Scratch{}, lists, true, 0, -1)
 }
 
 // intersectRGS is Algorithm 5 with memoized prefix ANDs per hash image.
 // zkHi < 0 means the full group range; a restricted range always takes the
-// general path.
-func intersectRGS(dst []uint32, lists []*RanGroupScanList, withStats bool, zkLo, zkHi int32) ([]uint32, FilterStats) {
+// general path. All workspace comes from sc.
+func intersectRGS(dst []uint32, sc *Scratch, lists []*RanGroupScanList, withStats bool, zkLo, zkHi int32) ([]uint32, FilterStats) {
 	var stats FilterStats
 	fullRange := zkHi < 0
 	switch len(lists) {
@@ -170,13 +190,15 @@ func intersectRGS(dst []uint32, lists []*RanGroupScanList, withStats bool, zkLo,
 			return intersectRGS2(dst, a, b), stats
 		}
 	}
-	ordered := make([]*RanGroupScanList, len(lists))
+	sc.rgs = scratchSlice(sc.rgs, len(lists))
+	ordered := sc.rgs
 	copy(ordered, lists)
 	for i := 1; i < len(ordered); i++ {
 		for j := i; j > 0 && ordered[j].Len() < ordered[j-1].Len(); j-- {
 			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
 		}
 	}
+	defer clear(ordered) // do not retain operands in the pooled Scratch
 	k := len(ordered)
 	m := ordered[0].m
 	for _, l := range ordered {
@@ -190,21 +212,29 @@ func intersectRGS(dst []uint32, lists []*RanGroupScanList, withStats bool, zkLo,
 			return dst, stats
 		}
 	}
-	ts := make([]uint, k)
+	sc.ts = scratchSlice(sc.ts, k)
+	ts := sc.ts
 	for i, l := range ordered {
 		ts[i] = l.t
 	}
 	tk := ts[k-1]
 	// partial[i*m+j] = AND over sets 0..i of image j for the current prefix.
-	partial := make([]bitword.Word, k*m)
-	prevZ := make([]int32, k)
-	zs := make([]int32, k)
+	sc.partial = scratchSlice(sc.partial, k*m)
+	partial := sc.partial
+	sc.prevZ = scratchSlice(sc.prevZ, k)
+	sc.zs = scratchSlice(sc.zs, k)
+	prevZ, zs := sc.prevZ, sc.zs
 	for i := range prevZ {
 		prevZ[i] = -1
 	}
-	groups := make([][]uint32, k)
-	bufA := make([]uint32, 0, 4*bitword.SqrtW)
-	bufB := make([]uint32, 0, 4*bitword.SqrtW)
+	sc.groups = scratchSlice(sc.groups, k)
+	groups := sc.groups
+	defer clear(groups) // group views alias operand element arrays
+	if sc.bufA == nil {
+		sc.bufA = make([]uint32, 0, 4*bitword.SqrtW)
+		sc.bufB = make([]uint32, 0, 4*bitword.SqrtW)
+	}
+	bufA, bufB := sc.bufA, sc.bufB
 	zkMax := int32(1) << tk
 	if !fullRange && zkHi < zkMax {
 		zkMax = zkHi
@@ -288,6 +318,7 @@ zkLoop:
 			}
 		}
 	}
+	sc.bufA, sc.bufB = bufA, bufB // keep any merge-buffer growth for reuse
 	return dst, stats
 }
 

@@ -1,0 +1,40 @@
+package core
+
+import "fastintersect/internal/bitword"
+
+// Scratch owns the reusable per-call workspace of the intersection kernels:
+// operand orderings, memoized prefix ANDs, group cursors and merge buffers.
+// The *Into kernel variants take a Scratch so a serving layer can hold one
+// per query context (pooled) and run steady-state intersections with zero
+// allocations; passing nil makes the kernel allocate a private one, which
+// is what the convenience wrappers without a Scratch parameter do.
+//
+// A Scratch is not safe for concurrent use; concurrent intersections need
+// one each. Kernels nil out the operand-pointer fields before returning so
+// a pooled Scratch never pins preprocessed structures (e.g. an index
+// generation that has since been swapped out) in memory.
+type Scratch struct {
+	rgs     []*RanGroupScanList
+	rg      []*RanGroupList
+	hb      []*HashBinList
+	datas   []*setData
+	layers  []*layer
+	ts      []uint
+	partial []bitword.Word
+	prevZ   []int32
+	zs      []int32
+	los     []int
+	his     []int
+	groups  [][]uint32
+	bufA    []uint32
+	bufB    []uint32
+}
+
+// scratchSlice returns s resized to k reusing its capacity, allocating only
+// on growth. The caller stores the result back into the Scratch field.
+func scratchSlice[T any](s []T, k int) []T {
+	if cap(s) < k {
+		return make([]T, k)
+	}
+	return s[:k]
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+	"fastintersect/internal/workload"
+	"fastintersect/internal/xhash"
+)
+
+// TestIntoVariantsMatchWithSharedScratch runs every kernel's Into form over
+// varied shapes through ONE reused Scratch — the pooled-context usage
+// pattern — and checks parity with the allocating form plus dst-prefix
+// preservation. Reuse across k-widths and kernels is the interesting part:
+// a Scratch sized by a 4-way intersection must still be correct for a
+// 2-way one (stale state from the previous call must not leak).
+func TestIntoVariantsMatchWithSharedScratch(t *testing.T) {
+	fam := NewFamily(testSeed, 4)
+	rng := xhash.NewRNG(0x5C4A7C4)
+	sc := &Scratch{}
+	shapes := [][]int{{300, 400}, {100, 200, 300, 5000}, {50, 6000}, {700, 700, 700}}
+	for trial := 0; trial < 3; trial++ {
+		for _, ns := range shapes {
+			raw := workload.KWithIntersection(1<<20, ns, 10, rng)
+			prefix := []uint32{1<<32 - 1, 0}
+
+			var rgs []*RanGroupScanList
+			for _, s := range raw {
+				l, err := NewRanGroupScanList(fam, s, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rgs = append(rgs, l)
+			}
+			want := IntersectRanGroupScan(rgs...)
+			got := IntersectRanGroupScanInto(sets.Clone(prefix), sc, rgs...)
+			if !sets.Equal(got[:2], prefix) || !sets.Equal(got[2:], want) {
+				t.Fatalf("RanGroupScanInto mismatch on %v", ns)
+			}
+
+			var rg []*RanGroupList
+			for _, s := range raw {
+				l, err := NewRanGroupList(fam, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rg = append(rg, l)
+			}
+			want = IntersectRanGroup(rg...)
+			got = IntersectRanGroupInto(sets.Clone(prefix), sc, rg...)
+			if !sets.Equal(got[:2], prefix) || !sets.Equal(got[2:], want) {
+				t.Fatalf("RanGroupInto mismatch on %v", ns)
+			}
+
+			var hb []*HashBinList
+			for _, s := range raw {
+				l, err := NewHashBinList(fam, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hb = append(hb, l)
+			}
+			want = IntersectHashBin(hb...)
+			got = IntersectHashBinInto(sets.Clone(prefix), sc, hb...)
+			if !sets.Equal(got[:2], prefix) || !sets.Equal(got[2:], want) {
+				t.Fatalf("HashBinInto mismatch on %v", ns)
+			}
+		}
+	}
+}
+
+// TestKernelIntoAllocs pins the kernel-layer zero-allocation guarantee
+// directly (no pools involved): with a warm Scratch and sufficient dst
+// capacity, every grouped kernel's Into form allocates nothing.
+func TestKernelIntoAllocs(t *testing.T) {
+	fam := NewFamily(testSeed, 4)
+	rng := xhash.NewRNG(0xA110C3)
+	raw := workload.KWithIntersection(1<<20, []int{2000, 3000, 4000}, 50, rng)
+	sc := &Scratch{}
+	dst := make([]uint32, 0, 4096)
+
+	var rgs []*RanGroupScanList
+	var rg []*RanGroupList
+	var hb []*HashBinList
+	for _, s := range raw {
+		l1, err := NewRanGroupScanList(fam, s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := NewRanGroupList(fam, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, err := NewHashBinList(fam, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rgs, rg, hb = append(rgs, l1), append(rg, l2), append(hb, l3)
+	}
+	warm := func(f func()) float64 {
+		for i := 0; i < 3; i++ {
+			f()
+		}
+		return testing.AllocsPerRun(100, f)
+	}
+	if n := warm(func() { IntersectRanGroupScanInto(dst[:0], sc, rgs...) }); n != 0 {
+		t.Fatalf("IntersectRanGroupScanInto allocates %.1f times per op, want 0", n)
+	}
+	if n := warm(func() { IntersectRanGroupInto(dst[:0], sc, rg...) }); n != 0 {
+		t.Fatalf("IntersectRanGroupInto allocates %.1f times per op, want 0", n)
+	}
+	if n := warm(func() { IntersectHashBinInto(dst[:0], sc, hb...) }); n != 0 {
+		t.Fatalf("IntersectHashBinInto allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestIntoVariantsReleaseOperands checks that the kernels nil out the
+// operand pointers they copied into the Scratch, so a pooled context never
+// pins a dead index generation.
+func TestIntoVariantsReleaseOperands(t *testing.T) {
+	fam := NewFamily(testSeed, 2)
+	rng := xhash.NewRNG(9)
+	raw := workload.KWithIntersection(1<<16, []int{200, 300, 400}, 5, rng)
+	sc := &Scratch{}
+	var rgs []*RanGroupScanList
+	for _, s := range raw {
+		l, err := NewRanGroupScanList(fam, s, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rgs = append(rgs, l)
+	}
+	IntersectRanGroupScanInto(nil, sc, rgs...)
+	for i, p := range sc.rgs {
+		if p != nil {
+			t.Fatalf("Scratch retains RanGroupScan operand %d after the call", i)
+		}
+	}
+}

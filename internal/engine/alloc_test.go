@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/race"
+	"fastintersect/internal/sets"
+)
+
+// TestOrTenWay verifies the k-way union satellite at the engine level: a
+// 10-operand OR must equal the reference union of its posting lists, under
+// both storage modes and both shard shapes.
+func TestOrTenWay(t *testing.T) {
+	const numDocs = 5000
+	q := "m2 OR m3 OR m4 OR m5 OR m6 OR m7 OR m8 OR m9 OR m10 OR m11"
+	want := refEval(numDocs, func(d uint32) bool {
+		for k := uint32(2); k <= 11; k++ {
+			if d%k == 0 {
+				return true
+			}
+		}
+		return false
+	})
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		for _, shards := range []int{1, 4} {
+			e := buildTestEngine(t, Config{Shards: shards, Storage: st}, numDocs)
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sets.Equal(res.Docs, want) {
+				t.Fatalf("storage=%v shards=%d: 10-way OR returned %d docs, want %d",
+					st, shards, len(res.Docs), len(want))
+			}
+		}
+	}
+}
+
+// TestEmptyConjunctionWithCompositeKid pins the fix for a planner bug: a
+// conjunction whose term operands intersect to empty must stay empty, not
+// adopt a composite kid's result as if no term base existed. (The empty
+// base used to be returned as nil, which the kid-adoption test mistook for
+// "no base operands" — and whether the kernel returned nil or a non-nil
+// empty slice depended on pool warmth, so results flipped with traffic.)
+func TestEmptyConjunctionWithCompositeKid(t *testing.T) {
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		t.Run(st.String(), func(t *testing.T) {
+			e := New(Config{Shards: 1, Storage: st})
+			b := e.NewBuilder()
+			for term, docs := range map[string][]uint32{
+				"a": {1, 3, 5}, // disjoint from b
+				"b": {2, 4, 6},
+				"c": {1, 2},
+				"d": {3, 4},
+			} {
+				if err := b.AddPosting(term, docs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Install(b); err != nil {
+				t.Fatal(err)
+			}
+			for q, want := range map[string][]uint32{
+				"a AND b AND (c OR d)":  nil, // empty base ∧ composite kid
+				"a AND c AND (c OR d)":  {1}, // non-empty base ∧ composite kid
+				"(a OR b) AND (c OR d)": {1, 2, 3, 4},
+			} {
+				res, err := e.Query(q)
+				if err != nil {
+					t.Fatalf("Query(%q): %v", q, err)
+				}
+				if !sets.Equal(res.Docs, want) {
+					t.Fatalf("Query(%q) = %v, want %v", q, res.Docs, want)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryAllocs pins the engine's per-query allocation budget so pooling
+// regressions surface as test failures. The bounds are deliberately above
+// the measured steady state (roughly 2× headroom) — parsing, the goroutine
+// fan-out and the fresh result slice legitimately allocate — but far below
+// the pre-ExecContext numbers (≈70 allocs/op on the mixed workload), so a
+// layer that starts allocating per operand or per group again will trip
+// them. (CHANGES.md/CI: this is the engine layer's AllocsPerRun guard; the
+// core, compress and API layers have their own.)
+func TestQueryAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; the allocation bounds cannot hold")
+	}
+	const numDocs = 20_000
+	cases := []struct {
+		name    string
+		storage invindex.Storage
+		shards  int
+		query   string
+		max     float64
+	}{
+		{"raw-and-1shard", invindex.StorageRaw, 1, "m2 AND m3", 30},
+		{"raw-mixed-1shard", invindex.StorageRaw, 1, "(m2 AND m3) OR m11 AND NOT m13", 60},
+		{"raw-and-4shard", invindex.StorageRaw, 4, "m2 AND m3", 70},
+		{"compressed-and-1shard", invindex.StorageCompressed, 1, "m2 AND m3", 30},
+		{"compressed-mixed-1shard", invindex.StorageCompressed, 1, "(m2 AND m3) OR m11 AND NOT m13", 60},
+		{"compressed-and-4shard", invindex.StorageCompressed, 4, "m2 AND m3", 70},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := buildTestEngine(t, Config{Shards: tc.shards, Storage: tc.storage}, numDocs)
+			for i := 0; i < 5; i++ { // warm pools
+				if _, err := e.Query(tc.query); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var err error
+			n := testing.AllocsPerRun(50, func() {
+				_, err = e.Query(tc.query)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n > tc.max {
+				t.Fatalf("Query(%q) allocates %.1f times per op, want ≤ %v", tc.query, n, tc.max)
+			}
+		})
+	}
+}
+
+// TestQueryCachedAllocs pins the cache-hit path: a repeated query touches
+// only the parser and the LRU.
+func TestQueryCachedAllocs(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2, CacheSize: 64}, 10_000)
+	const q = "m2 AND m3 AND NOT m5"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	n := testing.AllocsPerRun(50, func() {
+		_, err = e.Query(q)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 35 {
+		t.Fatalf("cached Query allocates %.1f times per op, want ≤ 35", n)
+	}
+}
+
+// TestConcurrentQueryPoolingIntegrity is the result-cache safety check
+// under pooling: many goroutines hammer the same engine with overlapping
+// queries (cache enabled, so returned slices are shared between queries
+// and with the LRU) while another goroutine repeatedly rebuilds the index
+// with identical data. If any returned or cached slice aliased a pooled
+// buffer that got recycled into a concurrent query, results would corrupt;
+// every result is checked against the independently derived expectation.
+// Run under -race in CI.
+func TestConcurrentQueryPoolingIntegrity(t *testing.T) {
+	const numDocs = 8000
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		t.Run(st.String(), func(t *testing.T) {
+			e := buildTestEngine(t, Config{Shards: 4, CacheSize: 8, Storage: st}, numDocs)
+			type expectation struct {
+				q    string
+				want []uint32
+			}
+			var exps []expectation
+			for _, tq := range testQueries {
+				if tq.pred == nil {
+					continue
+				}
+				exps = append(exps, expectation{tq.q, refEval(numDocs, tq.pred)})
+			}
+			stop := make(chan struct{})
+			var rebuildWG sync.WaitGroup
+			rebuildWG.Add(1)
+			go func() {
+				defer rebuildWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					b := e.NewBuilder()
+					for d := uint32(0); d < numDocs; d++ {
+						terms := []string{"all"}
+						for k := uint32(2); k <= 13; k++ {
+							if d%k == 0 {
+								terms = append(terms, fmt.Sprintf("m%d", k))
+							}
+						}
+						if d%97 == 0 {
+							terms = append(terms, "rare")
+						}
+						if err := b.Add(d, terms); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if err := e.Install(b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						exp := exps[(g+i)%len(exps)]
+						res, err := e.Query(exp.q)
+						if err != nil {
+							t.Errorf("Query(%q): %v", exp.q, err)
+							return
+						}
+						if !sets.Equal(res.Docs, exp.want) {
+							t.Errorf("goroutine %d iter %d: Query(%q) returned %d docs, want %d — pooled buffer corruption?",
+								g, i, exp.q, len(res.Docs), len(exp.want))
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			rebuildWG.Wait()
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/workload"
+)
+
+// The mixed AND/OR workload shared by the serving benchmarks and the
+// BENCH_serve.json trajectory: a scaled-down Real corpus queried with the
+// default operator mix plus a heavier OR fraction, so both the conjunctive
+// push-down and the k-way union paths are exercised.
+var benchState struct {
+	once    sync.Once
+	real    *workload.Real
+	queries []string
+}
+
+func benchWorkload(tb testing.TB) (*workload.Real, []string) {
+	benchState.once.Do(func() {
+		cfg := workload.SmallRealConfig()
+		cfg.NumDocs = 200_000
+		cfg.NumTerms = 2_000
+		cfg.NumQueries = 128
+		benchState.real = workload.NewReal(cfg)
+		sc := workload.DefaultStreamConfig()
+		sc.OrFrac = 0.30
+		sc.NotFrac = 0.10
+		benchState.queries = benchState.real.QueryStream(256, sc)
+	})
+	if benchState.real == nil {
+		tb.Fatal("bench workload failed to build")
+	}
+	return benchState.real, benchState.queries
+}
+
+func buildBenchEngine(tb testing.TB, st invindex.Storage, cacheSize int) *Engine {
+	real, _ := benchWorkload(tb)
+	e := New(Config{Shards: 2, CacheSize: cacheSize, Storage: st})
+	b := e.NewBuilder()
+	for t, docs := range real.Postings {
+		if err := b.AddPosting(workload.TermName(t), docs); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	b.SetDocCount(uint64(real.Config.NumDocs))
+	if err := e.Install(b); err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkQueryMixed measures the steady-state serving path on the mixed
+// AND/OR workload with the result cache disabled, so every iteration pays
+// the full parse → plan → shard fan-out → merge pipeline. B/op and
+// allocs/op here are the numbers the ExecContext pooling is accountable
+// for; TestQueryAllocs pins them as a regression bound.
+func BenchmarkQueryMixed(b *testing.B) {
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		b.Run(st.String(), func(b *testing.B) {
+			e := buildBenchEngine(b, st, 0)
+			_, queries := benchWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -190,7 +190,11 @@ type Result struct {
 	Cached bool
 }
 
-// Query parses, plans and executes a query across all shards.
+// Query parses, plans and executes a query across all shards. Every shard
+// evaluation runs inside a pooled execution context (see execctx.go); the
+// merged result is always a fresh slice — never aliasing a posting list or
+// a pooled buffer — so it is safe to cache and to hand to the caller while
+// the contexts are recycled into concurrent queries.
 func (e *Engine) Query(q string) (*Result, error) {
 	e.queries.Add(1)
 	ast, err := Parse(q)
@@ -213,8 +217,29 @@ func (e *Engine) Query(q string) (*Result, error) {
 		e.errors.Add(1)
 		return nil, ErrNotBuilt
 	}
-	results := make([][]uint32, len(shards))
-	errs := make([]error, len(shards))
+	if len(shards) == 1 {
+		// Single shard: evaluate inline, skipping the fan-out goroutine but
+		// still holding a bounded worker slot — Config.Workers caps shard
+		// evaluations across ALL in-flight queries regardless of shape.
+		e.workers <- struct{}{}
+		defer func() { <-e.workers }()
+		c := getExecCtx()
+		docs, owned, err := evalShard(c, shards[0], ast, e.cfg.Algorithm)
+		if err != nil {
+			putExecCtx(c)
+			e.errors.Add(1)
+			return nil, err
+		}
+		merged := make([]uint32, len(docs))
+		copy(merged, docs)
+		if owned {
+			c.putBuf(docs)
+		}
+		putExecCtx(c)
+		e.cache.put(key, merged, gen)
+		return &Result{Docs: merged, Normalized: key}, nil
+	}
+	qc := getQueryCtx(len(shards))
 	var wg sync.WaitGroup
 	for i, ix := range shards {
 		wg.Add(1)
@@ -222,23 +247,29 @@ func (e *Engine) Query(q string) (*Result, error) {
 			defer wg.Done()
 			e.workers <- struct{}{} // acquire a bounded worker slot
 			defer func() { <-e.workers }()
-			results[i], errs[i] = evalShard(ix, ast, e.cfg.Algorithm)
+			c := getExecCtx()
+			qc.ctxs[i] = c
+			qc.results[i], qc.owned[i], qc.errs[i] = evalShard(c, ix, ast, e.cfg.Algorithm)
 		}(i, ix)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range qc.errs {
 		if err != nil {
+			putQueryCtx(qc)
 			e.errors.Add(1)
 			return nil, err
 		}
 	}
 	// Shards partition the document space, so the per-shard sorted results
-	// are disjoint and merging is a pure interleave. Union always returns a
-	// fresh slice, so the merged result never aliases a posting list.
-	var merged []uint32
-	for _, r := range results {
-		merged = sets.Union(merged, r)
+	// are disjoint and merging is a pure interleave; the k-way union writes
+	// into a fresh exactly-sized slice, so the merged result never aliases
+	// a posting list or a pooled buffer.
+	total := 0
+	for _, r := range qc.results {
+		total += len(r)
 	}
+	merged := sets.UnionKInto(make([]uint32, 0, total), qc.results...)
+	putQueryCtx(qc)
 	e.cache.put(key, merged, gen)
 	return &Result{Docs: merged, Normalized: key}, nil
 }

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"sync"
+
+	"fastintersect"
+	"fastintersect/internal/compress"
+)
+
+// execCtx is the engine's per-shard-evaluation execution context: it owns
+// every piece of transient memory evalShard needs — the fastintersect
+// kernel context, a free list of result buffers, the decoded-term memo for
+// compressed storage, and a free list of evaluation frames. One context
+// serves one evalShard call at a time; Query draws one per shard from the
+// package pool so concurrent shard evaluations never share scratch.
+//
+// Ownership rules (the "memory discipline" ARCHITECTURE.md documents):
+//
+//   - evalShard returns (docs, owned): owned=true means docs is backed by a
+//     buffer of this context, which the caller recycles with putBuf once
+//     the docs are consumed; owned=false means docs aliases index memory
+//     (a posting list) or the context's decode memo and must be treated as
+//     read-only — it is never recycled directly.
+//   - Every buffer handed out by getBuf returns to the free list exactly
+//     once: through putBuf when its consumer is done, through releaseFrame
+//     for results parked in a frame, or through putExecCtx for memo
+//     entries. Buffers never escape the context: Query copies the final
+//     docs into a fresh slice before caching or returning them.
+type execCtx struct {
+	fi    fastintersect.ExecContext
+	free  [][]uint32
+	memoK []*compress.Stored
+	memoV [][]uint32
+	pool  []*evalFrame
+}
+
+// evalFrame holds one AND/OR node's operand collections, recycled across
+// evaluations so nested expressions allocate nothing steady-state.
+type evalFrame struct {
+	lists       []*fastintersect.List
+	stored      []*compress.Stored
+	others      [][]uint32
+	othersOwned []bool
+	negs        []Node
+	kids        [][]uint32
+	kidsOwned   []bool
+}
+
+var execCtxPool = sync.Pool{New: func() any { return new(execCtx) }}
+
+func getExecCtx() *execCtx { return execCtxPool.Get().(*execCtx) }
+
+// putExecCtx reclaims the memo buffers, drops every reference into index
+// memory (so a pooled context never pins a swapped-out shard set), and
+// returns the context to the pool.
+func putExecCtx(c *execCtx) {
+	for _, b := range c.memoV {
+		c.free = append(c.free, b)
+	}
+	clear(c.memoK)
+	clear(c.memoV)
+	c.memoK = c.memoK[:0]
+	c.memoV = c.memoV[:0]
+	c.fi.Reset()
+	execCtxPool.Put(c)
+}
+
+// getBuf returns an empty result buffer, reusing a recycled one when
+// available. The zero-capacity result of a cold context is fine: appends
+// grow it once and putBuf keeps the grown array.
+func (c *execCtx) getBuf() []uint32 {
+	if n := len(c.free); n > 0 {
+		b := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf recycles a buffer previously handed out by getBuf.
+func (c *execCtx) putBuf(b []uint32) {
+	if cap(b) > 0 {
+		c.free = append(c.free, b)
+	}
+}
+
+// decodeStored returns the decoded posting list of s, decoding at most once
+// per context lifetime (i.e. once per shard evaluation): a compressed term
+// referenced twice in one expression pays a single decode. The returned
+// slice is owned by the memo — valid until putExecCtx, never recycled by
+// callers.
+func (c *execCtx) decodeStored(s *compress.Stored) []uint32 {
+	for i, k := range c.memoK {
+		if k == s {
+			return c.memoV[i]
+		}
+	}
+	b := s.DecodeInto(c.getBuf())
+	c.memoK = append(c.memoK, s)
+	c.memoV = append(c.memoV, b)
+	return b
+}
+
+// frame returns a cleared evaluation frame from the free list.
+func (c *execCtx) frame() *evalFrame {
+	if n := len(c.pool); n > 0 {
+		f := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		return f
+	}
+	return &evalFrame{}
+}
+
+// releaseFrame recycles every result buffer still owned by the frame,
+// drops its operand references and returns it to the free list. It is the
+// single cleanup path for success, empty-result shortcuts and errors alike.
+func (c *execCtx) releaseFrame(f *evalFrame) {
+	for i, b := range f.kids {
+		if f.kidsOwned[i] {
+			c.putBuf(b)
+		}
+	}
+	for i, b := range f.others {
+		if f.othersOwned[i] {
+			c.putBuf(b)
+		}
+	}
+	clear(f.kids)
+	clear(f.others)
+	clear(f.lists)
+	clear(f.stored)
+	clear(f.negs)
+	f.lists = f.lists[:0]
+	f.stored = f.stored[:0]
+	f.others = f.others[:0]
+	f.othersOwned = f.othersOwned[:0]
+	f.negs = f.negs[:0]
+	f.kids = f.kids[:0]
+	f.kidsOwned = f.kidsOwned[:0]
+	c.pool = append(c.pool, f)
+}
+
+// queryCtx is the per-query fan-out state: one slot per shard for the
+// result, error and execution context of that shard's evaluation. Pooled so
+// steady-state queries reuse the slot arrays.
+type queryCtx struct {
+	results [][]uint32
+	owned   []bool
+	errs    []error
+	ctxs    []*execCtx
+}
+
+var queryCtxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+func getQueryCtx(shards int) *queryCtx {
+	q := queryCtxPool.Get().(*queryCtx)
+	if cap(q.results) < shards {
+		q.results = make([][]uint32, shards)
+		q.owned = make([]bool, shards)
+		q.errs = make([]error, shards)
+		q.ctxs = make([]*execCtx, shards)
+	}
+	q.results = q.results[:shards]
+	q.owned = q.owned[:shards]
+	q.errs = q.errs[:shards]
+	q.ctxs = q.ctxs[:shards]
+	return q
+}
+
+// putQueryCtx recycles every shard's result buffer into its own context,
+// releases the contexts and returns the slot arrays to the pool.
+func putQueryCtx(q *queryCtx) {
+	for i := range q.results {
+		if q.ctxs[i] != nil {
+			if q.owned[i] {
+				q.ctxs[i].putBuf(q.results[i])
+			}
+			putExecCtx(q.ctxs[i])
+		}
+		q.results[i] = nil
+		q.owned[i] = false
+		q.errs[i] = nil
+		q.ctxs[i] = nil
+	}
+	queryCtxPool.Put(q)
+}

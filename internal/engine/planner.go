@@ -1,9 +1,10 @@
 package engine
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"fastintersect"
@@ -30,21 +31,49 @@ type Node interface {
 	String() string
 }
 
+// Composite nodes memoize their canonical rendering: normalize fills str
+// bottom-up, so the sorts inside normalization and the cache-key render
+// reuse one string per node instead of re-rendering per comparison (the
+// parser's dominant allocation cost before memoization).
 type termNode string
 
-type notNode struct{ kid Node }
+type notNode struct {
+	kid Node
+	str string
+}
 
-type andNode struct{ kids []Node }
+type andNode struct {
+	kids []Node
+	str  string
+}
 
-type orNode struct{ kids []Node }
+type orNode struct {
+	kids []Node
+	str  string
+}
 
 func (t termNode) String() string { return string(t) }
 
-func (n notNode) String() string { return "(NOT " + n.kid.String() + ")" }
+func (n notNode) String() string {
+	if n.str != "" {
+		return n.str
+	}
+	return "(NOT " + n.kid.String() + ")"
+}
 
-func (n andNode) String() string { return joinKids(n.kids, " AND ") }
+func (n andNode) String() string {
+	if n.str != "" {
+		return n.str
+	}
+	return joinKids(n.kids, " AND ")
+}
 
-func (n orNode) String() string { return joinKids(n.kids, " OR ") }
+func (n orNode) String() string {
+	if n.str != "" {
+		return n.str
+	}
+	return joinKids(n.kids, " OR ")
+}
 
 func joinKids(kids []Node, sep string) string {
 	parts := make([]string, len(kids))
@@ -191,7 +220,7 @@ func (p *parser) parseOr() (Node, error) {
 	if len(kids) == 1 {
 		return first, nil
 	}
-	return orNode{kids}, nil
+	return orNode{kids: kids}, nil
 }
 
 func (p *parser) parseAnd() (Node, error) {
@@ -214,7 +243,7 @@ func (p *parser) parseAnd() (Node, error) {
 			if len(kids) == 1 {
 				return first, nil
 			}
-			return andNode{kids}, nil
+			return andNode{kids: kids}, nil
 		}
 		k, err := p.parseUnary()
 		if err != nil {
@@ -225,7 +254,7 @@ func (p *parser) parseAnd() (Node, error) {
 	if len(kids) == 1 {
 		return first, nil
 	}
-	return andNode{kids}, nil
+	return andNode{kids: kids}, nil
 }
 
 func (p *parser) parseUnary() (Node, error) {
@@ -243,7 +272,7 @@ func (p *parser) parseUnary() (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return notNode{kid}, nil
+		return notNode{kid: kid}, nil
 	case tokTerm:
 		return termNode(t.text), nil
 	case tokLParen:
@@ -273,7 +302,7 @@ func normalize(n Node) Node {
 		if inner, ok := kid.(notNode); ok {
 			return inner.kid
 		}
-		return notNode{kid}
+		return notNode{kid: kid, str: "(NOT " + kid.String() + ")"}
 	case andNode:
 		return normalizeKids(n.kids, true)
 	case orNode:
@@ -299,7 +328,7 @@ func normalizeKids(kids []Node, isAnd bool) Node {
 		}
 		flat = append(flat, k)
 	}
-	sort.SliceStable(flat, func(i, j int) bool { return flat[i].String() < flat[j].String() })
+	slices.SortStableFunc(flat, func(a, b Node) int { return strings.Compare(a.String(), b.String()) })
 	dedup := flat[:0]
 	for i, k := range flat {
 		if i > 0 && k.String() == flat[i-1].String() {
@@ -311,9 +340,9 @@ func normalizeKids(kids []Node, isAnd bool) Node {
 		return dedup[0]
 	}
 	if isAnd {
-		return andNode{dedup}
+		return andNode{kids: dedup, str: joinKids(dedup, " AND ")}
 	}
-	return orNode{dedup}
+	return orNode{kids: dedup, str: joinKids(dedup, " OR ")}
 }
 
 // bounded reports whether n is evaluable as a subset of materialized
@@ -378,138 +407,203 @@ func Terms(n Node) []string {
 	for t := range seen {
 		out = append(out, t)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
 // evalShard evaluates a normalized, bounded expression against one shard's
-// index, returning sorted docIDs. The returned slice may alias a posting
-// list; callers must treat it as read-only.
+// index, returning sorted docIDs. All transient memory comes from c; the
+// returned slice either aliases index memory or the context's memo (owned =
+// false; read-only) or is backed by a context buffer (owned = true; the
+// caller recycles it with c.putBuf once consumed). Either way it is only
+// valid until the context is released.
 //
 // Conjunctions of plain terms are pushed down with the operand lists
 // cost-ordered by ascending document frequency — the planner move that lets
 // the paper's algorithms (whose cost is driven by the smallest list and the
 // intersection size) do the heavy lifting. Under raw storage they run
-// fastintersect.IntersectWith; under compressed storage they run
-// compress.IntersectStored directly over the stored representations (γ/δ
-// buckets decoded on the fly, Lowbits groups filtered by their image words
-// and decoded by concatenation). Unions and negations are evaluated as
-// linear merges over the sorted sub-results either way.
-func evalShard(ix *invindex.Index, n Node, algo fastintersect.Algorithm) ([]uint32, error) {
+// fastintersect.IntersectInto over the context's kernel scratch; under
+// compressed storage they run compress.IntersectStoredInto directly over
+// the stored representations (γ/δ buckets decoded on the fly, Lowbits
+// groups filtered by their image words and decoded by concatenation), and
+// a compressed term decoded outside a conjunction goes through the
+// context's memo so repeated references decode once. Unions are a single
+// k-way heap merge over the sorted sub-results; negations are linear
+// difference merges.
+func evalShard(c *execCtx, ix *invindex.Index, n Node, algo fastintersect.Algorithm) (docs []uint32, owned bool, err error) {
 	switch n := n.(type) {
 	case termNode:
 		if ix.Storage() == invindex.StorageCompressed {
 			s := ix.Stored(string(n))
 			if s == nil {
-				return nil, nil
+				return nil, false, nil
 			}
-			return s.Decode(), nil
+			if s.Encoding() == compress.EncRaw {
+				return s.Decode(), false, nil // aliases the stored slice, no copy
+			}
+			return c.decodeStored(s), false, nil
 		}
 		l := ix.Postings(string(n))
 		if l == nil {
-			return nil, nil
+			return nil, false, nil
 		}
-		return l.Set(), nil
+		return l.Set(), false, nil
 
 	case orNode:
-		var out []uint32
+		f := c.frame()
 		for _, k := range n.kids {
-			s, err := evalShard(ix, k, algo)
+			s, kidOwned, err := evalShard(c, ix, k, algo)
 			if err != nil {
-				return nil, err
+				c.releaseFrame(f)
+				return nil, false, err
 			}
-			out = sets.Union(out, s)
+			f.kids = append(f.kids, s)
+			f.kidsOwned = append(f.kidsOwned, kidOwned)
 		}
-		return out, nil
+		out := sets.UnionKInto(c.getBuf(), f.kids...)
+		c.releaseFrame(f)
+		return out, true, nil
 
 	case andNode:
-		var (
-			lists  []*fastintersect.List
-			stored []*compress.Stored
-			others [][]uint32
-			negs   []Node
-		)
-		compressed := ix.Storage() == invindex.StorageCompressed
-		for _, k := range n.kids {
-			switch k := k.(type) {
-			case termNode:
-				if compressed {
-					s := ix.Stored(string(k))
-					if s == nil || s.Len() == 0 {
-						return nil, nil // empty operand: whole conjunction is empty
-					}
-					stored = append(stored, s)
-					continue
-				}
-				l := ix.Postings(string(k))
-				if l == nil || l.Len() == 0 {
-					return nil, nil // empty operand: whole conjunction is empty
-				}
-				lists = append(lists, l)
-			case notNode:
-				negs = append(negs, k.kid)
-			default:
-				s, err := evalShard(ix, k, algo)
-				if err != nil {
-					return nil, err
-				}
-				if len(s) == 0 {
-					return nil, nil
-				}
-				others = append(others, s)
-			}
-		}
-		var cur []uint32
-		switch {
-		case len(stored) > 0:
-			// IntersectStored cost-orders its operands internally and
-			// returns ascending IDs.
-			cur = compress.IntersectStored(stored...)
-		case len(lists) >= 2:
-			sort.SliceStable(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
-			a := algo
-			if mx := a.MaxSets(); mx > 0 && len(lists) > mx {
-				a = fastintersect.Auto
-			}
-			out, err := fastintersect.IntersectWith(a, lists...)
-			if err != nil {
-				return nil, err
-			}
-			if !a.Sorted() {
-				sets.SortU32(out)
-			}
-			cur = out
-		case len(lists) == 1:
-			cur = lists[0].Set()
-		}
-		for _, o := range others {
-			if cur == nil {
-				cur = o
-				continue
-			}
-			cur = sets.IntersectReference(cur, o)
-			if len(cur) == 0 {
-				return nil, nil
-			}
-		}
-		// cur is non-nil here: bounded() guarantees at least one positive
-		// operand, and empty positives short-circuited above.
-		for _, neg := range negs {
-			if len(cur) == 0 {
-				return nil, nil
-			}
-			s, err := evalShard(ix, neg, algo)
-			if err != nil {
-				return nil, err
-			}
-			if len(s) > 0 {
-				cur = sets.Difference(cur, s)
-			}
-		}
-		return cur, nil
+		return evalAnd(c, ix, n, algo)
 
 	case notNode:
-		return nil, ErrUnbounded // unreachable after validation
+		return nil, false, ErrUnbounded // unreachable after validation
 	}
-	return nil, fmt.Errorf("engine: unknown node %T", n)
+	return nil, false, fmt.Errorf("engine: unknown node %T", n)
+}
+
+// evalAnd evaluates one conjunction node under evalShard's ownership rules.
+func evalAnd(c *execCtx, ix *invindex.Index, n andNode, algo fastintersect.Algorithm) ([]uint32, bool, error) {
+	f := c.frame()
+	compressed := ix.Storage() == invindex.StorageCompressed
+	for _, k := range n.kids {
+		switch k := k.(type) {
+		case termNode:
+			if compressed {
+				s := ix.Stored(string(k))
+				if s == nil || s.Len() == 0 {
+					c.releaseFrame(f)
+					return nil, false, nil // empty operand: whole conjunction is empty
+				}
+				f.stored = append(f.stored, s)
+				continue
+			}
+			l := ix.Postings(string(k))
+			if l == nil || l.Len() == 0 {
+				c.releaseFrame(f)
+				return nil, false, nil // empty operand: whole conjunction is empty
+			}
+			f.lists = append(f.lists, l)
+		case notNode:
+			f.negs = append(f.negs, k.kid)
+		default:
+			s, owned, err := evalShard(c, ix, k, algo)
+			if err != nil {
+				c.releaseFrame(f)
+				return nil, false, err
+			}
+			if len(s) == 0 {
+				if owned {
+					c.putBuf(s)
+				}
+				c.releaseFrame(f)
+				return nil, false, nil
+			}
+			f.others = append(f.others, s)
+			f.othersOwned = append(f.othersOwned, owned)
+		}
+	}
+	var cur []uint32
+	curOwned := false
+	haveBase := false // distinguishes "no term operands" from an empty base intersection
+	switch {
+	case len(f.stored) > 0:
+		// IntersectStoredInto cost-orders its operands internally and
+		// appends ascending IDs.
+		cur = compress.IntersectStoredInto(c.getBuf(), f.stored...)
+		curOwned = true
+		haveBase = true
+	case len(f.lists) >= 2:
+		slices.SortStableFunc(f.lists, func(a, b *fastintersect.List) int { return cmp.Compare(a.Len(), b.Len()) })
+		a := algo
+		if mx := a.MaxSets(); mx > 0 && len(f.lists) > mx {
+			a = fastintersect.Auto
+		}
+		out, err := fastintersect.IntersectInto(&c.fi, c.getBuf(), a, f.lists...)
+		if err != nil {
+			c.releaseFrame(f)
+			return nil, false, err
+		}
+		if !a.Sorted() {
+			sets.SortU32(out)
+		}
+		cur = out
+		curOwned = true
+		haveBase = true
+	case len(f.lists) == 1:
+		cur = f.lists[0].Set()
+		haveBase = true
+	}
+	if haveBase && len(cur) == 0 {
+		// The term conjunction is already empty; ANDing anything else in
+		// cannot resurrect it.
+		if curOwned {
+			c.putBuf(cur)
+		}
+		c.releaseFrame(f)
+		return nil, false, nil
+	}
+	for i, o := range f.others {
+		if !haveBase {
+			cur = o
+			curOwned = f.othersOwned[i]
+			f.othersOwned[i] = false // ownership moves to cur
+			haveBase = true
+			continue
+		}
+		out := sets.IntersectInto(c.getBuf(), cur, o)
+		if curOwned {
+			c.putBuf(cur)
+		}
+		if f.othersOwned[i] {
+			c.putBuf(o)
+			f.othersOwned[i] = false
+		}
+		cur = out
+		curOwned = true
+		if len(cur) == 0 {
+			c.putBuf(cur)
+			c.releaseFrame(f)
+			return nil, false, nil
+		}
+	}
+	// cur is non-nil here: bounded() guarantees at least one positive
+	// operand, and empty positives short-circuited above.
+	for _, neg := range f.negs {
+		if len(cur) == 0 {
+			break
+		}
+		s, owned, err := evalShard(c, ix, neg, algo)
+		if err != nil {
+			if curOwned {
+				c.putBuf(cur)
+			}
+			c.releaseFrame(f)
+			return nil, false, err
+		}
+		if len(s) > 0 {
+			out := sets.DifferenceInto(c.getBuf(), cur, s)
+			if curOwned {
+				c.putBuf(cur)
+			}
+			cur = out
+			curOwned = true
+		}
+		if owned {
+			c.putBuf(s)
+		}
+	}
+	c.releaseFrame(f)
+	return cur, curOwned, nil
 }

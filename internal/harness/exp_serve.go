@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"fastintersect/internal/engine"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "serve-bench",
+		Title: "Serving-path throughput and allocation on a mixed AND/OR workload",
+		Paper: "engine tier (no paper artifact); seeds the BENCH_serve.json trajectory",
+		Run:   runServeBench,
+	})
+}
+
+// ServeScenario is one (storage mode) measurement of the serving path.
+type ServeScenario struct {
+	Name        string  `json:"name"`
+	Storage     string  `json:"storage"`
+	Shards      int     `json:"shards"`
+	Docs        uint64  `json:"docs"`
+	Terms       int     `json:"terms"`
+	Queries     int     `json:"queries"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	QPS         float64 `json:"qps"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ServeReport is the machine-readable result of the serving benchmark: the
+// BENCH_serve.json artifact emitted by fsibench -serve-json, tracking the
+// engine's QPS and per-query allocation footprint across commits the same
+// way BENCH_compress.json tracks the encoding kernels.
+type ServeReport struct {
+	Schema    string          `json:"schema"`
+	Scale     string          `json:"scale"`
+	Seed      uint64          `json:"seed"`
+	Scenarios []ServeScenario `json:"scenarios"`
+}
+
+// ServeBench measures end-to-end Engine.Query throughput on a mixed
+// AND/OR/NOT query stream over a simulated real corpus, once per storage
+// mode. The result cache is disabled so every operation pays the full
+// parse → plan → shard fan-out → merge pipeline; B/op and allocs/op are
+// therefore the numbers the pooled ExecContext machinery is accountable
+// for, measured with the standard testing.Benchmark harness.
+func ServeBench(cfg Config) *ServeReport {
+	rc := workload.SmallRealConfig()
+	rc.NumDocs, rc.NumTerms, rc.NumQueries = 100_000, 2_000, 128
+	if cfg.Full() {
+		rc.NumDocs, rc.NumTerms, rc.NumQueries = 1_000_000, 20_000, 1_000
+	}
+	rc.Seed = cfg.Seed
+	real := workload.NewReal(rc)
+	sc := workload.DefaultStreamConfig()
+	sc.OrFrac, sc.NotFrac = 0.30, 0.10 // heavier operator mix than the web default: exercise union + difference paths
+	sc.Seed = cfg.Seed + 1
+	queries := real.QueryStream(2*rc.NumQueries, sc)
+	rep := &ServeReport{
+		Schema: "fsibench/serve/v1",
+		Scale:  cfg.Scale,
+		Seed:   cfg.Seed,
+	}
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		e := engine.New(engine.Config{Shards: 2, Storage: st})
+		b := e.NewBuilder()
+		for t, docs := range real.Postings {
+			if err := b.AddPosting(workload.TermName(t), docs); err != nil {
+				panic(fmt.Sprintf("harness: serve bench build: %v", err))
+			}
+		}
+		b.SetDocCount(uint64(rc.NumDocs))
+		if err := e.Install(b); err != nil {
+			panic(fmt.Sprintf("harness: serve bench install: %v", err))
+		}
+		for _, q := range queries[:min(64, len(queries))] { // warm pools and structure caches
+			if _, err := e.Query(q); err != nil {
+				panic(fmt.Sprintf("harness: serve bench warm-up query %q: %v", q, err))
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := r.NsPerOp()
+		qps := 0.0
+		if ns > 0 {
+			qps = 1e9 / float64(ns)
+		}
+		stats := e.Stats()
+		rep.Scenarios = append(rep.Scenarios, ServeScenario{
+			Name:        "mixed-" + stats.Storage,
+			Storage:     stats.Storage,
+			Shards:      stats.Shards,
+			Docs:        stats.Docs,
+			Terms:       stats.Terms,
+			Queries:     len(queries),
+			NsPerOp:     ns,
+			QPS:         qps,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return rep
+}
+
+func runServeBench(cfg Config) []*Table {
+	rep := ServeBench(cfg)
+	t := &Table{
+		ID:      "serve-bench",
+		Title:   "Engine.Query on a mixed AND/OR workload (cache disabled)",
+		Columns: []string{"scenario", "shards", "docs", "terms", "ns/op", "qps", "B/op", "allocs/op"},
+		Notes: []string{
+			"allocs/op is dominated by the query parser; execution runs in pooled contexts",
+		},
+	}
+	for _, s := range rep.Scenarios {
+		t.AddRow(s.Name, fmt.Sprintf("%d", s.Shards), fmt.Sprintf("%d", s.Docs),
+			fmt.Sprintf("%d", s.Terms), fmt.Sprintf("%d", s.NsPerOp),
+			fmt.Sprintf("%.0f", s.QPS), fmt.Sprintf("%d", s.BytesPerOp),
+			fmt.Sprintf("%d", s.AllocsPerOp))
+	}
+	return []*Table{t}
+}

@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "ratio", "sizes", "fig7", "fig8",
 		"real-compressed", "fig9", "fig10", "fig11", "fig12", "intro-stats",
 		"ablation-width", "ablation-m", "ablation-parallel", "storage-sweep",
+		"serve-bench",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -27,6 +28,39 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(IDs()) < len(want) {
 		t.Fatalf("registry has %d entries, want ≥ %d", len(IDs()), len(want))
+	}
+}
+
+// TestServeBench pins the serving benchmark's guarantees: both storage
+// modes are measured, every scenario carries non-degenerate throughput and
+// allocation numbers, and the schema the CI artifact consumers rely on is
+// stable.
+func TestServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a corpus and runs timed benchmarks")
+	}
+	rep := ServeBench(tinyConfig())
+	if rep.Schema != "fsibench/serve/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2 (raw + compressed)", len(rep.Scenarios))
+	}
+	storages := map[string]bool{}
+	for _, s := range rep.Scenarios {
+		storages[s.Storage] = true
+		if s.NsPerOp <= 0 || s.QPS <= 0 {
+			t.Fatalf("%s: degenerate timing (ns/op=%d, qps=%f)", s.Name, s.NsPerOp, s.QPS)
+		}
+		if s.AllocsPerOp <= 0 || s.AllocsPerOp > 1000 {
+			t.Fatalf("%s: implausible allocs/op %d", s.Name, s.AllocsPerOp)
+		}
+		if s.Docs == 0 || s.Terms == 0 || s.Queries == 0 {
+			t.Fatalf("%s: empty corpus accounting", s.Name)
+		}
+	}
+	if !storages["raw"] || !storages["compressed"] {
+		t.Fatalf("missing storage mode: %v", storages)
 	}
 }
 

@@ -1,0 +1,10 @@
+// Package race exposes whether the race detector is compiled in. The
+// allocation-regression tests consult it: under -race, sync.Pool
+// deliberately drops a fraction of Puts to widen the interleaving space,
+// so pool-backed zero-allocation guarantees cannot hold and the
+// assertions are skipped (CI runs the alloc tests in a separate non-race
+// step to keep them enforced).
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = enabled

@@ -1,0 +1,5 @@
+//go:build !race
+
+package race
+
+const enabled = false

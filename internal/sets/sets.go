@@ -5,10 +5,15 @@
 //
 // Throughout the repository a set is a strictly increasing []uint32 of
 // document IDs, matching the paper's posting-list model.
+//
+// The *Into variants append to a caller-provided destination slice and are
+// the allocation-free building blocks of the query-execution hot path: they
+// never retain dst and never allocate beyond growing it.
 package sets
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -44,7 +49,7 @@ func SortDedup(s []uint32) []uint32 {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, v := range s[1:] {
 		if v != out[len(out)-1] {
@@ -116,33 +121,140 @@ func intersect2(a, b []uint32) []uint32 {
 	return out
 }
 
-// Union returns the sorted union of two sorted sets.
-func Union(a, b []uint32) []uint32 {
-	out := make([]uint32, 0, len(a)+len(b))
+// IntersectInto appends the intersection of two sorted sets to dst. Neither
+// input may alias dst.
+func IntersectInto(dst, a, b []uint32) []uint32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return dst
 }
 
-// Difference returns the sorted elements of a that are not in b; both
-// inputs must be sorted ascending.
+// Union returns the sorted union of two sorted sets as a fresh slice.
+func Union(a, b []uint32) []uint32 {
+	return UnionInto(make([]uint32, 0, len(a)+len(b)), a, b)
+}
+
+// UnionInto appends the sorted union of two sorted sets to dst. Neither
+// input may alias dst.
+func UnionInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// unionKStack bounds the stack-allocated k-way merge state; unions wider
+// than this fall back to heap-allocated state (never seen in practice: the
+// engine's OR fan-in and shard count are both small).
+const unionKStack = 16
+
+// UnionKInto appends the sorted union of k sorted sets to dst with a single
+// k-way merge: a binary min-heap of list heads, O(N log k) for N total
+// elements, versus the O(k·N) of a pairwise cascade. Duplicates across
+// lists are emitted once. No input may alias dst. For k ≤ 16 it performs no
+// allocations beyond growing dst.
+func UnionKInto(dst []uint32, lists ...[]uint32) []uint32 {
+	// Compact away empty operands without touching the caller's slice.
+	var idxArr [unionKStack]int
+	var posArr [unionKStack]int
+	heap, pos := idxArr[:0], posArr[:unionKStack]
+	if len(lists) > unionKStack {
+		heap = make([]int, 0, len(lists))
+		pos = make([]int, len(lists))
+	}
+	for i, l := range lists {
+		if len(l) > 0 {
+			heap = append(heap, i)
+			pos[i] = 0
+		}
+	}
+	switch len(heap) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[heap[0]]...)
+	case 2:
+		return UnionInto(dst, lists[heap[0]], lists[heap[1]])
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		unionSiftDown(lists, heap, pos, i)
+	}
+	first := true
+	var last uint32
+	for len(heap) > 0 {
+		li := heap[0]
+		v := lists[li][pos[li]]
+		if first || v != last {
+			dst = append(dst, v)
+			last = v
+			first = false
+		}
+		pos[li]++
+		if pos[li] == len(lists[li]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			unionSiftDown(lists, heap, pos, 0)
+		}
+	}
+	return dst
+}
+
+// unionSiftDown restores the min-heap property of heap (list indices ordered
+// by their current head value) downward from position i.
+func unionSiftDown(lists [][]uint32, heap, pos []int, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(heap) && lists[heap[l]][pos[heap[l]]] < lists[heap[min]][pos[heap[min]]] {
+			min = l
+		}
+		if r < len(heap) && lists[heap[r]][pos[heap[r]]] < lists[heap[min]][pos[heap[min]]] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		heap[i], heap[min] = heap[min], heap[i]
+		i = min
+	}
+}
+
+// Difference returns the sorted elements of a that are not in b as a fresh
+// slice; both inputs must be sorted ascending.
 func Difference(a, b []uint32) []uint32 {
-	out := make([]uint32, 0, len(a))
+	return DifferenceInto(make([]uint32, 0, len(a)), a, b)
+}
+
+// DifferenceInto appends the sorted elements of a that are not in b to dst.
+// Neither input may alias dst.
+func DifferenceInto(dst, a, b []uint32) []uint32 {
 	j := 0
 	for _, x := range a {
 		for j < len(b) && b[j] < x {
@@ -151,19 +263,12 @@ func Difference(a, b []uint32) []uint32 {
 		if j < len(b) && b[j] == x {
 			continue
 		}
-		out = append(out, x)
+		dst = append(dst, x)
 	}
-	return out
+	return dst
 }
 
-// SortU32 sorts a []uint32 ascending in place. Shared helper so hot callers
-// avoid the closure allocation of sort.Slice.
+// SortU32 sorts a []uint32 ascending in place.
 func SortU32(s []uint32) {
-	sort.Sort(u32Slice(s))
+	slices.Sort(s)
 }
-
-type u32Slice []uint32
-
-func (p u32Slice) Len() int           { return len(p) }
-func (p u32Slice) Less(i, j int) bool { return p[i] < p[j] }
-func (p u32Slice) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"fastintersect/internal/sets"
@@ -205,7 +206,7 @@ func (r *Real) buildQueries(rng *xhash.RNG) {
 			continue
 		}
 		terms = append(terms, top)
-		sort.Slice(terms, func(i, j int) bool { return dfs[terms[i]] < dfs[terms[j]] })
+		slices.SortFunc(terms, func(a, b int) int { return dfs[a] - dfs[b] })
 		r.Queries = append(r.Queries, Query{Terms: terms})
 	}
 }
