@@ -9,6 +9,7 @@
 //	fsibench -exp all -scale full      # the whole evaluation, paper scale
 //	fsibench -json BENCH_compress.json # machine-readable encoding benchmark
 //	fsibench -serve-json BENCH_serve.json # machine-readable serving benchmark
+//	fsibench -churn-json BENCH_churn.json # machine-readable live-update churn experiment
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		algos    = flag.String("algos", "", "comma-separated algorithm filter (e.g. 'Merge,RanGroupScan'); empty = each experiment's defaults")
 		jsonOut  = flag.String("json", "", "run the storage-sweep encoding benchmark and write it as JSON to this file (ns/op and bytes/posting per encoding), then exit")
 		serveOut = flag.String("serve-json", "", "run the engine serving benchmark (mixed AND/OR workload) and write it as JSON to this file (QPS, ns/op, B/op, allocs/op per storage mode), then exit")
+		churnOut = flag.String("churn-json", "", "run the live-update churn experiment (interleaved add/delete/query) and write it as JSON to this file (latency vs delta size per storage × compaction threshold), then exit")
 	)
 	flag.Parse()
 
@@ -79,6 +81,12 @@ func main() {
 		rep := harness.ServeBench(cfg)
 		writeJSON(*serveOut, rep)
 		fmt.Printf("wrote %s (%d scenarios)\n", *serveOut, len(rep.Scenarios))
+		return
+	}
+	if *churnOut != "" {
+		rep := harness.ChurnBench(cfg)
+		writeJSON(*churnOut, rep)
+		fmt.Printf("wrote %s (%d scenarios)\n", *churnOut, len(rep.Scenarios))
 		return
 	}
 	run := func(e harness.Experiment) {

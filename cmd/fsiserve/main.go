@@ -7,7 +7,9 @@
 // and serves an HTTP JSON API:
 //
 //	GET /query?q=a+AND+b&limit=10   boolean query (AND/OR/NOT, parens)
-//	GET /stats                      engine + cache counters
+//	POST /index/doc                 add/update a document (live, no rebuild)
+//	DELETE /index/doc/{id}          delete a document (tombstoned immediately)
+//	GET /stats                      engine + cache + delta/compaction counters
 //	GET /healthz                    liveness
 //
 // With -load N it instead replays N queries from the synthetic query
@@ -52,6 +54,7 @@ func main() {
 		terms       = flag.Int("terms", 20_000, "synthetic corpus: vocabulary size")
 		queries     = flag.Int("queries", 2_000, "synthetic corpus: base query count")
 		seed        = flag.Uint64("seed", 0xC0FFEE, "corpus seed")
+		compactAt   = flag.Int("compact", 50_000, "delta postings per shard that trigger a background compaction (0 = never compact automatically)")
 		load        = flag.Int("load", 0, "load-generator mode: replay N queries and exit (0 = serve)")
 		concurrency = flag.Int("concurrency", 8, "load-generator worker goroutines")
 		orFrac      = flag.Float64("or", 0.10, "load-generator fraction of queries with an OR branch")
@@ -90,11 +93,12 @@ func main() {
 	corpus := workload.NewReal(cfg)
 
 	eng := engine.New(engine.Config{
-		Shards:    *shards,
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Algorithm: algo,
-		Storage:   storage,
+		Shards:           *shards,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		Algorithm:        algo,
+		Storage:          storage,
+		CompactThreshold: *compactAt,
 	})
 	if err := loadCorpus(eng, corpus); err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
@@ -114,7 +118,9 @@ func main() {
 	serve(eng, *addr)
 }
 
-// loadCorpus installs the simulated-real corpus, term-major.
+// loadCorpus installs the simulated-real corpus, term-major. Stats().Docs
+// afterwards reports the distinct docIDs actually appearing in a posting
+// list (documents the generator never sampled are not indexed).
 func loadCorpus(eng *engine.Engine, corpus *workload.Real) error {
 	b := eng.NewBuilder()
 	for t, postings := range corpus.Postings {
@@ -122,7 +128,6 @@ func loadCorpus(eng *engine.Engine, corpus *workload.Real) error {
 			return err
 		}
 	}
-	b.SetDocCount(uint64(corpus.Config.NumDocs))
 	return eng.Install(b)
 }
 
@@ -169,6 +174,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /index/doc", s.handleAddDoc)
+	mux.HandleFunc("DELETE /index/doc/{id}", s.handleDeleteDoc)
 	return mux
 }
 
@@ -197,8 +204,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	limit := 100
 	if ls := r.URL.Query().Get("limit"); ls != "" {
 		v, err := strconv.Atoi(ls)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad limit %q", ls)})
+		if err != nil || v < -1 {
+			// -1 is the documented "no limit"; 0 means count-only; anything
+			// below -1 used to silently mean "unlimited" and is now rejected.
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad limit %q (want -1 for unlimited, 0 for count-only, or a positive cap)", ls)})
 			return
 		}
 		limit = v
@@ -219,6 +228,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		docs = docs[:limit]
 		truncated = true
 	}
+	if docs == nil {
+		docs = []uint32{} // render "docs": [] rather than null
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Query:      q,
 		Normalized: res.Normalized,
@@ -227,6 +239,79 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Truncated:  truncated,
 		Cached:     res.Cached,
 		ElapsedUS:  time.Since(start).Microseconds(),
+	})
+}
+
+// addDocRequest is the POST /index/doc body.
+type addDocRequest struct {
+	DocID uint32   `json:"doc_id"`
+	Terms []string `json:"terms"`
+}
+
+// mutationResponse acknowledges an index mutation.
+type mutationResponse struct {
+	Status     string `json:"status"`
+	DocID      uint32 `json:"doc_id"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleAddDoc makes a document queryable immediately: it lands in its home
+// shard's delta segment (no rebuild) and supersedes any indexed version.
+func (s *server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req addDocRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad body: %v", err)})
+		return
+	}
+	terms := req.Terms[:0]
+	for _, t := range req.Terms {
+		if t != "" {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"terms must contain at least one non-empty term"})
+		return
+	}
+	if err := s.eng.AddDocument(req.DocID, terms); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrNotBuilt) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{
+		Status: "indexed", DocID: req.DocID, Generation: s.eng.Generation(),
+	})
+}
+
+// handleDeleteDoc removes a document from query results immediately
+// (tombstoned against the base segment, dropped from the delta). Unknown
+// documents return 404.
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad doc id %q", r.PathValue("id"))})
+		return
+	}
+	was, err := s.eng.DeleteDocument(uint32(id64))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrNotBuilt) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	if !was {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("doc %d is not indexed", id64)})
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{
+		Status: "deleted", DocID: uint32(id64), Generation: s.eng.Generation(),
 	})
 }
 

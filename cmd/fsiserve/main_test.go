@@ -251,8 +251,11 @@ func TestServeEndpoints(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Shards != 4 || st.Queries < 2 || st.Cache.Hits < 1 || st.Docs != 20_000 {
-		t.Fatalf("stats = %+v", st)
+	// Docs counts distinct indexed documents — the union of the corpus's
+	// posting lists (documents the generator never sampled are not indexed).
+	wantDocs := uint64(len(sets.UnionKInto(nil, corpus.Postings...)))
+	if st.Shards != 4 || st.Queries < 2 || st.Cache.Hits < 1 || st.Docs != wantDocs {
+		t.Fatalf("stats = %+v, want docs = %d", st, wantDocs)
 	}
 
 	// Bad queries are 400s with a JSON error.
@@ -289,6 +292,246 @@ func TestQueryStreamParsesAndServes(t *testing.T) {
 		if _, code := getQuery(t, ts, q); code != http.StatusOK {
 			t.Fatalf("stream query %q: status %d", q, code)
 		}
+	}
+}
+
+// TestServeLimitValidation pins the limit contract: -1 is the explicit
+// "no limit", 0 is count-only (empty docs, count intact), positive caps, and
+// anything below -1 — previously a silent "unlimited" — is rejected.
+func TestServeLimitValidation(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 2)
+	get := func(limit string) (queryResponse, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/query?" + url.Values{"q": {workload.TermName(0)}, "limit": {limit}}.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return qr, resp.StatusCode
+	}
+	for _, bad := range []string{"-2", "-100", "abc", "1.5"} {
+		if _, code := get(bad); code != http.StatusBadRequest {
+			t.Fatalf("limit=%s: status %d, want 400", bad, code)
+		}
+	}
+	full, code := get("-1")
+	if code != http.StatusOK || full.Truncated || len(full.Docs) != full.Count || full.Count == 0 {
+		t.Fatalf("limit=-1: code=%d truncated=%v docs=%d count=%d", code, full.Truncated, len(full.Docs), full.Count)
+	}
+	countOnly, code := get("0")
+	if code != http.StatusOK || len(countOnly.Docs) != 0 || countOnly.Count != full.Count || !countOnly.Truncated {
+		t.Fatalf("limit=0: code=%d docs=%v count=%d truncated=%v", code, countOnly.Docs, countOnly.Count, countOnly.Truncated)
+	}
+}
+
+// TestServeNotBuilt pins the 503 contract on every index-touching endpoint
+// before an index is installed.
+func TestServeNotBuilt(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 2})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/query?q=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query before install: %d, want 503", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/index/doc", "application/json",
+		strings.NewReader(`{"doc_id":1,"terms":["a"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("add before install: %d, want 503", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/index/doc/1", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delete before install: %d, want 503", resp.StatusCode)
+	}
+}
+
+func postDoc(t *testing.T, ts *httptest.Server, body string) (mutationResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/index/doc", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr mutationResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mr, resp.StatusCode
+}
+
+func deleteDoc(t *testing.T, ts *httptest.Server, id string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/index/doc/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServeMutationEndpoints drives the live-update API end to end over
+// both storage modes: an added document answers queries immediately
+// (including previously cached ones), a deleted one disappears, and /stats
+// surfaces the mutation/delta/generation counters.
+func TestServeMutationEndpoints(t *testing.T) {
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		t.Run(st.String(), func(t *testing.T) {
+			corpus := testCorpus(t)
+			ts, _ := testServerStorage(t, corpus, 3, st)
+			probe := workload.TermName(7)
+
+			before, code := getQuery(t, ts, probe) // warms the cache
+			if code != http.StatusOK {
+				t.Fatalf("probe query: %d", code)
+			}
+
+			// Add a brand-new document carrying the probe term.
+			const newID = 1_000_000
+			mr, code := postDoc(t, ts, fmt.Sprintf(`{"doc_id":%d,"terms":[%q,"zzz-fresh"]}`, newID, probe))
+			if code != http.StatusOK || mr.Status != "indexed" || mr.Generation == 0 {
+				t.Fatalf("add: code=%d resp=%+v", code, mr)
+			}
+			after, code := getQuery(t, ts, probe)
+			if code != http.StatusOK {
+				t.Fatalf("post-add query: %d", code)
+			}
+			if after.Cached || after.Count != before.Count+1 || !sets.Contains(after.Docs, newID) {
+				t.Fatalf("added doc not served fresh: cached=%v count %d→%d", after.Cached, before.Count, after.Count)
+			}
+			if fresh, _ := getQuery(t, ts, "zzz-fresh"); fresh.Count != 1 || fresh.Docs[0] != newID {
+				t.Fatalf("fresh term query = %+v", fresh)
+			}
+
+			// Delete an original corpus document that matches the probe.
+			victim := after.Docs[0]
+			if victim == newID {
+				victim = after.Docs[1]
+			}
+			if code := deleteDoc(t, ts, fmt.Sprint(victim)); code != http.StatusOK {
+				t.Fatalf("delete: %d", code)
+			}
+			gone, _ := getQuery(t, ts, probe)
+			if sets.Contains(gone.Docs, victim) || gone.Count != after.Count-1 {
+				t.Fatalf("deleted doc still served: count %d→%d", after.Count, gone.Count)
+			}
+			// Deleting it again: 404.
+			if code := deleteDoc(t, ts, fmt.Sprint(victim)); code != http.StatusNotFound {
+				t.Fatalf("double delete: %d, want 404", code)
+			}
+
+			// Malformed mutations are 400s.
+			for _, bad := range []string{``, `{`, `{"doc_id":1}`, `{"doc_id":1,"terms":[]}`, `{"doc_id":1,"terms":[""]}`, `{"doc_id":-1,"terms":["a"]}`, `{"doc_id":1,"terms":["a"],"nope":1}`} {
+				if _, code := postDoc(t, ts, bad); code != http.StatusBadRequest {
+					t.Fatalf("body %q: code %d, want 400", bad, code)
+				}
+			}
+			if code := deleteDoc(t, ts, "notanumber"); code != http.StatusBadRequest {
+				t.Fatalf("bad delete id: %d, want 400", code)
+			}
+			if code := deleteDoc(t, ts, "99999999999"); code != http.StatusBadRequest {
+				t.Fatalf("out-of-range delete id: %d, want 400", code)
+			}
+
+			// /stats surfaces the mutable tier.
+			resp, err := http.Get(ts.URL + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var stat statsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&stat); err != nil {
+				t.Fatal(err)
+			}
+			// Effective mutations: one add + one delete (the 404 double
+			// delete is a no-op and must not invalidate the cache).
+			if stat.Mutations != 2 || stat.Generation < 3 || stat.Delta.Docs != 1 || stat.Delta.Tombstones < 2 {
+				t.Fatalf("stats mutable tier = mutations:%d gen:%d delta:%+v",
+					stat.Mutations, stat.Generation, stat.Delta)
+			}
+		})
+	}
+}
+
+// TestServeChurn replays an interleaved add/delete/query stream over HTTP
+// against a scan-based reference for a single probe term — raw and
+// compressed storage must both track the reference exactly.
+func TestServeChurn(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, eng := testServer(t, corpus, 4)
+	probe := "churn-term"
+	live := map[uint32]bool{}
+	rngState := uint64(0x1234567)
+	rng := func(n int) int { rngState = rngState*6364136223846793005 + 1; return int(rngState>>33) % n }
+	for i := 0; i < 300; i++ {
+		id := uint32(2_000_000 + rng(100))
+		switch rng(3) {
+		case 0:
+			if _, code := postDoc(t, ts, fmt.Sprintf(`{"doc_id":%d,"terms":[%q]}`, id, probe)); code != http.StatusOK {
+				t.Fatalf("op %d add: %d", i, code)
+			}
+			live[id] = true
+		case 1:
+			code := deleteDoc(t, ts, fmt.Sprint(id))
+			if want := http.StatusOK; !live[id] {
+				want = http.StatusNotFound
+				if code != want {
+					t.Fatalf("op %d delete absent: %d, want %d", i, code, want)
+				}
+			} else if code != want {
+				t.Fatalf("op %d delete live: %d, want %d", i, code, want)
+			}
+			delete(live, id)
+		default:
+			qr, code := getQuery(t, ts, probe)
+			if code != http.StatusOK {
+				t.Fatalf("op %d query: %d", i, code)
+			}
+			if qr.Count != len(live) {
+				t.Fatalf("op %d: served %d docs, reference has %d live", i, qr.Count, len(live))
+			}
+			for _, d := range qr.Docs {
+				if !live[d] {
+					t.Fatalf("op %d: resurrected doc %d", i, d)
+				}
+			}
+		}
+	}
+	// Fold everything into the base and re-check.
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	qr, _ := getQuery(t, ts, probe)
+	if qr.Count != len(live) {
+		t.Fatalf("post-compaction: %d docs, want %d", qr.Count, len(live))
 	}
 }
 

@@ -51,7 +51,12 @@
 // conjunctions down to IntersectWith cost-ordered by document frequency,
 // an LRU result cache keyed by the normalized query, and an HTTP JSON API
 // with a built-in load generator — the search-engine setting that
-// motivates the paper, end to end.
+// motivates the paper, end to end. The corpus stays live: each shard pairs
+// its frozen base segment with a small delta segment and a tombstone set,
+// so documents added or deleted at serving time (Engine.AddDocument /
+// DeleteDocument, or POST /index/doc over HTTP) are queryable immediately,
+// and a background compaction folds the deltas back into preprocessed base
+// segments. See ARCHITECTURE.md's mutable-tier section for the design.
 //
 // The serving tier's posting storage is pluggable (§4.1 and Appendix B of
 // the paper): besides raw slices, internal/invindex can hold each posting

@@ -45,7 +45,6 @@ func buildBenchEngine(tb testing.TB, st invindex.Storage, cacheSize int) *Engine
 			tb.Fatal(err)
 		}
 	}
-	b.SetDocCount(uint64(real.Config.NumDocs))
 	if err := e.Install(b); err != nil {
 		tb.Fatal(err)
 	}

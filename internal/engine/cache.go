@@ -10,29 +10,46 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Purges    uint64 `json:"purges"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	// Stale counts entries dropped on lookup because the index generation
+	// moved past them (a mutation or rebuild happened after they were
+	// computed). It replaces the all-or-nothing purge counter of the
+	// immutable-index engine.
+	Stale    uint64 `json:"stale"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
 }
 
 // cache is a mutex-guarded LRU of query results keyed by the normalized
-// query string. Values are treated as immutable: Get returns the cached
+// query string. Values are treated as immutable: get returns the cached
 // slice without copying, so callers must not modify it.
+//
+// Every entry is stamped with the engine's index generation at the time the
+// result was computed (snapshotted BEFORE the shard state was read). A
+// lookup presents the current generation; an entry from an older generation
+// is deleted and reported as a miss — this is what guarantees that a cached
+// result can never resurrect a deleted document: any mutation bumps the
+// generation, so results computed against pre-mutation shard state become
+// unservable the moment the mutation lands.
 type cache struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
-	gen       uint64 // bumped by purge; stale puts are dropped
 	hits      uint64
 	misses    uint64
 	evictions uint64
-	purges    uint64
+	stale     uint64
+	// maxGen is the newest index generation this cache has seen (every
+	// lookup presents the current one). Inserts stamped older are dropped:
+	// they could never be served, and at capacity they would evict a
+	// servable entry.
+	maxGen uint64
 }
 
 type cacheEntry struct {
 	key  string
 	docs []uint32
+	gen  uint64 // index generation the result was computed at
 }
 
 // newCache returns an LRU holding at most capacity entries, or nil when
@@ -45,71 +62,75 @@ func newCache(capacity int) *cache {
 	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
 }
 
-func (c *cache) get(key string) ([]uint32, bool) {
+// get returns the cached result for key if it was computed at the current
+// index generation gen. An entry from an older generation is deleted and
+// counted as stale.
+func (c *cache) get(key string, gen uint64) ([]uint32, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen > c.maxGen {
+		c.maxGen = gen
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		// Older than the lookup's generation: unservable forever, drop it.
+		// Newer (the lookup raced a mutation and snapshotted early): still
+		// servable to current-generation lookups, so just miss.
+		if e.gen < gen {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.stale++
+		}
+		c.misses++
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).docs, true
+	return e.docs, true
 }
 
-// generation returns the current purge generation. A caller that snapshots
-// it BEFORE reading the index and passes it to put cannot install results
-// computed against a shard set that a later purge invalidated.
-func (c *cache) generation() uint64 {
-	if c == nil {
-		return 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.gen
-}
-
-// put stores a result computed at purge generation gen; it is dropped if a
-// purge has happened since (the result may reflect a replaced index).
+// put stores a result computed at index generation gen. A put from behind
+// the newest generation any lookup has presented is dropped — the entry
+// could never be served, and inserting it at capacity would evict a
+// servable one. Remaining staleness (a mutation landing after the last
+// lookup) is resolved lazily at get time.
 func (c *cache) put(key string, docs []uint32, gen uint64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gen != c.gen {
+	if gen > c.maxGen {
+		c.maxGen = gen
+	}
+	if gen < c.maxGen {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).docs = docs
+		e := el.Value.(*cacheEntry)
+		if gen < e.gen {
+			return
+		}
+		e.docs = docs
+		e.gen = gen
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, docs: docs})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, docs: docs, gen: gen})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
-}
-
-// purge drops every entry (used on index rebuild) and counts the
-// invalidation.
-func (c *cache) purge() {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element, c.cap)
-	c.gen++
-	c.purges++
 }
 
 func (c *cache) stats() CacheStats {
@@ -122,7 +143,7 @@ func (c *cache) stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
-		Purges:    c.purges,
+		Stale:     c.stale,
 		Entries:   c.ll.Len(),
 		Capacity:  c.cap,
 	}

@@ -8,19 +8,19 @@ import (
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(2)
-	c.put("a", []uint32{1}, c.generation())
-	c.put("b", []uint32{2}, c.generation())
-	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+	c.put("a", []uint32{1}, 1)
+	c.put("b", []uint32{2}, 1)
+	if _, ok := c.get("a", 1); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", []uint32{3}, c.generation()) // evicts b
-	if _, ok := c.get("b"); ok {
+	c.put("c", []uint32{3}, 1) // evicts b
+	if _, ok := c.get("b", 1); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get("a", 1); !ok {
 		t.Fatal("a should have survived")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.get("c", 1); !ok {
 		t.Fatal("c should be present")
 	}
 	st := c.stats()
@@ -31,55 +31,64 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheCounters(t *testing.T) {
 	c := newCache(8)
-	if _, ok := c.get("x"); ok {
+	if _, ok := c.get("x", 1); ok {
 		t.Fatal("unexpected hit")
 	}
-	c.put("x", []uint32{9}, c.generation())
-	if v, ok := c.get("x"); !ok || len(v) != 1 || v[0] != 9 {
+	c.put("x", []uint32{9}, 1)
+	if v, ok := c.get("x", 1); !ok || len(v) != 1 || v[0] != 9 {
 		t.Fatalf("get = %v, %v", v, ok)
 	}
-	c.put("x", []uint32{9, 10}, c.generation()) // overwrite updates in place
-	if v, _ := c.get("x"); len(v) != 2 {
+	c.put("x", []uint32{9, 10}, 1) // overwrite updates in place
+	if v, _ := c.get("x", 1); len(v) != 2 {
 		t.Fatalf("overwrite lost: %v", v)
 	}
 	st := c.stats()
 	if st.Hits != 2 || st.Misses != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	c.purge()
-	if _, ok := c.get("x"); ok {
-		t.Fatal("purge did not clear")
-	}
-	if st := c.stats(); st.Purges != 1 || st.Entries != 0 {
-		t.Fatalf("after purge: %+v", st)
-	}
 }
 
 func TestCacheDisabled(t *testing.T) {
 	c := newCache(0) // nil
-	c.put("a", []uint32{1}, c.generation())
-	if _, ok := c.get("a"); ok {
+	c.put("a", []uint32{1}, 1)
+	if _, ok := c.get("a", 1); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
-	c.purge()
 	if st := c.stats(); st != (CacheStats{}) {
 		t.Fatalf("disabled stats = %+v", st)
 	}
 }
 
-// TestCacheStalePutDropped pins the rebuild-invalidation guarantee: a put
-// carrying a generation from before a purge must not land.
-func TestCacheStalePutDropped(t *testing.T) {
+// TestCacheGenerationInvalidation pins the mutation-invalidation guarantee:
+// an entry stamped with an older index generation is dropped on lookup, and
+// a put carrying a generation from before a mutation never shadows a newer
+// entry.
+func TestCacheGenerationInvalidation(t *testing.T) {
 	c := newCache(8)
-	gen := c.generation() // snapshot, as Query does before evaluating
-	c.purge()             // rebuild happens mid-flight
-	c.put("q", []uint32{1}, gen)
-	if _, ok := c.get("q"); ok {
-		t.Fatal("stale put survived a purge")
+	c.put("q", []uint32{1}, 1)
+	if _, ok := c.get("q", 1); !ok {
+		t.Fatal("fresh entry missed")
 	}
-	c.put("q", []uint32{2}, c.generation())
-	if v, ok := c.get("q"); !ok || v[0] != 2 {
-		t.Fatal("fresh put after purge rejected")
+	// The index moved to generation 2 (a mutation landed): the entry must
+	// be dropped, not served.
+	if _, ok := c.get("q", 2); ok {
+		t.Fatal("stale entry served after a generation bump")
+	}
+	if st := c.stats(); st.Stale != 1 || st.Entries != 0 {
+		t.Fatalf("after stale drop: %+v", st)
+	}
+	// A slow query that snapshotted generation 1 must not overwrite the
+	// entry a generation-2 query installed.
+	c.put("q", []uint32{2}, 2)
+	c.put("q", []uint32{1}, 1)
+	if v, ok := c.get("q", 2); !ok || v[0] != 2 {
+		t.Fatalf("stale put shadowed a fresh entry: %v %v", v, ok)
+	}
+	// Entries stamped with a stale generation are unservable even if they
+	// land: they miss on the next current-generation lookup.
+	c.put("r", []uint32{1}, 1)
+	if _, ok := c.get("r", 2); ok {
+		t.Fatal("entry computed at a stale generation was served")
 	}
 }
 
@@ -92,11 +101,11 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", i%100)
-				if v, ok := c.get(key); ok && v[0] != uint32(i%100) {
+				if v, ok := c.get(key, 1); ok && v[0] != uint32(i%100) {
 					t.Errorf("corrupt value for %s: %v", key, v)
 					return
 				}
-				c.put(key, []uint32{uint32(i % 100)}, c.generation())
+				c.put(key, []uint32{uint32(i % 100)}, 1)
 			}
 		}(g)
 	}

@@ -2,19 +2,29 @@
 // fastintersect library: the layer between the paper's intersection
 // algorithms and a search service.
 //
-// Documents are hash-partitioned across S shards, each an independent
-// invindex.Index built concurrently. A query is parsed from a small
-// AND/OR/NOT language (see planner.go), normalized into a canonical form,
-// looked up in an LRU result cache, and on a miss fanned out to every
-// shard through a bounded worker pool; conjunctions of terms are pushed
-// down to fastintersect with operands cost-ordered by document frequency,
-// and the per-shard sorted results are merged. Rebuilding the index swaps
-// the shard set atomically and invalidates the cache.
+// Documents are hash-partitioned across S shards. Each shard is a segmented
+// index: a frozen base segment (an invindex.Index, raw or compressed) plus a
+// small sorted in-memory delta segment and a docID tombstone set, so the
+// corpus stays mutable (AddDocument / DeleteDocument) without giving up the
+// preprocessed read path — each shard evaluates a query f as
+// (f(base) − tombstones) ∪ f(delta), the delta winning over the tombstones
+// so updated and re-added documents stay visible, with conjunctions still
+// pushed down to the fastintersect / compressed kernels on the base. A
+// background compaction (see mutable.go) folds the delta and tombstones
+// into a fresh base via the same parallel build path Install uses.
+//
+// A query is parsed from a small AND/OR/NOT language (see planner.go),
+// normalized into a canonical form, looked up in an LRU result cache, and on
+// a miss fanned out to every shard through a bounded worker pool;
+// conjunctions of terms are cost-ordered by document frequency, and the
+// per-shard sorted results are merged. Cache entries are stamped with the
+// engine's index generation — every mutation and rebuild bumps it — so a
+// cached result can never resurrect a deleted document.
 //
 // The posting storage is pluggable (Config.Storage): under
-// invindex.StorageCompressed each shard stores every posting list under
-// the encoding compress.ChooseEncoding picks from its density, conjunctions
-// run compress.IntersectStored directly over the compressed
+// invindex.StorageCompressed each shard's base stores every posting list
+// under the encoding compress.ChooseEncoding picks from its density,
+// conjunctions run compress.IntersectStored directly over the compressed
 // representations, and Stats reports the exact per-encoding
 // bytes-per-posting footprint.
 package engine
@@ -50,6 +60,10 @@ type Config struct {
 	// encoding compress.ChooseEncoding picks from its length and density;
 	// Stats then reports the per-encoding footprint.
 	Storage invindex.Storage
+	// CompactThreshold triggers a background compaction of a shard once its
+	// delta segment holds that many postings or its tombstone set that many
+	// docIDs (0 disables automatic compaction; Compact remains available).
+	CompactThreshold int
 	// IndexOptions are forwarded to fastintersect.Preprocess for every
 	// posting list.
 	IndexOptions []fastintersect.Option
@@ -57,22 +71,33 @@ type Config struct {
 
 // Engine serves queries against a sharded inverted index. All methods are
 // safe for concurrent use; Query may run while Install swaps in a rebuilt
-// index.
+// index, while AddDocument/DeleteDocument mutate shards, and while a
+// compaction swaps a shard's base segment.
 type Engine struct {
 	cfg     Config
 	workers chan struct{}
 	cache   *cache
 
 	mu     sync.RWMutex
-	shards []*invindex.Index
-	docs   uint64
+	shards []*shard
 
-	queries  atomic.Uint64
-	errors   atomic.Uint64
-	rebuilds atomic.Uint64
+	// gen is the index generation: bumped after every Install and every
+	// document mutation. Query snapshots it BEFORE reading shard state and
+	// stamps cache entries with it, so entries computed against superseded
+	// state are never served (see cache.go). Compactions do not bump it —
+	// they change the representation, not the visible document set.
+	gen atomic.Uint64
+
+	queries     atomic.Uint64
+	errors      atomic.Uint64
+	rebuilds    atomic.Uint64
+	mutations   atomic.Uint64
+	compactions atomic.Uint64
 }
 
-// ErrNotBuilt is returned by Query before any index has been installed.
+// ErrNotBuilt is returned by Query and the mutation methods before any index
+// has been installed. To start from an empty corpus, Install an empty
+// Builder first.
 var ErrNotBuilt = errors.New("engine: no index installed; Install a Builder first")
 
 // New creates an engine with no index installed.
@@ -101,7 +126,6 @@ func shardOf(docID uint32, shards int) int {
 type Builder struct {
 	cfg    Config
 	shards []*invindex.Index
-	docs   uint64
 }
 
 // NewBuilder returns an empty builder with the engine's sharding and
@@ -114,9 +138,9 @@ func (e *Engine) NewBuilder() *Builder {
 	return b
 }
 
-// Add records a document in its home shard.
+// Add records a document in its home shard. Adding the same docID more than
+// once unions its terms; it is still counted as one document.
 func (b *Builder) Add(docID uint32, terms []string) error {
-	b.docs++
 	return b.shards[shardOf(docID, len(b.shards))].Add(docID, terms)
 }
 
@@ -142,15 +166,24 @@ func (b *Builder) AddPosting(term string, docIDs []uint32) error {
 	return nil
 }
 
-// SetDocCount records the corpus size reported by Stats when documents are
-// loaded term-major via AddPosting (which cannot count distinct documents).
-func (b *Builder) SetDocCount(n uint64) { b.docs = n }
-
 // Install builds every shard concurrently (each shard additionally
 // parallelizes over its terms, so total build goroutines ≈ max(Workers,
 // Shards) — one per shard at minimum), swaps the new shard set in, and
-// invalidates the result cache. The builder must not be reused afterwards.
+// bumps the index generation so cached results from the previous index are
+// never served. The builder must not be reused afterwards.
+//
+// The builder must come from an engine with the same shard count: installing
+// a mismatched builder would mis-route both queries and the mutation API,
+// since shardOf partitions by the installed shard count.
 func (e *Engine) Install(b *Builder) error {
+	if len(b.shards) != e.cfg.Shards {
+		return fmt.Errorf("engine: cannot install a %d-shard builder into a %d-shard engine (builders are engine-specific; use NewBuilder on this engine)",
+			len(b.shards), e.cfg.Shards)
+	}
+	if b.cfg.Storage != e.cfg.Storage {
+		return fmt.Errorf("engine: cannot install a %v-storage builder into a %v-storage engine",
+			b.cfg.Storage, e.cfg.Storage)
+	}
 	perShard := e.cfg.Workers / len(b.shards)
 	if perShard < 1 {
 		perShard = 1
@@ -170,13 +203,35 @@ func (e *Engine) Install(b *Builder) error {
 			return fmt.Errorf("engine: shard %d: %w", i, err)
 		}
 	}
+	shards := make([]*shard, len(b.shards))
+	for i, ix := range b.shards {
+		shards[i] = newShard(ix)
+	}
 	e.mu.Lock()
-	e.shards = b.shards
-	e.docs = b.docs
+	old := e.shards
+	// Retire the outgoing shards BEFORE they become unreachable: a mutation
+	// that snapshotted the old set re-checks the flag after locking its
+	// shard (see lockShard) and retries against the new set, so an
+	// acknowledged AddDocument/DeleteDocument can never land in a shard
+	// this swap discards.
+	for _, s := range old {
+		s.mu.Lock()
+		s.retired = true
+		s.mu.Unlock()
+	}
+	e.shards = shards
 	e.mu.Unlock()
-	e.cache.purge()
+	e.gen.Add(1)
 	e.rebuilds.Add(1)
 	return nil
+}
+
+// snapshot returns the current shard set, or nil before Install.
+func (e *Engine) snapshot() []*shard {
+	e.mu.RLock()
+	shards := e.shards
+	e.mu.RUnlock()
+	return shards
 }
 
 // Result is one query's outcome.
@@ -203,16 +258,14 @@ func (e *Engine) Query(q string) (*Result, error) {
 		return nil, err
 	}
 	key := ast.String()
-	if docs, ok := e.cache.get(key); ok {
+	// Snapshot the index generation BEFORE the shard state: if a mutation or
+	// Install lands while we evaluate, the entry we put below is stamped with
+	// a superseded generation and can never be served.
+	gen := e.gen.Load()
+	if docs, ok := e.cache.get(key, gen); ok {
 		return &Result{Docs: docs, Normalized: key, Cached: true}, nil
 	}
-	// Snapshot the purge generation BEFORE the shard set: if Install swaps
-	// and purges while we evaluate, our put below is recognized as stale
-	// and dropped instead of resurrecting pre-rebuild results.
-	gen := e.cache.generation()
-	e.mu.RLock()
-	shards := e.shards
-	e.mu.RUnlock()
+	shards := e.snapshot()
 	if shards == nil {
 		e.errors.Add(1)
 		return nil, ErrNotBuilt
@@ -224,7 +277,7 @@ func (e *Engine) Query(q string) (*Result, error) {
 		e.workers <- struct{}{}
 		defer func() { <-e.workers }()
 		c := getExecCtx()
-		docs, owned, err := evalShard(c, shards[0], ast, e.cfg.Algorithm)
+		docs, owned, err := evalSegments(c, shards[0], ast, e.cfg.Algorithm)
 		if err != nil {
 			putExecCtx(c)
 			e.errors.Add(1)
@@ -241,16 +294,16 @@ func (e *Engine) Query(q string) (*Result, error) {
 	}
 	qc := getQueryCtx(len(shards))
 	var wg sync.WaitGroup
-	for i, ix := range shards {
+	for i, s := range shards {
 		wg.Add(1)
-		go func(i int, ix *invindex.Index) {
+		go func(i int, s *shard) {
 			defer wg.Done()
 			e.workers <- struct{}{} // acquire a bounded worker slot
 			defer func() { <-e.workers }()
 			c := getExecCtx()
 			qc.ctxs[i] = c
-			qc.results[i], qc.owned[i], qc.errs[i] = evalShard(c, ix, ast, e.cfg.Algorithm)
-		}(i, ix)
+			qc.results[i], qc.owned[i], qc.errs[i] = evalSegments(c, s, ast, e.cfg.Algorithm)
+		}(i, s)
 	}
 	wg.Wait()
 	for _, err := range qc.errs {
@@ -283,9 +336,10 @@ type EncodingStat struct {
 	BytesPerPosting float64 `json:"bytes_per_posting"`
 }
 
-// PostingStats is the engine-wide posting-payload accounting: how many
-// bytes the index actually holds versus the 4-byte-per-posting raw
-// footprint, broken down per encoding.
+// PostingStats is the engine-wide posting-payload accounting for the base
+// segments: how many bytes the frozen indexes actually hold versus the
+// 4-byte-per-posting raw footprint, broken down per encoding. Delta-segment
+// postings are accounted separately in DeltaStats.
 type PostingStats struct {
 	Total           uint64                  `json:"total"`
 	RawBytes        uint64                  `json:"raw_bytes"`
@@ -293,6 +347,27 @@ type PostingStats struct {
 	BytesPerPosting float64                 `json:"bytes_per_posting"`
 	Encodings       map[string]EncodingStat `json:"encodings"`
 }
+
+// DeltaStats is the point-in-time accounting of the mutable tier across all
+// shards: the in-memory delta segments (active plus any mid-compaction
+// frozen ones) and the tombstone sets.
+type DeltaStats struct {
+	// Docs is the number of documents currently held by delta segments.
+	Docs int `json:"docs"`
+	// Postings is the total posting count across delta segments.
+	Postings int `json:"postings"`
+	// Tombstones is the total tombstoned docID count (including the
+	// suppression tombstones that shadow base copies of delta documents).
+	Tombstones int `json:"tombstones"`
+	// CompactingShards is the number of shards with a claimed (possibly not
+	// yet started) background compaction.
+	CompactingShards int `json:"compacting_shards"`
+}
+
+// Generation returns the current index generation — bumped by every
+// Install and every effective document mutation. Unlike Stats, it is a
+// single atomic load, cheap enough for per-request use.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
 // Stats is a point-in-time snapshot of the engine.
 type Stats struct {
@@ -305,29 +380,48 @@ type Stats struct {
 	Queries     uint64       `json:"queries"`
 	QueryErrors uint64       `json:"query_errors"`
 	Rebuilds    uint64       `json:"rebuilds"`
+	Mutations   uint64       `json:"mutations"`
+	Compactions uint64       `json:"compactions"`
+	Generation  uint64       `json:"generation"`
+	Delta       DeltaStats   `json:"delta"`
 	Workers     int          `json:"workers"`
 	Cache       CacheStats   `json:"cache"`
 }
 
-// Stats returns current counters. Terms counts distinct (term, shard)
-// pairs: a term whose postings span k shards contributes k.
+// Stats returns current counters. Docs counts distinct live documents:
+// distinct docIDs indexed by the base segments, plus documents added through
+// AddDocument, minus deleted ones. Terms counts distinct (term, shard) pairs
+// over the base segments: a term whose postings span k shards contributes k.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	shards := e.shards
-	docs := e.docs
-	e.mu.RUnlock()
+	shards := e.snapshot()
 	st := Stats{
 		Shards:      e.cfg.Shards,
 		Storage:     e.cfg.Storage.String(),
-		Docs:        docs,
 		Postings:    PostingStats{Encodings: map[string]EncodingStat{}},
 		Queries:     e.queries.Load(),
 		QueryErrors: e.errors.Load(),
 		Rebuilds:    e.rebuilds.Load(),
+		Mutations:   e.mutations.Load(),
+		Compactions: e.compactions.Load(),
+		Generation:  e.gen.Load(),
 		Workers:     e.cfg.Workers,
 		Cache:       e.cache.stats(),
 	}
-	for _, ix := range shards {
+	for _, s := range shards {
+		s.mu.RLock()
+		ix := s.base
+		st.Docs += uint64(s.live)
+		st.Delta.Docs += len(s.delta.docs)
+		st.Delta.Postings += s.delta.postings
+		if s.frozen != nil {
+			st.Delta.Docs += len(s.frozen.docs)
+			st.Delta.Postings += s.frozen.postings
+		}
+		if s.compacting {
+			st.Delta.CompactingShards++
+		}
+		st.Delta.Tombstones += len(s.tombs)
+		s.mu.RUnlock()
 		st.Terms += ix.TermCount()
 		st.ShardTerms = append(st.ShardTerms, ix.TermCount())
 		ms := ix.MemStats()

@@ -216,7 +216,7 @@ func TestEngineRebuildInvalidatesCache(t *testing.T) {
 	if r.Cached || len(r.Docs) != 50 {
 		t.Fatalf("after rebuild: cached=%v docs=%d, want fresh 50", r.Cached, len(r.Docs))
 	}
-	if st := e.Stats(); st.Rebuilds != 2 || st.Cache.Purges != 2 {
+	if st := e.Stats(); st.Rebuilds != 2 || st.Cache.Stale != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -1,0 +1,578 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastintersect"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/sets"
+)
+
+// The mutable tier. Each shard is a segmented index:
+//
+//   - base: a frozen invindex.Index (raw or compressed), exactly the
+//     structure Install produces — every preprocessed/compressed kernel of
+//     the read path keeps running against it unchanged.
+//   - delta: a small in-memory segment (term → sorted docIDs plus a
+//     docID → terms reverse map) absorbing AddDocument calls.
+//   - tombs: a sorted docID tombstone set suppressing base postings.
+//
+// The invariant that makes boolean evaluation decomposable is that every
+// document lives entirely in ONE segment: AddDocument always tombstones the
+// docID (suppressing any copy the base may hold) while writing the new
+// version into the delta. Deleted-then-re-added documents are therefore
+// visible again (the delta wins over the tombstone), and updated documents
+// never match on stale terms. Since the per-segment universes are disjoint,
+// any AND/OR/NOT expression f satisfies
+//
+//	f(shard) = (f(base) − tombs) ∪ f(delta)
+//
+// — the base half runs the paper's kernels, the delta half a linear-merge
+// evaluator over the small sorted delta lists (see evalDelta), and the union
+// is one sets.UnionInto. All scratch comes from the pooled execCtx, so the
+// zero-allocation discipline of the read path survives; with an empty delta
+// and no tombstones the only added cost is one RLock.
+//
+// Compaction freezes the active delta, rebuilds a base off-lock from
+// (base − tombs) ∪ frozen via the same BuildParallel path Install uses, and
+// swaps it in. Mutations arriving mid-compaction land in a fresh active
+// delta; their tombstones are recorded twice (tombs for the old base,
+// newTombs for the frozen segment and the next base), so the swap keeps
+// exactly the tombstones the new base has not folded in:
+//
+//	f(shard) = (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪ f(delta)
+//
+// The visible document set is unchanged by a swap, which is why compaction
+// does not bump the cache generation.
+type shard struct {
+	mu       sync.RWMutex
+	base     *invindex.Index
+	baseDocs []uint32  // sorted distinct docIDs of base (= base.DocIDs())
+	delta    *deltaSeg // active delta segment
+	frozen   *deltaSeg // delta being compacted; nil when idle
+	tombs    []uint32  // sorted; suppresses base postings
+	newTombs []uint32  // sorted; tombstones since the freeze; nil when idle
+	live     int       // distinct visible documents
+
+	compacting bool // claimed by at most one compaction goroutine
+	retired    bool // set (before the swap) by Install replacing this shard
+}
+
+func newShard(ix *invindex.Index) *shard {
+	return &shard{
+		base:     ix,
+		baseDocs: ix.DocIDs(),
+		delta:    newDeltaSeg(),
+		live:     len(ix.DocIDs()),
+	}
+}
+
+// deltaSeg is the small mutable in-memory segment of one shard. All access
+// is guarded by the owning shard's mutex (a frozen segment is read-only and
+// additionally readable by the compaction goroutine off-lock).
+type deltaSeg struct {
+	terms    map[string][]uint32 // term → sorted docIDs
+	docs     map[uint32][]string // docID → its distinct terms
+	postings int                 // total postings across terms
+}
+
+func newDeltaSeg() *deltaSeg {
+	return &deltaSeg{terms: map[string][]uint32{}, docs: map[uint32][]string{}}
+}
+
+// addDoc records terms (already deduplicated, no empties) for docID,
+// replacing any previous delta version of the document.
+func (d *deltaSeg) addDoc(docID uint32, terms []string) {
+	d.removeDoc(docID)
+	d.docs[docID] = terms
+	for _, t := range terms {
+		s, inserted := sets.InsertSorted(d.terms[t], docID)
+		d.terms[t] = s
+		if inserted {
+			d.postings++
+		}
+	}
+}
+
+// removeDoc drops docID from the segment, returning whether it was present.
+func (d *deltaSeg) removeDoc(docID uint32) bool {
+	terms, ok := d.docs[docID]
+	if !ok {
+		return false
+	}
+	for _, t := range terms {
+		s, removed := sets.RemoveSorted(d.terms[t], docID)
+		if removed {
+			d.postings--
+		}
+		if len(s) == 0 {
+			delete(d.terms, t)
+		} else {
+			d.terms[t] = s
+		}
+	}
+	delete(d.docs, docID)
+	return true
+}
+
+// visibleLocked reports whether docID is currently visible in this shard.
+// Caller holds s.mu (read or write).
+func (s *shard) visibleLocked(docID uint32) bool {
+	if _, ok := s.delta.docs[docID]; ok {
+		return true
+	}
+	if s.frozen != nil {
+		if _, ok := s.frozen.docs[docID]; ok && !sets.Contains(s.newTombs, docID) {
+			return true
+		}
+	}
+	return sets.Contains(s.baseDocs, docID) && !sets.Contains(s.tombs, docID)
+}
+
+// addTombLocked tombstones docID against the base (and, mid-compaction,
+// against the frozen segment and the next base). Caller holds s.mu.
+func (s *shard) addTombLocked(docID uint32) {
+	s.tombs, _ = sets.InsertSorted(s.tombs, docID)
+	if s.newTombs != nil {
+		s.newTombs, _ = sets.InsertSorted(s.newTombs, docID)
+	}
+}
+
+// dedupTerms filters empties and duplicates, preserving first-seen order.
+func dedupTerms(terms []string) []string {
+	out := make([]string, 0, len(terms))
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// ErrNoTerms rejects AddDocument calls whose term list is empty after
+// dropping empty strings and duplicates: a termless document would be
+// "live" yet unreachable by any query, and would silently vanish from the
+// doc count at the next compaction. Delete the document instead.
+var ErrNoTerms = errors.New("engine: AddDocument requires at least one non-empty term")
+
+// AddDocument makes a document queryable without a rebuild: its terms are
+// written to the home shard's delta segment and any previously indexed
+// version (base or delta) is superseded. Duplicate and empty terms are
+// ignored; a list with no usable term at all returns ErrNoTerms. The index
+// generation is bumped, so stale cached results are never served. Returns
+// ErrNotBuilt before the first Install.
+func (e *Engine) AddDocument(docID uint32, terms []string) error {
+	terms = dedupTerms(terms)
+	if len(terms) == 0 {
+		return ErrNoTerms
+	}
+	s, err := e.lockShard(docID)
+	if err != nil {
+		return err
+	}
+	was := s.visibleLocked(docID)
+	s.delta.addDoc(docID, terms)
+	// Suppress any base/frozen copy; the delta version wins. This keeps the
+	// one-segment-per-document invariant evalSegments relies on.
+	s.addTombLocked(docID)
+	if !was {
+		s.live++
+	}
+	spawn := e.wantsCompactLocked(s)
+	s.mu.Unlock()
+	e.mutations.Add(1)
+	e.gen.Add(1)
+	if spawn {
+		go e.compactShard(s) //nolint:errcheck // failure restores the delta; retried on the next trigger
+	}
+	return nil
+}
+
+// DeleteDocument removes a document from query results immediately: the
+// delta version (if any) is dropped and the docID is tombstoned against the
+// base. It reports whether the document was visible before the call. The
+// index generation is bumped, so cached results containing the document are
+// never served again. Returns ErrNotBuilt before the first Install.
+func (e *Engine) DeleteDocument(docID uint32) (bool, error) {
+	s, err := e.lockShard(docID)
+	if err != nil {
+		return false, err
+	}
+	was := s.visibleLocked(docID)
+	if !was {
+		// Nothing is visible to suppress: any base/frozen copy is already
+		// tombstoned. Skipping the tombstone and the generation bump keeps
+		// no-op deletes (retries, probes of unknown IDs) from invalidating
+		// the result cache and growing the tombstone set.
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.delta.removeDoc(docID)
+	s.addTombLocked(docID)
+	s.live--
+	spawn := e.wantsCompactLocked(s)
+	s.mu.Unlock()
+	e.mutations.Add(1)
+	e.gen.Add(1)
+	if spawn {
+		go e.compactShard(s) //nolint:errcheck
+	}
+	return true, nil
+}
+
+// lockShard returns docID's home shard with its write lock held, retrying
+// when a concurrent Install retires the snapshotted shard set — this is what
+// makes a mutation acknowledged to the caller land in the shard set that
+// serves subsequent queries rather than in a discarded snapshot. Returns
+// ErrNotBuilt (without a lock) before the first Install.
+func (e *Engine) lockShard(docID uint32) (*shard, error) {
+	for {
+		shards := e.snapshot()
+		if shards == nil {
+			return nil, ErrNotBuilt
+		}
+		s := shards[shardOf(docID, len(shards))]
+		s.mu.Lock()
+		if !s.retired {
+			return s, nil
+		}
+		// Install marked this shard retired just before swapping the set;
+		// re-snapshot (briefly spinning until the swap lands).
+		s.mu.Unlock()
+	}
+}
+
+// wantsCompactLocked claims a background compaction for s when the
+// configured threshold is crossed. Caller holds s.mu; when it returns true
+// the caller must spawn compactShard(s) after unlocking.
+func (e *Engine) wantsCompactLocked(s *shard) bool {
+	if e.cfg.CompactThreshold <= 0 || s.compacting || s.retired {
+		return false
+	}
+	if s.delta.postings < e.cfg.CompactThreshold && len(s.tombs) < e.cfg.CompactThreshold {
+		return false
+	}
+	s.compacting = true
+	return true
+}
+
+// Compact synchronously folds every shard's delta segment and tombstones
+// into a fresh frozen base (the same parallel build path Install uses) and
+// swaps it in per shard. Queries keep running throughout — they see the
+// frozen delta until the swap — and the visible document set is unchanged,
+// so the result cache stays valid. Shards already being compacted in the
+// background are skipped. Returns ErrNotBuilt before the first Install.
+func (e *Engine) Compact() error {
+	shards := e.snapshot()
+	if shards == nil {
+		return ErrNotBuilt
+	}
+	var firstErr error
+	for _, s := range shards {
+		s.mu.Lock()
+		if s.compacting || s.retired ||
+			(s.delta.postings == 0 && len(s.delta.docs) == 0 && len(s.tombs) == 0) {
+			s.mu.Unlock()
+			continue
+		}
+		s.compacting = true
+		s.mu.Unlock()
+		if err := e.compactShard(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// compactShard rebuilds s's base from (base − tombs) ∪ delta and swaps it
+// in. The caller must have claimed s.compacting under s.mu. The shard lock
+// is held only to freeze the delta and to swap — the rebuild itself runs
+// off-lock against the immutable old base and the frozen segment. On build
+// failure the frozen documents are folded back into the active delta (newer
+// versions win) so no mutation is lost and a later compaction can retry.
+func (e *Engine) compactShard(s *shard) error {
+	s.mu.Lock()
+	if s.retired {
+		// An Install replaced this shard between the claim and now; a
+		// rebuild of a discarded shard would be pure wasted work.
+		s.compacting = false
+		s.mu.Unlock()
+		return nil
+	}
+	frozen := s.delta
+	s.delta = newDeltaSeg()
+	s.frozen = frozen
+	s.newTombs = make([]uint32, 0, 8)
+	frozenTombs := sets.Clone(s.tombs)
+	base := s.base
+	s.mu.Unlock()
+
+	perShard := e.cfg.Workers / e.cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	nb, err := e.rebuildBase(base, frozen, frozenTombs, perShard)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = nil
+	s.compacting = false
+	if s.retired {
+		// Replaced mid-build: the shard will never serve again, so neither
+		// the new base nor a rollback matters. Just drop the frozen state.
+		s.newTombs = nil
+		return nil
+	}
+	if err != nil {
+		s.rollbackFrozenLocked(frozen)
+		return fmt.Errorf("engine: compaction: %w", err)
+	}
+	s.base = nb
+	s.baseDocs = nb.DocIDs()
+	// Tombstones recorded before the freeze are folded into the new base;
+	// only the ones since the freeze still apply.
+	s.tombs = s.newTombs
+	s.newTombs = nil
+	// Recount live documents: base documents not tombstoned since the
+	// freeze, plus the active delta (whose documents are all tombstoned, so
+	// there is no double count).
+	live := len(s.delta.docs)
+	for _, id := range s.baseDocs {
+		if !sets.Contains(s.tombs, id) {
+			live++
+		}
+	}
+	s.live = live
+	e.compactions.Add(1)
+	return nil
+}
+
+// rollbackFrozenLocked restores a frozen delta after a failed compaction
+// build: its documents fold back into the active delta so no mutation is
+// lost and a later compaction can retry. Documents re-added during the
+// failed build are newer, so they win, and documents deleted during it
+// (tombstoned in newTombs) must stay dead — the delta would otherwise
+// override their tombstone and resurrect them. Their tombstones are still
+// in s.tombs (compaction never removes any before the swap), so base
+// suppression stays correct. Caller holds s.mu.
+func (s *shard) rollbackFrozenLocked(frozen *deltaSeg) {
+	for id, terms := range frozen.docs {
+		if _, ok := s.delta.docs[id]; ok {
+			continue
+		}
+		if sets.Contains(s.newTombs, id) {
+			continue
+		}
+		s.delta.addDoc(id, terms)
+	}
+	s.newTombs = nil
+}
+
+// rebuildBase materializes (base − tombs) ∪ delta term by term into a fresh
+// index and builds it. base is immutable and delta is frozen, so no lock is
+// needed.
+func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint32, workers int) (*invindex.Index, error) {
+	nb := invindex.NewWithStorage(e.cfg.Storage, e.cfg.IndexOptions...)
+	var scratch []uint32
+	for _, term := range base.Terms() {
+		var postings []uint32
+		if base.Storage() == invindex.StorageCompressed {
+			postings = base.Stored(term).Decode()
+		} else {
+			postings = base.Postings(term).Set()
+		}
+		scratch = sets.DifferenceInto(scratch[:0], postings, tombs)
+		merged := scratch
+		if add := delta.terms[term]; len(add) > 0 {
+			merged = sets.Union(scratch, add)
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		if err := nb.AddPosting(term, merged); err != nil {
+			return nil, err
+		}
+	}
+	for term, add := range delta.terms {
+		if base.DocFreq(term) > 0 || len(add) == 0 {
+			continue // already merged above
+		}
+		if err := nb.AddPosting(term, add); err != nil {
+			return nil, err
+		}
+	}
+	if err := nb.BuildParallel(workers); err != nil {
+		return nil, err
+	}
+	return nb, nil
+}
+
+// evalSegments evaluates a normalized, bounded expression against one
+// shard's segmented index: the base through the preprocessed/compressed
+// kernels (evalShard), the delta segments through the linear-merge delta
+// evaluator, composed as (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪
+// f(delta). Ownership rules match evalShard: the returned slice either
+// aliases index/delta memory (owned = false, read-only) or is backed by a
+// context buffer (owned = true).
+//
+// The shard read lock is held for the whole evaluation; mutations and
+// compaction swaps therefore see shard state atomically, and the immutable
+// base plus frozen delta make the off-lock compaction rebuild safe.
+func evalSegments(c *execCtx, s *shard, n Node, algo fastintersect.Algorithm) ([]uint32, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	docs, owned, err := evalShard(c, s.base, n, algo)
+	if err != nil {
+		if owned {
+			c.putBuf(docs)
+		}
+		return nil, false, err
+	}
+	if len(s.tombs) > 0 && len(docs) > 0 {
+		out := sets.DifferenceInto(c.getBuf(), docs, s.tombs)
+		if owned {
+			c.putBuf(docs)
+		}
+		docs, owned = out, true
+	}
+	if s.frozen != nil && len(s.frozen.docs) > 0 {
+		docs, owned = unionDeltaEval(c, docs, owned, s.frozen, s.newTombs, n)
+	}
+	if len(s.delta.docs) > 0 {
+		docs, owned = unionDeltaEval(c, docs, owned, s.delta, nil, n)
+	}
+	return docs, owned, nil
+}
+
+// unionDeltaEval evaluates n over one delta segment, subtracts tombs (the
+// post-freeze tombstones, for a frozen segment), and unions the outcome into
+// docs under the execCtx ownership protocol.
+func unionDeltaEval(c *execCtx, docs []uint32, owned bool, d *deltaSeg, tombs []uint32, n Node) ([]uint32, bool) {
+	res, resOwned := evalDelta(c, d, n)
+	if !resOwned && len(res) > 0 {
+		// An unowned result aliases a live delta list, which a mutation may
+		// shift in place the moment the shard lock is released — unlike base
+		// postings, which stay immutable even after a compaction swap. Copy
+		// into a context buffer while still under the lock.
+		res, resOwned = append(c.getBuf(), res...), true
+	}
+	if len(tombs) > 0 && len(res) > 0 {
+		out := sets.DifferenceInto(c.getBuf(), res, tombs)
+		if resOwned {
+			c.putBuf(res)
+		}
+		res, resOwned = out, true
+	}
+	if len(res) == 0 {
+		if resOwned {
+			c.putBuf(res)
+		}
+		return docs, owned
+	}
+	if len(docs) == 0 {
+		if owned {
+			c.putBuf(docs)
+		}
+		return res, resOwned
+	}
+	out := sets.UnionInto(c.getBuf(), docs, res)
+	if owned {
+		c.putBuf(docs)
+	}
+	if resOwned {
+		c.putBuf(res)
+	}
+	return out, true
+}
+
+// evalDelta evaluates a normalized, bounded expression against one delta
+// segment with plain sorted-set merges — delta lists are small by
+// construction, so the preprocessed kernels would not pay for themselves
+// here. Ownership rules match evalShard: owned = false aliases a delta list
+// and is read-only. The expression cannot fail against a map of sorted
+// lists, so no error is returned.
+func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
+	switch n := n.(type) {
+	case termNode:
+		return d.terms[string(n)], false
+
+	case orNode:
+		f := c.frame()
+		for _, k := range n.kids {
+			s, kidOwned := evalDelta(c, d, k)
+			f.kids = append(f.kids, s)
+			f.kidsOwned = append(f.kidsOwned, kidOwned)
+		}
+		out := sets.UnionKInto(c.getBuf(), f.kids...)
+		c.releaseFrame(f)
+		return out, true
+
+	case andNode:
+		var cur []uint32
+		curOwned, haveBase := false, false
+		f := c.frame()
+		for _, k := range n.kids {
+			if nk, ok := k.(notNode); ok {
+				f.negs = append(f.negs, nk.kid)
+				continue
+			}
+			s, owned := evalDelta(c, d, k)
+			if len(s) == 0 {
+				if owned {
+					c.putBuf(s)
+				}
+				if curOwned {
+					c.putBuf(cur)
+				}
+				c.releaseFrame(f)
+				return nil, false // empty operand: whole conjunction is empty
+			}
+			if !haveBase {
+				cur, curOwned, haveBase = s, owned, true
+				continue
+			}
+			out := sets.IntersectInto(c.getBuf(), cur, s)
+			if curOwned {
+				c.putBuf(cur)
+			}
+			if owned {
+				c.putBuf(s)
+			}
+			cur, curOwned = out, true
+			if len(cur) == 0 {
+				c.putBuf(cur)
+				c.releaseFrame(f)
+				return nil, false
+			}
+		}
+		// bounded() guarantees at least one positive operand, so cur is set.
+		for _, neg := range f.negs {
+			if len(cur) == 0 {
+				break
+			}
+			s, owned := evalDelta(c, d, neg)
+			if len(s) > 0 {
+				out := sets.DifferenceInto(c.getBuf(), cur, s)
+				if curOwned {
+					c.putBuf(cur)
+				}
+				cur, curOwned = out, true
+			}
+			if owned {
+				c.putBuf(s)
+			}
+		}
+		c.releaseFrame(f)
+		return cur, curOwned
+
+	case notNode:
+		// Unreachable after validation: bounded() rejects standalone NOT.
+		return nil, false
+	}
+	return nil, false
+}

@@ -74,7 +74,6 @@ func ServeBench(cfg Config) *ServeReport {
 				panic(fmt.Sprintf("harness: serve bench build: %v", err))
 			}
 		}
-		b.SetDocCount(uint64(rc.NumDocs))
 		if err := e.Install(b); err != nil {
 			panic(fmt.Sprintf("harness: serve bench install: %v", err))
 		}

@@ -36,6 +36,7 @@ type Index struct {
 	stored  map[string]*compress.Stored    // StorageCompressed
 	frozen  bool
 	docs    int
+	docIDs  []uint32 // sorted distinct docIDs across all postings (set by Build)
 }
 
 // New creates an empty raw-storage index; opts are forwarded to
@@ -114,6 +115,7 @@ func (ix *Index) BuildParallel(workers int) error {
 	}
 	built := make(map[string]*fastintersect.List)
 	stored := make(map[string]*compress.Stored)
+	rawSets := make([][]uint32, 0, len(terms)) // per-term sorted sets, for the docID union
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -145,6 +147,7 @@ func (ix *Index) BuildParallel(workers int) error {
 				}
 				return
 			}
+			rawSets = append(rawSets, set)
 			if s != nil {
 				stored[term] = s
 			} else {
@@ -156,6 +159,11 @@ func (ix *Index) BuildParallel(workers int) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	// Distinct documents = the union of every posting list, computed here
+	// while the sorted raw sets are still in hand (under compressed storage
+	// they are garbage once encoded). This is what makes doc counts exact
+	// regardless of how documents arrived (Add, duplicate Add, AddPosting).
+	ix.docIDs = sets.UnionKInto(make([]uint32, 0, 64), rawSets...)
 	if ix.storage == StorageCompressed {
 		ix.stored = stored
 	} else {
@@ -207,9 +215,23 @@ func (ix *Index) Stored(term string) *compress.Stored {
 	return ix.stored[term]
 }
 
-// Docs returns the number of documents recorded via Add. Postings added
-// with AddPosting are not counted.
-func (ix *Index) Docs() int { return ix.docs }
+// Docs returns the number of distinct indexed documents. After Build it is
+// exact — the size of the union of every posting list — no matter how
+// documents arrived (Add, duplicate Add, or term-major AddPosting). Before
+// Build it counts Add calls, so duplicate adds and AddPosting input are not
+// reflected until the index is built.
+func (ix *Index) Docs() int {
+	if ix.frozen {
+		return len(ix.docIDs)
+	}
+	return ix.docs
+}
+
+// DocIDs returns the sorted distinct docIDs appearing in any posting list,
+// or nil before Build. The slice is owned by the index; callers must not
+// modify it. It is the membership structure the engine's mutable tier uses
+// to account for deletions against the frozen base segment.
+func (ix *Index) DocIDs() []uint32 { return ix.docIDs }
 
 // TermCount returns the number of distinct indexed terms.
 func (ix *Index) TermCount() int {

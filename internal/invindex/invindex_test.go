@@ -227,3 +227,31 @@ func TestBuildParallelErrors(t *testing.T) {
 		t.Fatal("invalid preprocess options accepted")
 	}
 }
+
+// TestDocIDsDistinct pins the derived distinct-document accounting: Docs()
+// and DocIDs() after Build must reflect the union of the posting lists, so
+// duplicate Add calls and term-major AddPosting input are counted once.
+func TestDocIDsDistinct(t *testing.T) {
+	ix := New()
+	_ = ix.Add(5, []string{"a", "b"})
+	_ = ix.Add(5, []string{"b", "c"}) // duplicate add of doc 5
+	_ = ix.Add(1, []string{"a"})
+	_ = ix.AddPosting("d", []uint32{1, 9, 5})
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.DocIDs(); !sets.Equal(got, []uint32{1, 5, 9}) {
+		t.Fatalf("DocIDs = %v, want [1 5 9]", got)
+	}
+	if ix.Docs() != 3 {
+		t.Fatalf("Docs = %d, want 3", ix.Docs())
+	}
+
+	empty := New()
+	if err := empty.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.DocIDs()) != 0 || empty.Docs() != 0 {
+		t.Fatalf("empty built index: DocIDs=%v Docs=%d", empty.DocIDs(), empty.Docs())
+	}
+}

@@ -268,6 +268,31 @@ func DifferenceInto(dst, a, b []uint32) []uint32 {
 	return dst
 }
 
+// InsertSorted inserts x into sorted set s, returning the (possibly grown)
+// slice and whether x was actually inserted (false: already present). It is
+// the point-update primitive of the engine's delta segments, where sets stay
+// small between compactions; cost is O(log n) search + O(n) shift.
+func InsertSorted(s []uint32, x uint32) ([]uint32, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s, true
+}
+
+// RemoveSorted removes x from sorted set s, returning the (possibly
+// shortened) slice and whether x was present.
+func RemoveSorted(s []uint32, x uint32) ([]uint32, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i >= len(s) || s[i] != x {
+		return s, false
+	}
+	return append(s[:i], s[i+1:]...), true
+}
+
 // SortU32 sorts a []uint32 ascending in place.
 func SortU32(s []uint32) {
 	slices.Sort(s)

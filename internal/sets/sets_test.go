@@ -212,3 +212,41 @@ func TestDifference(t *testing.T) {
 		}
 	}
 }
+
+// TestInsertRemoveSorted drives the delta-segment point-update primitives
+// through a random operation sequence against a map-based reference.
+func TestInsertRemoveSorted(t *testing.T) {
+	var s []uint32
+	ref := map[uint32]bool{}
+	rng := uint64(0xABCD)
+	next := func(n int) uint32 { rng = rng*6364136223846793005 + 1; return uint32(rng>>33) % uint32(n) }
+	for i := 0; i < 2000; i++ {
+		x := next(64)
+		if next(2) == 0 {
+			var inserted bool
+			s, inserted = InsertSorted(s, x)
+			if inserted == ref[x] {
+				t.Fatalf("InsertSorted(%d) inserted=%v, ref has=%v", x, inserted, ref[x])
+			}
+			ref[x] = true
+		} else {
+			var removed bool
+			s, removed = RemoveSorted(s, x)
+			if removed != ref[x] {
+				t.Fatalf("RemoveSorted(%d) removed=%v, ref has=%v", x, removed, ref[x])
+			}
+			delete(ref, x)
+		}
+		if err := Validate(s); err != nil {
+			t.Fatalf("after op %d: %v", i, err)
+		}
+		if len(s) != len(ref) {
+			t.Fatalf("after op %d: len %d, ref %d", i, len(s), len(ref))
+		}
+	}
+	for _, x := range s {
+		if !ref[x] {
+			t.Fatalf("element %d not in reference", x)
+		}
+	}
+}

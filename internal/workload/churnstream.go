@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fastintersect/internal/xhash"
+)
+
+// ChurnKind discriminates the operations of a churn stream.
+type ChurnKind int
+
+const (
+	// ChurnQuery runs a boolean query (the Query field).
+	ChurnQuery ChurnKind = iota
+	// ChurnAdd adds or updates a document (DocID, Terms).
+	ChurnAdd
+	// ChurnDelete deletes a document (DocID).
+	ChurnDelete
+)
+
+// ChurnOp is one operation of an interleaved mutation/query stream — the
+// workload shape of the paper's motivating search engine once the corpus is
+// live: fresh documents arriving, stale ones retired, queries throughout.
+type ChurnOp struct {
+	Kind  ChurnKind
+	DocID uint32   // ChurnAdd / ChurnDelete
+	Terms []string // ChurnAdd
+	Query string   // ChurnQuery
+}
+
+// ChurnConfig controls the operation mix of a churn stream.
+type ChurnConfig struct {
+	// AddFrac is the fraction of operations that add or update a document;
+	// DeleteFrac the fraction that delete one. The remainder are queries.
+	AddFrac    float64
+	DeleteFrac float64
+	// MaxDocID bounds the docID space new documents are drawn from
+	// (0 = 2 × the corpus's NumDocs). IDs at or above NumDocs are brand-new
+	// documents; adds occasionally hit existing IDs, exercising updates.
+	MaxDocID uint32
+	// MaxTermsPerDoc caps the terms of an added document (0 = 6). Terms are
+	// sampled head-biased from the corpus vocabulary so added documents are
+	// actually reachable by the query stream.
+	MaxTermsPerDoc int
+	// Stream sets the operator mix of the query operations.
+	Stream StreamConfig
+	Seed   uint64
+}
+
+// DefaultChurnConfig is a read-mostly mix: ~20% adds, ~10% deletes, 70%
+// queries with the default web-query operator rates.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{AddFrac: 0.20, DeleteFrac: 0.10, Stream: DefaultStreamConfig(), Seed: 0xC4024}
+}
+
+// ChurnStream renders n interleaved add/delete/query operations against the
+// workload's corpus, deterministic in cfg.Seed. Deletes prefer documents the
+// stream itself added (so they usually hit live delta documents) but also
+// target original corpus IDs, exercising base-segment tombstones; adds reuse
+// a previously added ID ~¼ of the time, exercising updates and
+// re-add-after-delete.
+func (r *Real) ChurnStream(n int, cfg ChurnConfig) []ChurnOp {
+	if n <= 0 || len(r.Queries) == 0 {
+		return nil
+	}
+	if cfg.MaxDocID == 0 {
+		cfg.MaxDocID = 2 * r.Config.NumDocs
+	}
+	if cfg.MaxDocID <= r.Config.NumDocs {
+		cfg.MaxDocID = r.Config.NumDocs + 1
+	}
+	if cfg.MaxTermsPerDoc <= 0 {
+		cfg.MaxTermsPerDoc = 6
+	}
+	rng := xhash.NewRNG(cfg.Seed)
+	queries := r.QueryStream(n, cfg.Stream)
+	qi := 0
+	var touched []uint32 // IDs added by the stream, candidates for delete/update
+	out := make([]ChurnOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch f := rng.Float64(); {
+		case f < cfg.AddFrac:
+			var id uint32
+			if len(touched) > 0 && rng.Float64() < 0.25 {
+				id = touched[rng.Intn(len(touched))] // update / re-add
+			} else {
+				id = r.Config.NumDocs + uint32(rng.Intn(int(cfg.MaxDocID-r.Config.NumDocs)))
+				touched = append(touched, id)
+			}
+			out = append(out, ChurnOp{Kind: ChurnAdd, DocID: id, Terms: r.sampleDocTerms(rng, cfg.MaxTermsPerDoc)})
+		case f < cfg.AddFrac+cfg.DeleteFrac:
+			var id uint32
+			if len(touched) > 0 && rng.Float64() < 0.5 {
+				id = touched[rng.Intn(len(touched))]
+			} else {
+				id = uint32(rng.Intn(int(cfg.MaxDocID)))
+			}
+			out = append(out, ChurnOp{Kind: ChurnDelete, DocID: id})
+		default:
+			out = append(out, ChurnOp{Kind: ChurnQuery, Query: queries[qi%len(queries)]})
+			qi++
+		}
+	}
+	return out
+}
+
+// sampleDocTerms draws 1..max distinct head-biased term names — the same
+// skew the corpus itself has, so churned documents join real posting lists.
+func (r *Real) sampleDocTerms(rng *xhash.RNG, max int) []string {
+	k := 1 + int(rng.Intn(max))
+	seen := map[int]bool{}
+	out := make([]string, 0, k)
+	for len(out) < k {
+		// Quadratic bias towards low ranks (frequent terms).
+		t := int(rng.Float64() * rng.Float64() * float64(len(r.Postings)))
+		if t >= len(r.Postings) {
+			t = len(r.Postings) - 1
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, TermName(t))
+	}
+	return out
+}

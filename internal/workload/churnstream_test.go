@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func churnCorpus(t *testing.T) *Real {
+	t.Helper()
+	return NewReal(RealConfig{
+		NumDocs: 5_000, NumTerms: 500, NumQueries: 100,
+		ZipfS: 0.7, TopDFFrac: 0.2, HotFrac: 0.08, HotWeight: 8, Seed: 42,
+	})
+}
+
+func TestChurnStreamMixAndDeterminism(t *testing.T) {
+	r := churnCorpus(t)
+	cfg := ChurnConfig{AddFrac: 0.3, DeleteFrac: 0.2, MaxDocID: 8_000, Seed: 7}
+	ops := r.ChurnStream(4_000, cfg)
+	if len(ops) != 4_000 {
+		t.Fatalf("stream length %d", len(ops))
+	}
+	counts := map[ChurnKind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+		switch op.Kind {
+		case ChurnAdd:
+			if len(op.Terms) == 0 {
+				t.Fatal("add op with no terms")
+			}
+			seen := map[string]bool{}
+			for _, term := range op.Terms {
+				if !strings.HasPrefix(term, "t") {
+					t.Fatalf("term %q not from the corpus vocabulary", term)
+				}
+				if seen[term] {
+					t.Fatalf("duplicate term %q in add op", term)
+				}
+				seen[term] = true
+			}
+			if op.DocID >= 8_000 {
+				t.Fatalf("add docID %d out of MaxDocID range", op.DocID)
+			}
+		case ChurnDelete:
+			if op.DocID >= 8_000 {
+				t.Fatalf("delete docID %d out of range", op.DocID)
+			}
+		case ChurnQuery:
+			if op.Query == "" {
+				t.Fatal("empty query op")
+			}
+		}
+	}
+	// The mix must be within loose tolerance of the configured fractions.
+	if got := float64(counts[ChurnAdd]) / 4000; got < 0.25 || got > 0.35 {
+		t.Fatalf("add fraction = %.3f, want ≈0.3", got)
+	}
+	if got := float64(counts[ChurnDelete]) / 4000; got < 0.15 || got > 0.25 {
+		t.Fatalf("delete fraction = %.3f, want ≈0.2", got)
+	}
+	// Adds must introduce brand-new documents (IDs ≥ NumDocs).
+	fresh := 0
+	for _, op := range ops {
+		if op.Kind == ChurnAdd && op.DocID >= r.Config.NumDocs {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("no brand-new documents in the stream")
+	}
+
+	// Deterministic in the seed.
+	again := r.ChurnStream(4_000, cfg)
+	for i := range ops {
+		a, b := ops[i], again[i]
+		if a.Kind != b.Kind || a.DocID != b.DocID || a.Query != b.Query || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("op %d differs between identical-seed streams: %+v vs %+v", i, a, b)
+		}
+	}
+	// And different under a different seed.
+	cfg.Seed = 8
+	other := r.ChurnStream(4_000, cfg)
+	same := 0
+	for i := range ops {
+		if ops[i].Kind == other[i].Kind && ops[i].DocID == other[i].DocID {
+			same++
+		}
+	}
+	if same == len(ops) {
+		t.Fatal("streams identical across different seeds")
+	}
+}
+
+func TestChurnStreamEdgeCases(t *testing.T) {
+	r := churnCorpus(t)
+	if ops := r.ChurnStream(0, DefaultChurnConfig()); ops != nil {
+		t.Fatalf("n=0 returned %d ops", len(ops))
+	}
+	// A zero-value config is all queries.
+	ops := r.ChurnStream(50, ChurnConfig{})
+	for _, op := range ops {
+		if op.Kind != ChurnQuery {
+			t.Fatalf("zero config produced a %v op", op.Kind)
+		}
+	}
+}
