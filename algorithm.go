@@ -3,6 +3,8 @@ package fastintersect
 import (
 	"fmt"
 	"strings"
+
+	"fastintersect/internal/plan"
 )
 
 // Algorithm selects an intersection strategy. The first four are the
@@ -80,6 +82,24 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	}
 	return 0, fmt.Errorf("fastintersect: unknown algorithm %q (known: %s)",
 		name, strings.Join(algoNames[:], ", "))
+}
+
+// KernelAlgorithm maps the query planner's list-kernel choice
+// (internal/plan) onto the Algorithm executing it — the single source of
+// truth for every executor (the engine's per-shard dispatch, the fsi CLI).
+// Stored-tier kernels have no public Algorithm and map to the family
+// default, RanGroupScan.
+func KernelAlgorithm(k plan.Kernel) Algorithm {
+	switch k {
+	case plan.KernelMerge:
+		return Merge
+	case plan.KernelGallop:
+		return SvS
+	case plan.KernelHashBin:
+		return HashBin
+	default:
+		return RanGroupScan
+	}
 }
 
 // Algorithms lists every selectable algorithm (excluding Auto), in the

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	fsi -algo RanGroupScan a.txt b.txt c.txt
+//	fsi -explain a.txt b.txt        # print the planned kernel + cost estimate
 //	seq 1 2 100 > odd.txt; seq 0 5 100 > five.txt; fsi odd.txt five.txt
+//
+// With -algo Auto (the default) the kernel is chosen by the query
+// planner's calibrated cost model over the operand sizes; -explain prints
+// the decision (kernel, cost-ordered operands, calibrated coefficients)
+// to stderr before intersecting.
 package main
 
 import (
@@ -19,16 +25,18 @@ import (
 	"time"
 
 	"fastintersect"
+	"fastintersect/internal/plan"
 )
 
 func main() {
 	var (
 		algoName = flag.String("algo", "Auto", "algorithm: Auto, RanGroupScan, RanGroup, IntGroup, HashBin, Merge, Hash, SkipList, SvS, Adaptive, BaezaYates, SmallAdaptive, Lookup, BPP")
 		timing   = flag.Bool("time", false, "print preprocessing and intersection times")
+		explain  = flag.Bool("explain", false, "print the physical plan (chosen kernel, operand order, calibrated cost estimate) to stderr before intersecting")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fsi [-algo NAME] [-time] file1 [file2 ...]")
+		fmt.Fprintln(os.Stderr, "usage: fsi [-algo NAME] [-time] [-explain] file1 [file2 ...]")
 		os.Exit(2)
 	}
 	algo, err := fastintersect.ParseAlgorithm(*algoName)
@@ -37,6 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 	lists := make([]*fastintersect.List, flag.NArg())
+	paths := append([]string(nil), flag.Args()...)
 	prepStart := time.Now()
 	for i, path := range flag.Args() {
 		ids, err := readIDs(path)
@@ -51,6 +60,40 @@ func main() {
 		}
 	}
 	prep := time.Since(prepStart)
+	// Cost-order the operands and, for Auto, let the calibrated cost model
+	// pick the kernel — the same planner the query engine runs on.
+	type operand struct {
+		list *fastintersect.List
+		path string
+	}
+	ops := make([]operand, len(lists))
+	for i := range lists {
+		ops[i] = operand{lists[i], paths[i]}
+	}
+	slices.SortStableFunc(ops, func(a, b operand) int { return a.list.Len() - b.list.Len() })
+	for i, op := range ops {
+		lists[i], paths[i] = op.list, op.path
+	}
+	if algo == fastintersect.Auto || *explain {
+		// Only now pay the one-time micro-calibration: an explicit -algo
+		// without -explain never consults the cost model.
+		costs := plan.Calibrated()
+		if algo == fastintersect.Auto && len(lists) >= 2 {
+			sizes := make([]int, len(lists))
+			for i, l := range lists {
+				sizes[i] = l.Len()
+			}
+			algo = fastintersect.KernelAlgorithm(plan.ChooseListKernel(costs, plan.KernelsCost, sizes))
+		}
+		if *explain {
+			var parts []string
+			for i, l := range lists {
+				parts = append(parts, fmt.Sprintf("%s(%d)", paths[i], l.Len()))
+			}
+			fmt.Fprintf(os.Stderr, "fsi: plan: kernel=%v operands=[%s] costs{scan=%.2f probe=%.2f hash=%.2f filter=%.2f gap=%.2f ns}\n",
+				algo, strings.Join(parts, " "), costs.Scan, costs.Probe, costs.Hash, costs.Filter, costs.GapDecode)
+		}
+	}
 	start := time.Now()
 	res, err := fastintersect.IntersectWith(algo, lists...)
 	if err != nil {

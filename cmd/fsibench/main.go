@@ -10,6 +10,7 @@
 //	fsibench -json BENCH_compress.json # machine-readable encoding benchmark
 //	fsibench -serve-json BENCH_serve.json # machine-readable serving benchmark
 //	fsibench -churn-json BENCH_churn.json # machine-readable live-update churn experiment
+//	fsibench -plan-json BENCH_plan.json # machine-readable plan-quality experiment
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "run the storage-sweep encoding benchmark and write it as JSON to this file (ns/op and bytes/posting per encoding), then exit")
 		serveOut = flag.String("serve-json", "", "run the engine serving benchmark (mixed AND/OR workload) and write it as JSON to this file (QPS, ns/op, B/op, allocs/op per storage mode), then exit")
 		churnOut = flag.String("churn-json", "", "run the live-update churn experiment (interleaved add/delete/query) and write it as JSON to this file (latency vs delta size per storage × compaction threshold), then exit")
+		planOut  = flag.String("plan-json", "", "run the plan-quality experiment (cost-based plans vs df-ordered baseline vs worst-order) and write it as JSON to this file (ns/op per workload shape × storage × policy), then exit")
 	)
 	flag.Parse()
 
@@ -87,6 +89,12 @@ func main() {
 		rep := harness.ChurnBench(cfg)
 		writeJSON(*churnOut, rep)
 		fmt.Printf("wrote %s (%d scenarios)\n", *churnOut, len(rep.Scenarios))
+		return
+	}
+	if *planOut != "" {
+		rep := harness.PlanBench(cfg)
+		writeJSON(*planOut, rep)
+		fmt.Printf("wrote %s (%d scenarios)\n", *planOut, len(rep.Scenarios))
 		return
 	}
 	run := func(e harness.Experiment) {

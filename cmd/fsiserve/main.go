@@ -7,6 +7,8 @@
 // and serves an HTTP JSON API:
 //
 //	GET /query?q=a+AND+b&limit=10   boolean query (AND/OR/NOT, parens)
+//	GET /query?q=...&explain=1      ... plus the executed physical plan
+//	POST /query/batch               many queries in one call (shared planning)
 //	POST /index/doc                 add/update a document (live, no rebuild)
 //	DELETE /index/doc/{id}          delete a document (tombstoned immediately)
 //	GET /stats                      engine + cache + delta/compaction counters
@@ -172,6 +174,7 @@ func newServer(eng *engine.Engine) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /index/doc", s.handleAddDoc)
@@ -187,6 +190,9 @@ type queryResponse struct {
 	Truncated  bool     `json:"truncated"`
 	Cached     bool     `json:"cached"`
 	ElapsedUS  int64    `json:"elapsed_us"`
+	// Plan is the executed physical plan (operator tree with kernels and
+	// cost estimates), present when the request asked for explain=1.
+	Plan string `json:"plan,omitempty"`
 }
 
 type errorResponse struct {
@@ -213,8 +219,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		limit = v
 	}
 	start := time.Now()
-	res, err := s.eng.Query(q)
+	var (
+		res     *engine.Result
+		planStr string
+		err     error
+	)
+	if r.URL.Query().Get("explain") == "1" {
+		res, planStr, err = s.eng.Explain(q)
+	} else {
+		res, err = s.eng.Query(q)
+	}
 	if err != nil {
+		// Syntax errors carry the byte offset of the offending token in the
+		// message ("syntax error at offset N: ..."), so 400 bodies point at
+		// the position in the submitted query.
 		code := http.StatusBadRequest
 		if errors.Is(err, engine.ErrNotBuilt) {
 			code = http.StatusServiceUnavailable
@@ -239,7 +257,86 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Truncated:  truncated,
 		Cached:     res.Cached,
 		ElapsedUS:  time.Since(start).Microseconds(),
+		Plan:       planStr,
 	})
+}
+
+// batchRequest is the POST /query/batch body. Limit applies to every query
+// with exactly /query's semantics: positive caps, 0 count-only, -1
+// unlimited, omitted defaults to 100.
+type batchRequest struct {
+	Queries []string `json:"queries"`
+	Limit   *int     `json:"limit,omitempty"`
+}
+
+// batchItem is one query's slot in the batch response. Error is set instead
+// of the result fields when that query failed to parse or evaluate.
+type batchItem struct {
+	Query      string   `json:"query"`
+	Normalized string   `json:"normalized,omitempty"`
+	Count      int      `json:"count"`
+	Docs       []uint32 `json:"docs,omitempty"`
+	Truncated  bool     `json:"truncated,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results   []batchItem `json:"results"`
+	ElapsedUS int64       `json:"elapsed_us"`
+}
+
+// handleQueryBatch executes many queries as one engine batch: queries that
+// normalize to the same canonical form are planned and evaluated once, and
+// all cache misses share per-shard execution contexts (and their
+// decoded-term memos). Per-query failures land in the matching result slot;
+// only a malformed body or a missing index fails the whole request.
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad body: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"queries must contain at least one query"})
+		return
+	}
+	limit := 100 // the same default as GET /query
+	if req.Limit != nil {
+		if *req.Limit < -1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad limit %d (want -1 for unlimited, 0 for count-only, or a positive cap)", *req.Limit)})
+			return
+		}
+		limit = *req.Limit
+	}
+	start := time.Now()
+	batch := s.eng.QueryBatch(req.Queries)
+	resp := batchResponse{Results: make([]batchItem, len(batch))}
+	for i, br := range batch {
+		item := batchItem{Query: req.Queries[i]}
+		switch {
+		case errors.Is(br.Err, engine.ErrNotBuilt):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{br.Err.Error()})
+			return
+		case br.Err != nil:
+			item.Error = br.Err.Error()
+		default:
+			docs := br.Result.Docs
+			if limit >= 0 && len(docs) > limit {
+				docs = docs[:limit]
+				item.Truncated = true
+			}
+			item.Normalized = br.Result.Normalized
+			item.Count = len(br.Result.Docs)
+			item.Docs = docs
+			item.Cached = br.Result.Cached
+		}
+		resp.Results[i] = item
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // addDocRequest is the POST /index/doc body.

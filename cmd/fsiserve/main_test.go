@@ -535,6 +535,129 @@ func TestServeChurn(t *testing.T) {
 	}
 }
 
+// TestServeExplain checks explain=1: the response carries the executed
+// physical plan, results are unchanged, and cache hits still explain.
+func TestServeExplain(t *testing.T) {
+	corpus := testCorpus(t)
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		t.Run(st.String(), func(t *testing.T) {
+			ts, _ := testServerStorage(t, corpus, 2, st)
+			q := workload.TermName(0) + " AND " + workload.TermName(7)
+			plain, code := getQuery(t, ts, q)
+			if code != http.StatusOK {
+				t.Fatalf("plain query: HTTP %d", code)
+			}
+			if plain.Plan != "" {
+				t.Error("plan rendered without explain=1")
+			}
+			resp, err := http.Get(ts.URL + "/query?" + url.Values{"q": {q}, "explain": {"1"}, "limit": {"-1"}}.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+			if qr.Count != plain.Count || !sets.Equal(qr.Docs, plain.Docs) {
+				t.Errorf("explain changed the result: %d docs vs %d", qr.Count, plain.Count)
+			}
+			if !strings.Contains(qr.Plan, "AND kernel=") || !strings.Contains(qr.Plan, "term "+workload.TermName(0)) {
+				t.Errorf("plan missing kernel/operand lines:\n%s", qr.Plan)
+			}
+			if !qr.Cached {
+				t.Error("second request (explain) should have hit the cache")
+			}
+		})
+	}
+}
+
+// TestServeSyntaxErrorOffset pins the satellite: a 400 for a malformed
+// query names the byte offset of the offending token.
+func TestServeSyntaxErrorOffset(t *testing.T) {
+	ts, _ := testServer(t, testCorpus(t), 1)
+	resp, err := http.Get(ts.URL + "/query?" + url.Values{"q": {"a AND AND b"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	// "a AND AND b": the surplus AND starts at byte 6.
+	if !strings.Contains(er.Error, "offset 6") {
+		t.Errorf("400 body %q does not name offset 6", er.Error)
+	}
+}
+
+// TestServeQueryBatch drives POST /query/batch: per-item results match
+// individual /query calls, a parse error stays in its slot, and the limit
+// applies per query.
+func TestServeQueryBatch(t *testing.T) {
+	ts, _ := testServer(t, testCorpus(t), 2)
+	t0, t1, t2 := workload.TermName(0), workload.TermName(1), workload.TermName(2)
+	queries := []string{
+		t0 + " AND " + t1,
+		t1 + " " + t0, // same canonical form
+		t2 + " OR " + t0,
+		"NOT " + t0, // unbounded: per-item error
+	}
+	body, _ := json.Marshal(map[string]any{"queries": queries, "limit": 5})
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d, want 200", resp.StatusCode)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(br.Results), len(queries))
+	}
+	for i := 0; i < 3; i++ {
+		item := br.Results[i]
+		if item.Error != "" {
+			t.Fatalf("query %d: %s", i, item.Error)
+		}
+		want, code := getQuery(t, ts, queries[i])
+		if code != http.StatusOK {
+			t.Fatalf("query %d: HTTP %d", i, code)
+		}
+		if item.Count != want.Count {
+			t.Errorf("query %d: batch count %d, single count %d", i, item.Count, want.Count)
+		}
+		if item.Count > 5 && (!item.Truncated || len(item.Docs) != 5) {
+			t.Errorf("query %d: limit not applied (%d docs, truncated=%v)", i, len(item.Docs), item.Truncated)
+		}
+	}
+	if br.Results[0].Normalized != br.Results[1].Normalized {
+		t.Error("commuted queries did not share a canonical form")
+	}
+	if br.Results[3].Error == "" {
+		t.Error("unbounded query did not report an error")
+	}
+
+	// Malformed bodies and empty batches are request-level 400s.
+	for _, bad := range []string{"{", `{"queries": []}`, `{"queries": ["a"], "limit": -2}`} {
+		resp, err := http.Post(ts.URL+"/query/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	durs := make([]time.Duration, 100)
 	for i := range durs {

@@ -47,11 +47,15 @@
 //
 // Above the library sits a query-serving subsystem (internal/engine,
 // served by cmd/fsiserve): an inverted index hash-partitioned across
-// shards, a planner for a small AND/OR/NOT query language that pushes
-// conjunctions down to IntersectWith cost-ordered by document frequency,
-// an LRU result cache keyed by the normalized query, and an HTTP JSON API
-// with a built-in load generator — the search-engine setting that
-// motivates the paper, end to end. The corpus stays live: each shard pairs
+// shards, a cost-based query planner (internal/plan) that lowers a small
+// AND/OR/NOT language to physical plans — kernel choice, operand order and
+// decode decisions priced by coefficients calibrated against the real
+// kernels at startup, inspectable via Engine.Explain / the HTTP explain=1
+// parameter — an LRU result cache keyed by the normalized (canonical)
+// query, batch execution (Engine.QueryBatch) that plans once per canonical
+// form and shares decode memos across a batch, and an HTTP JSON API with a
+// built-in load generator — the search-engine setting that motivates the
+// paper, end to end. The corpus stays live: each shard pairs
 // its frozen base segment with a small delta segment and a tombstone set,
 // so documents added or deleted at serving time (Engine.AddDocument /
 // DeleteDocument, or POST /index/doc over HTTP) are queryable immediately,

@@ -6,6 +6,7 @@ import (
 
 	"fastintersect/internal/baseline"
 	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
 )
 
 // ExecContext owns all per-query scratch of the intersection API: the core
@@ -146,6 +147,11 @@ func IntersectInto(ctx *ExecContext, dst []uint32, algo Algorithm, lists ...*Lis
 		}
 		return core.IntersectHashBinInto(dst, &ctx.sc, ctx.hb...), nil
 	case Merge:
+		if len(lists) == 2 {
+			// Two sorted sets merge straight into dst — the query planner's
+			// dominant shape stays on the zero-allocation path.
+			return sets.IntersectInto(dst, lists[0].set, lists[1].set), nil
+		}
 		return appendOrAdopt(dst, baseline.Merge(ctx.rawSets(lists)...)), nil
 	case Hash:
 		ordered := ctx.bySize(lists)
@@ -162,6 +168,11 @@ func IntersectInto(ctx *ExecContext, dst []uint32, algo Algorithm, lists ...*Lis
 		}
 		return appendOrAdopt(dst, baseline.SkipIntersect(ordered[0].set, ctx.skips...)), nil
 	case SvS:
+		if len(lists) == 2 {
+			// Gallop the smaller set through the larger straight into dst
+			// (same algorithm, no intermediate slice).
+			return sets.IntersectGallopInto(dst, lists[0].set, lists[1].set), nil
+		}
 		return appendOrAdopt(dst, baseline.SvS(ctx.rawSets(lists)...)), nil
 	case Adaptive:
 		return appendOrAdopt(dst, baseline.Adaptive(ctx.rawSets(lists)...)), nil

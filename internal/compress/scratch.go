@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fastintersect/internal/bitword"
+	"fastintersect/internal/plan"
 )
 
 // scratch is the pooled per-call workspace of the stored-list kernels:
@@ -15,6 +16,7 @@ type scratch struct {
 	ord   []*Stored
 	lls   []*LookupList // intersectLookupInto's cost-ordered "others"
 	llsIn []*LookupList // IntersectStoredInto's assembled operand list
+	ops   []plan.Operand
 	bufA  []uint32
 	bufB  []uint32
 	bufC  []uint32

@@ -5,6 +5,7 @@ import (
 
 	"fastintersect/internal/bitword"
 	"fastintersect/internal/core"
+	"fastintersect/internal/plan"
 	"fastintersect/internal/sets"
 )
 
@@ -115,18 +116,27 @@ func (s *Stored) DecodeInto(dst []uint32) []uint32 {
 	return dst
 }
 
+// Shape maps the list's encoding onto the planner's operand vocabulary.
+func (s *Stored) Shape() plan.Shape {
+	switch s.enc {
+	case EncGamma:
+		return plan.ShapeGamma
+	case EncDelta:
+		return plan.ShapeDelta
+	case EncLowbits:
+		return plan.ShapeLowbits
+	default:
+		return plan.ShapeRawStored
+	}
+}
+
 // IntersectStored intersects k ≥ 1 stored lists directly over their
 // representations, returning ascending document IDs. Operands are
-// cost-ordered by length, then the best kernel for the shapes at hand runs:
-//
-//   - two EncLowbits lists: Algorithm 5 over the compressed groups
-//     (IntersectRGS) — image-word filtering plus concatenation decode;
-//   - all-γ/δ lists: bucket-directory probe intersection (IntersectLookup),
-//     decoding only the buckets the smallest list occupies;
-//   - any other mix: the smallest list is decoded once and filtered through
-//     each remaining list in ascending size order, probing buckets (γ/δ),
-//     groups (Lowbits, pre-filtered by the image words), or merging (raw)
-//     without materializing the larger lists.
+// cost-ordered by length and the kernel is chosen by the planner's
+// calibrated cost model (plan.ChooseStored) over the shapes at hand:
+// Algorithm 5 over a Lowbits pair, bucket-directory probes for γ/δ,
+// decode-and-filter chains or full decode-and-merge for mixed shapes (see
+// the Kernel docs in internal/plan).
 //
 // The result may share memory with an EncRaw operand when only one list was
 // given; callers must treat it as read-only. IntersectStoredInto never
@@ -158,32 +168,87 @@ func IntersectStoredInto(dst []uint32, ss ...*Stored) []uint32 {
 			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
+	sc.ops = sc.ops[:0]
+	for _, s := range ord {
+		sc.ops = append(sc.ops, plan.Operand{Len: s.n, Shape: s.Shape()})
+	}
+	strat := plan.ChooseStored(plan.Calibrated(), plan.KernelsCost, sc.ops)
+	return execStored(dst, sc, strat, ord)
+}
+
+// IntersectStoredStrategy executes a planner-chosen strategy over operands
+// in the caller's order (ss[0] is the probe side — callers pass their
+// plan's cost order). A strategy the operand shapes cannot satisfy (e.g.
+// KernelRGSPair without two Lowbits lists) falls back to the filter chain,
+// so a plan built from aggregate statistics stays executable on a shard
+// whose local encodings differ.
+func IntersectStoredStrategy(dst []uint32, strat plan.Kernel, ss ...*Stored) []uint32 {
+	switch len(ss) {
+	case 0:
+		return dst
+	case 1:
+		return ss[0].DecodeInto(dst)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ord = append(sc.ord[:0], ss...)
+	return execStored(dst, sc, strat, sc.ord)
+}
+
+// execStored runs one stored-intersection strategy over ord (ord[0] is the
+// probe side). It validates applicability and downgrades to the filter
+// chain — always executable — when the shapes do not support the request.
+func execStored(dst []uint32, sc *scratch, strat plan.Kernel, ord []*Stored) []uint32 {
 	if ord[0].n == 0 {
 		return dst
 	}
-	if len(ord) == 2 && ord[0].enc == EncLowbits && ord[1].enc == EncLowbits {
+	switch strat {
+	case plan.KernelRGSPair:
+		if len(ord) != 2 || ord[0].enc != EncLowbits || ord[1].enc != EncLowbits {
+			break
+		}
 		start := len(dst)
 		dst = intersectRGSInto(dst, sc, ord[0].rgs, ord[1].rgs)
 		sets.SortU32(dst[start:])
 		return dst
-	}
-	allLookup := true
-	for _, s := range ord {
-		if s.enc != EncGamma && s.enc != EncDelta {
-			allLookup = false
+	case plan.KernelLookupProbe:
+		ok := true
+		for _, s := range ord {
+			if s.enc != EncGamma && s.enc != EncDelta {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			break
 		}
-	}
-	if allLookup {
 		sc.llsIn = sc.llsIn[:0]
 		for _, s := range ord {
 			sc.llsIn = append(sc.llsIn, s.lookup)
 		}
 		return intersectLookupInto(dst, sc, sc.llsIn)
+	case plan.KernelDecodeAll:
+		// Materialize every operand and intersect with linear merges —
+		// cheapest when probing the encoded forms costs more than decoding
+		// them outright.
+		cur := ord[0].DecodeInto(sc.bufC[:0])
+		spare := sc.bufB
+		for _, s := range ord[1:] {
+			if len(cur) == 0 {
+				break
+			}
+			dec := s.DecodeInto(sc.bufA[:0])
+			sc.bufA = dec[:0]
+			out := sets.IntersectInto(spare[:0], cur, dec)
+			cur, spare = out, cur
+		}
+		sc.bufB, sc.bufC = cur, spare
+		return append(dst, cur...)
 	}
-	// Mixed encodings: decode the smallest operand once, then filter it
-	// through each remaining operand, ping-ponging between two scratch
-	// buffers (bufA stays free as the per-probe bucket/group buffer).
+	// Filter chain (and the fallback for inapplicable strategies): decode
+	// the probe side once, then filter it through each remaining operand,
+	// ping-ponging between two scratch buffers (bufA stays free as the
+	// per-probe bucket/group buffer).
 	cur := ord[0].DecodeInto(sc.bufC[:0])
 	spare := sc.bufB
 	for _, s := range ord[1:] {

@@ -92,6 +92,43 @@ func TestCacheGenerationInvalidation(t *testing.T) {
 	}
 }
 
+// TestCacheKeyCanonicalForm pins the cache-key satellite end to end: the
+// cache is keyed on the normalizer's canonical form, so commuted,
+// reassociated and duplicated spellings of one query occupy ONE entry and
+// hit each other. Only the first spelling may miss.
+func TestCacheKeyCanonicalForm(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2, CacheSize: 64}, 5_000)
+	spellings := []string{
+		"m2 AND m3 AND NOT m5",
+		"m3 AND m2 AND NOT m5",                  // commuted
+		"NOT m5 AND (m3 AND (m2))",              // reassociated
+		"m2 m3 AND m2 AND NOT m5",               // implicit AND + duplicate operand
+		"m2 AND (m3 AND NOT NOT m3) AND NOT m5", // double negation folds away
+	}
+	first, err := e.Query(spellings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first spelling unexpectedly cached")
+	}
+	for _, q := range spellings[1:] {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", q, err)
+		}
+		if !res.Cached {
+			t.Errorf("Query(%q) missed the cache; canonical form %q", q, res.Normalized)
+		}
+		if res.Normalized != first.Normalized {
+			t.Errorf("Query(%q) keyed as %q, want %q", q, res.Normalized, first.Normalized)
+		}
+	}
+	if st := e.cache.stats(); st.Entries != 1 {
+		t.Errorf("spellings occupy %d cache entries, want 1", st.Entries)
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := newCache(64)
 	var wg sync.WaitGroup

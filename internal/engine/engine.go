@@ -13,13 +13,17 @@
 // background compaction (see mutable.go) folds the delta and tombstones
 // into a fresh base via the same parallel build path Install uses.
 //
-// A query is parsed from a small AND/OR/NOT language (see planner.go),
-// normalized into a canonical form, looked up in an LRU result cache, and on
-// a miss fanned out to every shard through a bounded worker pool;
-// conjunctions of terms are cost-ordered by document frequency, and the
-// per-shard sorted results are merged. Cache entries are stamped with the
-// engine's index generation — every mutation and rebuild bumps it — so a
-// cached result can never resurrect a deleted document.
+// A query is parsed and normalized by internal/plan (the canonical form is
+// the cache key), looked up in an LRU result cache, and on a miss lowered
+// to one physical plan against engine-aggregate statistics and fanned out
+// to every shard through a bounded worker pool; each shard executes the
+// plan (see exec.go), re-pricing kernels on its actual operand sizes
+// through the planner's calibrated cost model, and the per-shard sorted
+// results are merged. Cache entries are stamped with the engine's index
+// generation — every mutation and rebuild bumps it — so a cached result
+// can never resurrect a deleted document. Explain returns the executed
+// plan; QueryBatch amortizes planning and decode memos across many
+// queries.
 //
 // The posting storage is pluggable (Config.Storage): under
 // invindex.StorageCompressed each shard's base stores every posting list
@@ -38,6 +42,7 @@ import (
 
 	"fastintersect"
 	"fastintersect/internal/invindex"
+	"fastintersect/internal/plan"
 	"fastintersect/internal/sets"
 )
 
@@ -64,6 +69,14 @@ type Config struct {
 	// delta segment holds that many postings or its tombstone set that many
 	// docIDs (0 disables automatic compaction; Compact remains available).
 	CompactThreshold int
+	// PlanCosts overrides the cost-model coefficients the query planner
+	// prices kernels with. Nil runs the startup micro-calibration
+	// (plan.Calibrated) once per process.
+	PlanCosts *plan.Costs
+	// PlanPolicy tunes the physical planner's operand ordering and kernel
+	// choice. The zero value is the cost-based default; the other
+	// combinations exist for the harness's plan-quality experiment.
+	PlanPolicy plan.Policy
 	// IndexOptions are forwarded to fastintersect.Preprocess for every
 	// posting list.
 	IndexOptions []fastintersect.Option
@@ -75,6 +88,7 @@ type Config struct {
 // compaction swaps a shard's base segment.
 type Engine struct {
 	cfg     Config
+	costs   *plan.Costs // cost-model coefficients (configured or calibrated)
 	workers chan struct{}
 	cache   *cache
 
@@ -108,8 +122,13 @@ func New(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	costs := cfg.PlanCosts
+	if costs == nil {
+		costs = plan.Calibrated()
+	}
 	return &Engine{
 		cfg:     cfg,
+		costs:   costs,
 		workers: make(chan struct{}, cfg.Workers),
 		cache:   newCache(cfg.CacheSize),
 	}
@@ -245,31 +264,78 @@ type Result struct {
 	Cached bool
 }
 
-// Query parses, plans and executes a query across all shards. Every shard
-// evaluation runs inside a pooled execution context (see execctx.go); the
-// merged result is always a fresh slice — never aliasing a posting list or
-// a pooled buffer — so it is safe to cache and to hand to the caller while
-// the contexts are recycled into concurrent queries.
+// Query parses, plans and executes a query across all shards: the logical
+// tree is normalized (the canonical form keys the result cache), lowered
+// to one physical plan against engine-aggregate statistics, and the plan is
+// executed per shard inside a pooled execution context (see execctx.go).
+// The merged result is always a fresh slice — never aliasing a posting list
+// or a pooled buffer — so it is safe to cache and to hand to the caller
+// while the contexts are recycled into concurrent queries.
 func (e *Engine) Query(q string) (*Result, error) {
+	res, _, err := e.execute(q, false)
+	return res, err
+}
+
+// Explain is Query plus the executed physical plan rendered as an operator
+// tree (kernel per conjunction, operand order, storage shapes, cardinality
+// and cost estimates). The plan is rebuilt even on a cache hit, so the
+// rendering always reflects current index statistics.
+func (e *Engine) Explain(q string) (*Result, string, error) {
+	return e.execute(q, true)
+}
+
+func (e *Engine) execute(q string, explain bool) (*Result, string, error) {
 	e.queries.Add(1)
-	ast, err := Parse(q)
+	ast, err := plan.Parse(q)
 	if err != nil {
 		e.errors.Add(1)
-		return nil, err
+		return nil, "", err
 	}
 	key := ast.String()
 	// Snapshot the index generation BEFORE the shard state: if a mutation or
 	// Install lands while we evaluate, the entry we put below is stamped with
 	// a superseded generation and can never be served.
 	gen := e.gen.Load()
-	if docs, ok := e.cache.get(key, gen); ok {
-		return &Result{Docs: docs, Normalized: key, Cached: true}, nil
+	docs, hit := e.cache.get(key, gen)
+	if hit && !explain {
+		return &Result{Docs: docs, Normalized: key, Cached: true}, "", nil
 	}
 	shards := e.snapshot()
 	if shards == nil {
 		e.errors.Add(1)
-		return nil, ErrNotBuilt
+		return nil, "", ErrNotBuilt
 	}
+	pc := getPlanCtx()
+	pc.stats.fill(shards)
+	pp := plan.Build(&pc.plan, ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy,
+		e.cfg.Storage == invindex.StorageCompressed)
+	expl := ""
+	if explain {
+		expl = pp.Explain()
+		if e.cfg.Algorithm != fastintersect.Auto {
+			// The plan renders the cost model's choices; a configured
+			// algorithm overrides them at execution (see listAlgorithm), so
+			// say so rather than show a kernel that never ran.
+			expl += fmt.Sprintf("note: Config.Algorithm=%v overrides the list-kernel choices above\n", e.cfg.Algorithm)
+		}
+	}
+	if hit {
+		putPlanCtx(pc)
+		return &Result{Docs: docs, Normalized: key, Cached: true}, expl, nil
+	}
+	merged, err := e.executePlan(shards, pp)
+	putPlanCtx(pc)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, "", err
+	}
+	e.cache.put(key, merged, gen)
+	return &Result{Docs: merged, Normalized: key}, expl, nil
+}
+
+// executePlan runs one physical plan over the shard set and merges the
+// per-shard sorted results into a fresh slice.
+func (e *Engine) executePlan(shards []*shard, pp *plan.Plan) ([]uint32, error) {
 	if len(shards) == 1 {
 		// Single shard: evaluate inline, skipping the fan-out goroutine but
 		// still holding a bounded worker slot — Config.Workers caps shard
@@ -277,10 +343,9 @@ func (e *Engine) Query(q string) (*Result, error) {
 		e.workers <- struct{}{}
 		defer func() { <-e.workers }()
 		c := getExecCtx()
-		docs, owned, err := evalSegments(c, shards[0], ast, e.cfg.Algorithm)
+		docs, owned, err := e.evalSegments(c, shards[0], pp)
 		if err != nil {
 			putExecCtx(c)
-			e.errors.Add(1)
 			return nil, err
 		}
 		merged := make([]uint32, len(docs))
@@ -289,8 +354,7 @@ func (e *Engine) Query(q string) (*Result, error) {
 			c.putBuf(docs)
 		}
 		putExecCtx(c)
-		e.cache.put(key, merged, gen)
-		return &Result{Docs: merged, Normalized: key}, nil
+		return merged, nil
 	}
 	qc := getQueryCtx(len(shards))
 	var wg sync.WaitGroup
@@ -302,14 +366,13 @@ func (e *Engine) Query(q string) (*Result, error) {
 			defer func() { <-e.workers }()
 			c := getExecCtx()
 			qc.ctxs[i] = c
-			qc.results[i], qc.owned[i], qc.errs[i] = evalSegments(c, s, ast, e.cfg.Algorithm)
+			qc.results[i], qc.owned[i], qc.errs[i] = e.evalSegments(c, s, pp)
 		}(i, s)
 	}
 	wg.Wait()
 	for _, err := range qc.errs {
 		if err != nil {
 			putQueryCtx(qc)
-			e.errors.Add(1)
 			return nil, err
 		}
 	}
@@ -323,8 +386,7 @@ func (e *Engine) Query(q string) (*Result, error) {
 	}
 	merged := sets.UnionKInto(make([]uint32, 0, total), qc.results...)
 	putQueryCtx(qc)
-	e.cache.put(key, merged, gen)
-	return &Result{Docs: merged, Normalized: key}, nil
+	return merged, nil
 }
 
 // EncodingStat aggregates the posting lists stored under one encoding

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+
+	"fastintersect"
+	"fastintersect/internal/compress"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/plan"
+	"fastintersect/internal/sets"
+)
+
+// Physical-plan execution against one shard's base segment. The logical
+// language, normalizer and cost model live in internal/plan; this file is
+// the interpreter that runs a plan.Plan over an invindex.Index inside a
+// pooled execCtx.
+//
+// Kernel selection is delegated to the plan package everywhere: the plan
+// fixes the operand order (built once per query from engine-aggregate
+// statistics), and each shard re-prices the kernel on its actual operand
+// sizes and encodings through the same cost model — plan.ChooseListKernel
+// for preprocessed lists, plan.ChooseStored for compressed lists,
+// plan.ChoosePair for the pairwise composite/delta merges. No execution
+// path picks a kernel inline.
+
+// listAlgorithm resolves the algorithm for a conjunction over f.lists: the
+// configured override when set (and applicable), otherwise the cost model
+// over the shard's actual list sizes.
+func (e *Engine) listAlgorithm(c *execCtx, p *plan.Plan, lists []*fastintersect.List) fastintersect.Algorithm {
+	a := e.cfg.Algorithm
+	if mx := a.MaxSets(); mx > 0 && len(lists) > mx {
+		a = fastintersect.Auto
+	}
+	if a != fastintersect.Auto {
+		return a
+	}
+	c.lens = c.lens[:0]
+	for _, l := range lists {
+		c.lens = append(c.lens, l.Len())
+	}
+	return fastintersect.KernelAlgorithm(plan.ChooseListKernel(e.costs, p.Policy.Kernels, c.lens))
+}
+
+// intersectPair intersects two sorted sets into a context buffer with the
+// kernel the cost model picks for their sizes.
+func (e *Engine) intersectPair(c *execCtx, pol plan.KernelPolicy, a, b []uint32) []uint32 {
+	if plan.ChoosePair(e.costs, pol, len(a), len(b)) == plan.KernelGallop {
+		return sets.IntersectGallopInto(c.getBuf(), a, b)
+	}
+	return sets.IntersectInto(c.getBuf(), a, b)
+}
+
+// evalOp evaluates physical operator i of p against one shard's base index,
+// returning sorted docIDs. All transient memory comes from c; the returned
+// slice either aliases index memory or the context's memo (owned = false;
+// read-only) or is backed by a context buffer (owned = true; the caller
+// recycles it with c.putBuf once consumed). Either way it is only valid
+// until the context is released.
+func (e *Engine) evalOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) (docs []uint32, owned bool, err error) {
+	op := &p.Ops[i]
+	switch op.Kind {
+	case plan.OpTerm:
+		if ix.Storage() == invindex.StorageCompressed {
+			s := ix.Stored(op.Term)
+			if s == nil {
+				return nil, false, nil
+			}
+			if s.Encoding() == compress.EncRaw {
+				return s.Decode(), false, nil // aliases the stored slice, no copy
+			}
+			return c.decodeStored(s), false, nil
+		}
+		l := ix.Postings(op.Term)
+		if l == nil {
+			return nil, false, nil
+		}
+		return l.Set(), false, nil
+
+	case plan.OpOr:
+		f := c.frame()
+		for _, ki := range p.KidOps(op) {
+			s, kidOwned, err := e.evalOp(c, ix, p, ki)
+			if err != nil {
+				c.releaseFrame(f)
+				return nil, false, err
+			}
+			f.kids = append(f.kids, s)
+			f.kidsOwned = append(f.kidsOwned, kidOwned)
+		}
+		out := sets.UnionKInto(c.getBuf(), f.kids...)
+		c.releaseFrame(f)
+		return out, true, nil
+
+	case plan.OpAnd:
+		return e.evalAndOp(c, ix, p, i)
+	}
+	return nil, false, fmt.Errorf("engine: unknown plan op kind %d", op.Kind)
+}
+
+// evalAndOp evaluates one conjunction operator under evalOp's ownership
+// rules. The plan supplies the operand order; the kernel is re-priced on
+// the shard's actual sizes.
+func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) ([]uint32, bool, error) {
+	op := &p.Ops[i]
+	f := c.frame()
+	compressed := ix.Storage() == invindex.StorageCompressed
+	for _, ti := range p.TermOps(op) {
+		term := p.Ops[ti].Term
+		if compressed {
+			s := ix.Stored(term)
+			if s == nil || s.Len() == 0 {
+				c.releaseFrame(f)
+				return nil, false, nil // empty operand: whole conjunction is empty
+			}
+			f.stored = append(f.stored, s)
+			continue
+		}
+		l := ix.Postings(term)
+		if l == nil || l.Len() == 0 {
+			c.releaseFrame(f)
+			return nil, false, nil // empty operand: whole conjunction is empty
+		}
+		f.lists = append(f.lists, l)
+	}
+	var cur []uint32
+	curOwned := false
+	haveBase := false // distinguishes "no term operands" from an empty base intersection
+	switch {
+	case len(f.stored) >= 2:
+		// The plan fixed the operand order; re-price the strategy on this
+		// shard's actual lengths and encodings.
+		c.ops = c.ops[:0]
+		for _, s := range f.stored {
+			c.ops = append(c.ops, plan.Operand{Len: s.Len(), Shape: s.Shape()})
+		}
+		strat := plan.ChooseStored(e.costs, p.Policy.Kernels, c.ops)
+		cur = compress.IntersectStoredStrategy(c.getBuf(), strat, f.stored...)
+		curOwned = true
+		haveBase = true
+	case len(f.stored) == 1:
+		s := f.stored[0]
+		if s.Encoding() == compress.EncRaw {
+			cur = s.Decode() // aliases the stored slice
+		} else {
+			cur = c.decodeStored(s)
+		}
+		haveBase = true
+	case len(f.lists) >= 2:
+		a := e.listAlgorithm(c, p, f.lists)
+		out, err := fastintersect.IntersectInto(&c.fi, c.getBuf(), a, f.lists...)
+		if err != nil {
+			c.releaseFrame(f)
+			return nil, false, err
+		}
+		if !a.Sorted() {
+			sets.SortU32(out)
+		}
+		cur = out
+		curOwned = true
+		haveBase = true
+	case len(f.lists) == 1:
+		cur = f.lists[0].Set()
+		haveBase = true
+	}
+	if haveBase && len(cur) == 0 {
+		// The term conjunction is already empty; ANDing anything else in
+		// cannot resurrect it — the composite kids are never evaluated.
+		if curOwned {
+			c.putBuf(cur)
+		}
+		c.releaseFrame(f)
+		return nil, false, nil
+	}
+	for _, ki := range p.KidOps(op) {
+		s, owned, err := e.evalOp(c, ix, p, ki)
+		if err != nil {
+			if curOwned {
+				c.putBuf(cur)
+			}
+			c.releaseFrame(f)
+			return nil, false, err
+		}
+		if len(s) == 0 {
+			if owned {
+				c.putBuf(s)
+			}
+			if curOwned {
+				c.putBuf(cur)
+			}
+			c.releaseFrame(f)
+			return nil, false, nil
+		}
+		if !haveBase {
+			cur, curOwned, haveBase = s, owned, true
+			continue
+		}
+		out := e.intersectPair(c, p.Policy.Kernels, cur, s)
+		if curOwned {
+			c.putBuf(cur)
+		}
+		if owned {
+			c.putBuf(s)
+		}
+		cur = out
+		curOwned = true
+		if len(cur) == 0 {
+			c.putBuf(cur)
+			c.releaseFrame(f)
+			return nil, false, nil
+		}
+	}
+	// cur is non-nil here: plan.Bounded guarantees at least one positive
+	// operand, and empty positives short-circuited above.
+	for _, ni := range p.NegOps(op) {
+		if len(cur) == 0 {
+			break
+		}
+		s, owned, err := e.evalOp(c, ix, p, ni)
+		if err != nil {
+			if curOwned {
+				c.putBuf(cur)
+			}
+			c.releaseFrame(f)
+			return nil, false, err
+		}
+		if len(s) > 0 {
+			out := sets.DifferenceInto(c.getBuf(), cur, s)
+			if curOwned {
+				c.putBuf(cur)
+			}
+			cur = out
+			curOwned = true
+		}
+		if owned {
+			c.putBuf(s)
+		}
+	}
+	c.releaseFrame(f)
+	return cur, curOwned, nil
+}

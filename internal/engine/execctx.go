@@ -5,6 +5,7 @@ import (
 
 	"fastintersect"
 	"fastintersect/internal/compress"
+	"fastintersect/internal/plan"
 )
 
 // execCtx is the engine's per-shard-evaluation execution context: it owns
@@ -31,19 +32,19 @@ type execCtx struct {
 	free  [][]uint32
 	memoK []*compress.Stored
 	memoV [][]uint32
+	memoM map[*compress.Stored][]uint32 // index over memoK once it outgrows linear scans
 	pool  []*evalFrame
+	lens  []int          // scratch for per-shard list-kernel pricing
+	ops   []plan.Operand // scratch for per-shard stored-strategy pricing
 }
 
-// evalFrame holds one AND/OR node's operand collections, recycled across
-// evaluations so nested expressions allocate nothing steady-state.
+// evalFrame holds one AND/OR operator's operand collections, recycled
+// across evaluations so nested expressions allocate nothing steady-state.
 type evalFrame struct {
-	lists       []*fastintersect.List
-	stored      []*compress.Stored
-	others      [][]uint32
-	othersOwned []bool
-	negs        []Node
-	kids        [][]uint32
-	kidsOwned   []bool
+	lists     []*fastintersect.List
+	stored    []*compress.Stored
+	kids      [][]uint32
+	kidsOwned []bool
 }
 
 var execCtxPool = sync.Pool{New: func() any { return new(execCtx) }}
@@ -59,6 +60,7 @@ func putExecCtx(c *execCtx) {
 	}
 	clear(c.memoK)
 	clear(c.memoV)
+	clear(c.memoM) // keep the map allocated; entries must not pin stored lists
 	c.memoK = c.memoK[:0]
 	c.memoV = c.memoV[:0]
 	c.fi.Reset()
@@ -85,20 +87,44 @@ func (c *execCtx) putBuf(b []uint32) {
 	}
 }
 
+// memoScanLimit is where the memo trades its allocation-free linear scan
+// for a map index: single-query evaluations stay under it, but a context
+// serving a whole QueryBatch can accumulate thousands of decoded terms,
+// and scanning those per lookup would be quadratic in the batch's
+// distinct-term count.
+const memoScanLimit = 32
+
 // decodeStored returns the decoded posting list of s, decoding at most once
-// per context lifetime (i.e. once per shard evaluation): a compressed term
-// referenced twice in one expression pays a single decode. The returned
-// slice is owned by the memo — valid until putExecCtx, never recycled by
-// callers.
+// per context lifetime (one shard evaluation — or, in a batch, one shard's
+// whole batch): a compressed term referenced twice pays a single decode.
+// The returned slice is owned by the memo — valid until putExecCtx, never
+// recycled by callers.
 func (c *execCtx) decodeStored(s *compress.Stored) []uint32 {
-	for i, k := range c.memoK {
-		if k == s {
-			return c.memoV[i]
+	if len(c.memoK) > memoScanLimit {
+		if b, ok := c.memoM[s]; ok {
+			return b
+		}
+	} else {
+		for i, k := range c.memoK {
+			if k == s {
+				return c.memoV[i]
+			}
 		}
 	}
 	b := s.DecodeInto(c.getBuf())
 	c.memoK = append(c.memoK, s)
 	c.memoV = append(c.memoV, b)
+	if len(c.memoK) == memoScanLimit+1 {
+		// Crossing the threshold: index everything accumulated so far.
+		if c.memoM == nil {
+			c.memoM = make(map[*compress.Stored][]uint32, 2*memoScanLimit)
+		}
+		for i, k := range c.memoK {
+			c.memoM[k] = c.memoV[i]
+		}
+	} else if len(c.memoK) > memoScanLimit {
+		c.memoM[s] = b
+	}
 	return b
 }
 
@@ -122,21 +148,11 @@ func (c *execCtx) releaseFrame(f *evalFrame) {
 			c.putBuf(b)
 		}
 	}
-	for i, b := range f.others {
-		if f.othersOwned[i] {
-			c.putBuf(b)
-		}
-	}
 	clear(f.kids)
-	clear(f.others)
 	clear(f.lists)
 	clear(f.stored)
-	clear(f.negs)
 	f.lists = f.lists[:0]
 	f.stored = f.stored[:0]
-	f.others = f.others[:0]
-	f.othersOwned = f.othersOwned[:0]
-	f.negs = f.negs[:0]
 	f.kids = f.kids[:0]
 	f.kidsOwned = f.kidsOwned[:0]
 	c.pool = append(c.pool, f)

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"sync"
 
-	"fastintersect"
 	"fastintersect/internal/invindex"
+	"fastintersect/internal/plan"
 	"fastintersect/internal/sets"
 )
 
@@ -412,21 +412,21 @@ func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint
 	return nb, nil
 }
 
-// evalSegments evaluates a normalized, bounded expression against one
-// shard's segmented index: the base through the preprocessed/compressed
-// kernels (evalShard), the delta segments through the linear-merge delta
-// evaluator, composed as (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪
-// f(delta). Ownership rules match evalShard: the returned slice either
-// aliases index/delta memory (owned = false, read-only) or is backed by a
-// context buffer (owned = true).
+// evalSegments evaluates a physical plan against one shard's segmented
+// index: the base through the preprocessed/compressed kernels (evalOp), the
+// delta segments through the plan-driven pairwise-merge delta evaluator,
+// composed as (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪ f(delta).
+// Ownership rules match evalOp: the returned slice either aliases
+// index/delta memory (owned = false, read-only) or is backed by a context
+// buffer (owned = true).
 //
 // The shard read lock is held for the whole evaluation; mutations and
 // compaction swaps therefore see shard state atomically, and the immutable
 // base plus frozen delta make the off-lock compaction rebuild safe.
-func evalSegments(c *execCtx, s *shard, n Node, algo fastintersect.Algorithm) ([]uint32, bool, error) {
+func (e *Engine) evalSegments(c *execCtx, s *shard, p *plan.Plan) ([]uint32, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	docs, owned, err := evalShard(c, s.base, n, algo)
+	docs, owned, err := e.evalOp(c, s.base, p, p.Root())
 	if err != nil {
 		if owned {
 			c.putBuf(docs)
@@ -441,19 +441,19 @@ func evalSegments(c *execCtx, s *shard, n Node, algo fastintersect.Algorithm) ([
 		docs, owned = out, true
 	}
 	if s.frozen != nil && len(s.frozen.docs) > 0 {
-		docs, owned = unionDeltaEval(c, docs, owned, s.frozen, s.newTombs, n)
+		docs, owned = e.unionDeltaEval(c, docs, owned, s.frozen, s.newTombs, p)
 	}
 	if len(s.delta.docs) > 0 {
-		docs, owned = unionDeltaEval(c, docs, owned, s.delta, nil, n)
+		docs, owned = e.unionDeltaEval(c, docs, owned, s.delta, nil, p)
 	}
 	return docs, owned, nil
 }
 
-// unionDeltaEval evaluates n over one delta segment, subtracts tombs (the
-// post-freeze tombstones, for a frozen segment), and unions the outcome into
-// docs under the execCtx ownership protocol.
-func unionDeltaEval(c *execCtx, docs []uint32, owned bool, d *deltaSeg, tombs []uint32, n Node) ([]uint32, bool) {
-	res, resOwned := evalDelta(c, d, n)
+// unionDeltaEval evaluates the plan over one delta segment, subtracts tombs
+// (the post-freeze tombstones, for a frozen segment), and unions the outcome
+// into docs under the execCtx ownership protocol.
+func (e *Engine) unionDeltaEval(c *execCtx, docs []uint32, owned bool, d *deltaSeg, tombs []uint32, p *plan.Plan) ([]uint32, bool) {
+	res, resOwned := e.evalDelta(c, d, p, p.Root())
 	if !resOwned && len(res) > 0 {
 		// An unowned result aliases a live delta list, which a mutation may
 		// shift in place the moment the shard lock is released — unlike base
@@ -490,21 +490,24 @@ func unionDeltaEval(c *execCtx, docs []uint32, owned bool, d *deltaSeg, tombs []
 	return out, true
 }
 
-// evalDelta evaluates a normalized, bounded expression against one delta
-// segment with plain sorted-set merges — delta lists are small by
-// construction, so the preprocessed kernels would not pay for themselves
-// here. Ownership rules match evalShard: owned = false aliases a delta list
-// and is read-only. The expression cannot fail against a map of sorted
-// lists, so no error is returned.
-func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
-	switch n := n.(type) {
-	case termNode:
-		return d.terms[string(n)], false
+// evalDelta evaluates physical operator i against one delta segment with
+// pairwise sorted-set kernels — delta lists are small by construction, so
+// the preprocessed structures would not pay for themselves here, but the
+// merge-vs-gallop choice still goes through the planner's cost model
+// (plan.ChoosePair) on the actual delta list sizes. Ownership rules match
+// evalOp: owned = false aliases a delta list and is read-only. The
+// expression cannot fail against a map of sorted lists, so no error is
+// returned.
+func (e *Engine) evalDelta(c *execCtx, d *deltaSeg, p *plan.Plan, i int32) ([]uint32, bool) {
+	op := &p.Ops[i]
+	switch op.Kind {
+	case plan.OpTerm:
+		return d.terms[op.Term], false
 
-	case orNode:
+	case plan.OpOr:
 		f := c.frame()
-		for _, k := range n.kids {
-			s, kidOwned := evalDelta(c, d, k)
+		for _, ki := range p.KidOps(op) {
+			s, kidOwned := e.evalDelta(c, d, p, ki)
 			f.kids = append(f.kids, s)
 			f.kidsOwned = append(f.kidsOwned, kidOwned)
 		}
@@ -512,16 +515,12 @@ func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
 		c.releaseFrame(f)
 		return out, true
 
-	case andNode:
+	case plan.OpAnd:
 		var cur []uint32
 		curOwned, haveBase := false, false
-		f := c.frame()
-		for _, k := range n.kids {
-			if nk, ok := k.(notNode); ok {
-				f.negs = append(f.negs, nk.kid)
-				continue
-			}
-			s, owned := evalDelta(c, d, k)
+		// Positive operands in plan order: the term pushdown first, then the
+		// composite kids.
+		step := func(s []uint32, owned bool) bool {
 			if len(s) == 0 {
 				if owned {
 					c.putBuf(s)
@@ -529,14 +528,13 @@ func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
 				if curOwned {
 					c.putBuf(cur)
 				}
-				c.releaseFrame(f)
-				return nil, false // empty operand: whole conjunction is empty
+				return false // empty operand: whole conjunction is empty
 			}
 			if !haveBase {
 				cur, curOwned, haveBase = s, owned, true
-				continue
+				return true
 			}
-			out := sets.IntersectInto(c.getBuf(), cur, s)
+			out := e.intersectPair(c, p.Policy.Kernels, cur, s)
 			if curOwned {
 				c.putBuf(cur)
 			}
@@ -546,16 +544,27 @@ func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
 			cur, curOwned = out, true
 			if len(cur) == 0 {
 				c.putBuf(cur)
-				c.releaseFrame(f)
+				return false
+			}
+			return true
+		}
+		for _, ti := range p.TermOps(op) {
+			if !step(d.terms[p.Ops[ti].Term], false) {
 				return nil, false
 			}
 		}
-		// bounded() guarantees at least one positive operand, so cur is set.
-		for _, neg := range f.negs {
+		for _, ki := range p.KidOps(op) {
+			s, owned := e.evalDelta(c, d, p, ki)
+			if !step(s, owned) {
+				return nil, false
+			}
+		}
+		// plan.Bounded guarantees at least one positive operand, so cur is set.
+		for _, ni := range p.NegOps(op) {
 			if len(cur) == 0 {
 				break
 			}
-			s, owned := evalDelta(c, d, neg)
+			s, owned := e.evalDelta(c, d, p, ni)
 			if len(s) > 0 {
 				out := sets.DifferenceInto(c.getBuf(), cur, s)
 				if curOwned {
@@ -567,12 +576,7 @@ func evalDelta(c *execCtx, d *deltaSeg, n Node) ([]uint32, bool) {
 				c.putBuf(s)
 			}
 		}
-		c.releaseFrame(f)
 		return cur, curOwned
-
-	case notNode:
-		// Unreachable after validation: bounded() rejects standalone NOT.
-		return nil, false
 	}
 	return nil, false
 }

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sync"
+
+	"fastintersect/internal/compress"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/plan"
+)
+
+// planStats aggregates a shard snapshot into the statistics the physical
+// planner consumes: document frequencies summed across shards, the dominant
+// encoding per term, and the live document count. Shards hash-partition
+// documents uniformly, so per-shard list sizes are proportional to the
+// aggregates and ONE physical plan (operand order, decode decisions) serves
+// every shard of a query; the kernel itself is re-priced per shard on the
+// actual sizes (see exec.go).
+type planStats struct {
+	bases []*invindex.Index
+	docs  int
+}
+
+// fill snapshots each shard's frozen base segment and live-document count.
+// Base indexes are immutable, so they stay safe to read after the per-shard
+// locks are dropped. Delta segments are deliberately excluded: they are
+// small by construction and would need the shard lock per term lookup.
+func (ps *planStats) fill(shards []*shard) {
+	ps.bases = ps.bases[:0]
+	ps.docs = 0
+	for _, s := range shards {
+		s.mu.RLock()
+		ps.bases = append(ps.bases, s.base)
+		ps.docs += s.live
+		s.mu.RUnlock()
+	}
+}
+
+func (ps *planStats) NumDocs() int { return ps.docs }
+
+func (ps *planStats) TermLen(term string) int {
+	total := 0
+	for _, ix := range ps.bases {
+		total += ix.DocFreq(term)
+	}
+	return total
+}
+
+func (ps *planStats) TermShape(term string) plan.Shape {
+	shape, bestDF := plan.ShapeRawStored, -1
+	for _, ix := range ps.bases {
+		enc, ok := ix.Encoding(term)
+		if !ok {
+			continue
+		}
+		if df := ix.DocFreq(term); df > bestDF {
+			bestDF = df
+			shape = encodingShape(enc)
+		}
+	}
+	return shape
+}
+
+func encodingShape(enc compress.Encoding) plan.Shape {
+	switch enc {
+	case compress.EncGamma:
+		return plan.ShapeGamma
+	case compress.EncDelta:
+		return plan.ShapeDelta
+	case compress.EncLowbits:
+		return plan.ShapeLowbits
+	default:
+		return plan.ShapeRawStored
+	}
+}
+
+// planCtx pairs one pooled physical plan with its statistics snapshot, so
+// plan construction allocates nothing steady-state (the arenas inside
+// plan.Plan and the base snapshot grow once and are reused).
+type planCtx struct {
+	plan  plan.Plan
+	stats planStats
+}
+
+var planCtxPool = sync.Pool{New: func() any { return new(planCtx) }}
+
+func getPlanCtx() *planCtx { return planCtxPool.Get().(*planCtx) }
+
+// putPlanCtx drops the base-index references so a pooled plan context never
+// pins a swapped-out shard set, then recycles it.
+func putPlanCtx(pc *planCtx) {
+	clear(pc.stats.bases)
+	pc.stats.bases = pc.stats.bases[:0]
+	pc.stats.docs = 0
+	planCtxPool.Put(pc)
+}

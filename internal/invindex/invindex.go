@@ -245,6 +245,17 @@ func (ix *Index) TermCount() int {
 	}
 }
 
+// Encoding returns the compressed encoding a term's posting list is stored
+// under. ok is false for unknown terms, for unbuilt indexes, and under raw
+// storage — the planner's metadata accessor, alongside DocFreq.
+func (ix *Index) Encoding(term string) (enc compress.Encoding, ok bool) {
+	s := ix.Stored(term)
+	if s == nil {
+		return 0, false
+	}
+	return s.Encoding(), true
+}
+
 // DocFreq returns the document frequency of a term (0 if unknown).
 func (ix *Index) DocFreq(term string) int {
 	if l := ix.Postings(term); l != nil {

@@ -1,0 +1,510 @@
+package plan
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"fastintersect/internal/core"
+	"fastintersect/internal/sets"
+)
+
+// Costs are the calibrated coefficients of the cost model, in nanoseconds.
+//
+// The four kernel anchors are measured against the REAL kernels at a
+// reference shape (4096-element lists, reference skew ratio 16), so machine
+// idiosyncrasies — a slow hash unit, a vectorized merge, cache behavior —
+// move the crossovers exactly as they move the kernels. The physical
+// planner scales them with the paper's complexity bounds:
+//
+//	Merge          MergeElem · Σnᵢ
+//	Gallop (SvS)   GallopProbe · n₀ · Σ max(1, log₂(2+nᵢ/n₀)/refDepth)
+//	HashBin §3.4   HashProbe  · n₀ · Σ max(1, log₂(2+nᵢ/n₀)/refDepth)
+//	GroupScan §3.3 GroupElem · Σnᵢ
+//
+// The primitive coefficients price the compressed tier's decode-vs-probe
+// decisions (see storedCost). All coefficients are measured once per
+// process by Calibrate; Config.PlanCosts overrides them.
+type Costs struct {
+	// MergeElem is the ns per element of a two-pointer linear merge.
+	MergeElem float64
+	// GallopProbe is the ns per probe of SvS galloping at the reference
+	// skew ratio.
+	GallopProbe float64
+	// HashProbe is the ns per probe of HashBin's hash + per-bin search at
+	// the reference skew ratio.
+	HashProbe float64
+	// GroupElem is the ns per element of RanGroupScan on balanced lists.
+	GroupElem float64
+
+	// Scan is the ns per element of a sequential scan (decode copy,
+	// union merge step).
+	Scan float64
+	// Probe is the ns per binary-search halving (directory lookups).
+	Probe float64
+	// Hash is the ns per hash application (permutation + image hash).
+	Hash float64
+	// Filter is the ns per word-image containment test (the stored Lowbits
+	// probe filter).
+	Filter float64
+	// GapDecode is the ns per element decoded from a γ/δ gap-coded bucket.
+	GapDecode float64
+}
+
+// DefaultCosts returns hand-set coefficients in the measured ballpark of a
+// modern x86-64/arm64 core — the fallback when calibration is skipped and
+// the sanity floor/ceiling for implausible calibration readings.
+func DefaultCosts() *Costs {
+	return &Costs{
+		MergeElem: 4.0, GallopProbe: 15.0, HashProbe: 40.0, GroupElem: 1.5,
+		Scan: 0.6, Probe: 2.0, Hash: 2.0, Filter: 0.8, GapDecode: 2.5,
+	}
+}
+
+// sqrtW mirrors bitword.SqrtW for the grouped kernels' 1/√w factor.
+const sqrtW = 8
+
+// storedBucket mirrors compress.DefaultStoredBucket (the paper's B = 32):
+// the γ/δ probe cost decodes at most one B-sized bucket per probe.
+const storedBucket = 32
+
+// Calibration reference shape: two calibSize-element lists, and a probe
+// side of calibSize/calibRatio for the skewed kernels. refDepth is the
+// search depth log₂(2+calibRatio) the per-probe anchors embed.
+const (
+	calibSize  = 1 << 12
+	calibRatio = 16
+)
+
+var refDepth = math.Log2(2 + calibRatio)
+
+// Calibrate measures the cost coefficients by timing the actual core
+// kernels (Merge, SvS galloping, HashBin, RanGroupScan) at the reference
+// shape, plus internal/core's primitive hooks for the compressed tier — a
+// few milliseconds, once per process. Readings that come out implausible
+// (a preempted loop, structure build failure, a coarse clock) fall back to
+// DefaultCosts values.
+func Calibrate() *Costs {
+	a := core.CalibrationSet(calibSize)
+	b := core.CalibrationSetSeeded(0xCA11_DA7B, calibSize)
+	small := make([]uint32, 0, calibSize/calibRatio)
+	for i := 0; i < len(b); i += calibRatio {
+		small = append(small, b[i])
+	}
+	needles := core.CalibrationSet(1 << 10)
+	fam := core.NewFamily(0xCA11_B8A7E, 4) // the library's default m = 4
+	img := core.CalibrationImage(fam, a)
+
+	def := DefaultCosts()
+	c := &Costs{
+		Scan:      timePerOp(func() { calibrationSink += uint64(core.ScanStep(a)) }, len(a)),
+		Probe:     timePerOp(func() { calibrationSink += uint64(core.ProbeStep(a, needles)) }, len(needles)*12), // log₂(4k) = 12 halvings per search
+		Hash:      timePerOp(func() { calibrationSink += uint64(fam.HashStep(a)) }, len(a)),
+		Filter:    timePerOp(func() { calibrationSink += uint64(fam.FilterStep(img, a)) }, len(a)),
+		GapDecode: timePerOp(func() { calibrationSink += uint64(core.GapStep(a)) }, len(a)),
+	}
+	buf := make([]uint32, 0, calibSize)
+	c.MergeElem = timePerOp(func() {
+		buf = sets.IntersectInto(buf[:0], a, b)
+		calibrationSink += uint64(len(buf))
+	}, 2*calibSize)
+	c.GallopProbe = timePerOp(func() {
+		buf = sets.IntersectGallopInto(buf[:0], small, b)
+		calibrationSink += uint64(len(buf))
+	}, len(small))
+	var sc core.Scratch
+	if rgsA, err1 := core.NewRanGroupScanList(fam, a, 4); err1 == nil {
+		if rgsB, err2 := core.NewRanGroupScanList(fam, b, 4); err2 == nil {
+			c.GroupElem = timePerOp(func() {
+				buf = core.IntersectRanGroupScanInto(buf[:0], &sc, rgsA, rgsB)
+				calibrationSink += uint64(len(buf))
+			}, 2*calibSize)
+		}
+	}
+	if hbS, err1 := core.NewHashBinList(fam, small); err1 == nil {
+		if hbB, err2 := core.NewHashBinList(fam, b); err2 == nil {
+			c.HashProbe = timePerOp(func() {
+				buf = core.IntersectHashBinInto(buf[:0], &sc, hbS, hbB)
+				calibrationSink += uint64(len(buf))
+			}, len(small))
+		}
+	}
+	sanitize(&c.MergeElem, def.MergeElem)
+	sanitize(&c.GallopProbe, def.GallopProbe)
+	sanitize(&c.HashProbe, def.HashProbe)
+	sanitize(&c.GroupElem, def.GroupElem)
+	sanitize(&c.Scan, def.Scan)
+	sanitize(&c.Probe, def.Probe)
+	sanitize(&c.Hash, def.Hash)
+	sanitize(&c.Filter, def.Filter)
+	sanitize(&c.GapDecode, def.GapDecode)
+	return c
+}
+
+// calibrationSink keeps the timed loops observable so the compiler cannot
+// eliminate them.
+var calibrationSink uint64
+
+// sanitize replaces implausible calibration readings (≤ 0, NaN, or further
+// than 50× from the reference value in either direction) with the default.
+func sanitize(v *float64, def float64) {
+	if !(*v > def/50 && *v < def*50) { // also catches NaN
+		*v = def
+	}
+}
+
+// timePerOp times f (which performs ops primitive operations per call) and
+// returns the minimum observed ns per operation across a handful of runs.
+func timePerOp(f func(), ops int) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		f()
+		if d := float64(time.Since(start).Nanoseconds()) / float64(ops); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+var (
+	calibrateOnce sync.Once
+	calibrated    *Costs
+)
+
+// Calibrated returns the process-wide calibrated coefficients, measuring
+// them on first use.
+func Calibrated() *Costs {
+	calibrateOnce.Do(func() { calibrated = Calibrate() })
+	return calibrated
+}
+
+// Kernel identifies the physical operator chosen for an intersection: the
+// list kernels map 1:1 onto the paper's algorithms (executed by
+// fastintersect over preprocessed lists), the Stored* strategies onto the
+// compressed-tier kernels of internal/compress, and Merge/Gallop double as
+// the delta-segment pairwise kernels.
+type Kernel uint8
+
+const (
+	// KernelNone marks operators that need no intersection kernel (a single
+	// posting list, a union, a term fetch).
+	KernelNone Kernel = iota
+	// KernelMerge is the linear parallel scan over sorted lists.
+	KernelMerge
+	// KernelGallop gallops the smallest list through the others (SvS).
+	KernelGallop
+	// KernelHashBin is §3.4's per-bucket binary search for skewed sizes.
+	KernelHashBin
+	// KernelGroupScan is Algorithm 5 (§3.3), the word-image grouped scan.
+	KernelGroupScan
+	// KernelRGSPair runs Algorithm 5 directly over two stored Lowbits lists.
+	KernelRGSPair
+	// KernelLookupProbe intersects γ/δ lists through their bucket
+	// directories, decoding only the buckets the smallest list occupies.
+	KernelLookupProbe
+	// KernelFilterChain decodes the smallest stored list once and filters it
+	// through each remaining stored list in cost order.
+	KernelFilterChain
+	// KernelDecodeAll decodes every stored list and merges the sorted
+	// results — cheapest when the lists are small and probing is expensive.
+	KernelDecodeAll
+)
+
+var kernelNames = [...]string{
+	"None", "Merge", "Gallop", "HashBin", "GroupScan",
+	"RGSPair", "LookupProbe", "FilterChain", "DecodeAll",
+}
+
+func (k Kernel) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return "Kernel(?)"
+}
+
+// KernelPolicy selects how kernels are chosen.
+type KernelPolicy uint8
+
+const (
+	// KernelsCost picks the cheapest kernel under the calibrated cost model
+	// (the default).
+	KernelsCost KernelPolicy = iota
+	// KernelsHeuristic reproduces the pre-planner fixed rules — the Auto
+	// skew-ratio switch for lists, the shape dispatch for stored lists, and
+	// always-merge for pairs — as the baseline the plan-quality experiment
+	// compares against.
+	KernelsHeuristic
+)
+
+// Order selects how AND operands are ordered.
+type Order uint8
+
+const (
+	// OrderCost orders term operands by ascending size and composite
+	// operands by ascending estimated cardinality, so cheap short-circuits
+	// come first (the default).
+	OrderCost Order = iota
+	// OrderDF orders term operands by ascending document frequency and
+	// leaves composite operands in query order — the pre-planner baseline.
+	OrderDF
+	// OrderWorst orders term operands by DESCENDING size: the adversarial
+	// ordering the plan-quality experiment uses to bound the value of
+	// ordering at all.
+	OrderWorst
+)
+
+// Policy bundles the planner's tunables. The zero value is the cost-based
+// default; the other combinations exist for the harness's plan-quality
+// experiment and for debugging.
+type Policy struct {
+	Order   Order
+	Kernels KernelPolicy
+}
+
+// heuristicSkew mirrors fastintersect.AutoSkewThreshold for the baseline
+// kernel policy.
+const heuristicSkew = 100
+
+// logRatio is log₂(2 + a/b), the recurring search-depth term.
+func logRatio(a, b int) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return math.Log2(2 + float64(a)/float64(b))
+}
+
+// probeDepth scales a per-probe anchor by the search depth relative to the
+// calibration shape, floored at 1: shallower-than-reference searches still
+// pay the anchor's fixed per-probe overhead (a near-balanced gallop steps
+// by one with a search each time — it never undercuts the reference probe).
+func probeDepth(n, n0 int) float64 {
+	d := logRatio(n, n0) / refDepth
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// ChooseListKernel picks the intersection kernel for k ≥ 2 preprocessed
+// lists with the given sizes (ascending order not required; only the
+// multiset of sizes matters). Under KernelsHeuristic it reproduces the Auto
+// rule: HashBin past the skew threshold, GroupScan otherwise.
+func ChooseListKernel(c *Costs, pol KernelPolicy, sizes []int) Kernel {
+	minN, maxN, total := sizes[0], sizes[0], 0
+	for _, n := range sizes {
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+		total += n
+	}
+	if pol == KernelsHeuristic {
+		if minN > 0 && maxN >= heuristicSkew*minN {
+			return KernelHashBin
+		}
+		return KernelGroupScan
+	}
+	if minN == 0 {
+		return KernelMerge // trivially empty; avoid touching structures
+	}
+	best, k := listKernelCost(c, KernelMerge, sizes), KernelMerge
+	for _, cand := range [...]Kernel{KernelGallop, KernelHashBin, KernelGroupScan} {
+		if cost := listKernelCost(c, cand, sizes); cost < best {
+			best, k = cost, cand
+		}
+	}
+	return k
+}
+
+// listKernelCost prices one list kernel on the given operand sizes.
+func listKernelCost(c *Costs, k Kernel, sizes []int) float64 {
+	minN, total := sizes[0], 0
+	for _, n := range sizes {
+		if n < minN {
+			minN = n
+		}
+		total += n
+	}
+	var cost float64
+	switch k {
+	case KernelMerge:
+		cost = c.MergeElem * float64(total)
+	case KernelGallop, KernelHashBin:
+		perProbe := c.GallopProbe
+		if k == KernelHashBin {
+			perProbe = c.HashProbe
+		}
+		probeSide := true // the smallest list probes; every other list is a partner
+		for _, n := range sizes {
+			if probeSide && n == minN {
+				probeSide = false
+				continue
+			}
+			cost += perProbe * float64(minN) * probeDepth(n, minN)
+		}
+	case KernelGroupScan:
+		cost = c.GroupElem * float64(total)
+	}
+	return cost
+}
+
+// Shape is the storage representation of one operand, as far as the cost
+// model cares: a preprocessed raw list, or one of the stored encodings.
+type Shape uint8
+
+const (
+	// ShapeList is a preprocessed (uncompressed) posting list.
+	ShapeList Shape = iota
+	// ShapeRawStored is a stored list under the identity encoding.
+	ShapeRawStored
+	// ShapeGamma and ShapeDelta are gap-coded bucket directories.
+	ShapeGamma
+	ShapeDelta
+	// ShapeLowbits is the grouped Appendix-B structure.
+	ShapeLowbits
+)
+
+var shapeNames = [...]string{"list", "raw", "gamma", "delta", "lowbits"}
+
+func (s Shape) String() string {
+	if int(s) < len(shapeNames) {
+		return shapeNames[s]
+	}
+	return "shape(?)"
+}
+
+// Operand describes one intersection operand to the stored-strategy chooser.
+type Operand struct {
+	Len   int
+	Shape Shape
+}
+
+// decodeCost prices materializing one stored operand as sorted []uint32.
+func decodeCost(c *Costs, op Operand) float64 {
+	n := float64(op.Len)
+	switch op.Shape {
+	case ShapeGamma, ShapeDelta:
+		return c.GapDecode * n
+	case ShapeLowbits:
+		// Group concat + inverse permutation per element, then the sort.
+		return (c.Hash + c.Scan) * n * (1 + logRatio(op.Len, 4)/8)
+	default:
+		return c.Scan * n // copy
+	}
+}
+
+// probeCost prices filtering p ascending probes through one stored operand.
+func probeCost(c *Costs, op Operand, p int) float64 {
+	pf := float64(p)
+	switch op.Shape {
+	case ShapeGamma, ShapeDelta:
+		visited := op.Len
+		if m := p * storedBucket; m < visited {
+			visited = m
+		}
+		return c.GapDecode*float64(visited) + c.Scan*pf
+	case ShapeLowbits:
+		// Per probe: permutation + image filter, plus the occasional
+		// surviving group decode (≈ √w elements for a vanishing fraction).
+		return (c.Hash + c.Filter + 2*c.Scan) * pf
+	default:
+		return c.MergeElem * (pf + float64(op.Len)) // linear merge
+	}
+}
+
+// ChooseStored picks the compressed-tier strategy for k ≥ 2 stored operands
+// given in ascending length order (ops[0] is the probe side). Under
+// KernelsHeuristic it reproduces the pre-planner shape dispatch.
+func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
+	allLookup := true
+	for _, op := range ops {
+		if op.Shape != ShapeGamma && op.Shape != ShapeDelta {
+			allLookup = false
+			break
+		}
+	}
+	pairRGS := len(ops) == 2 && ops[0].Shape == ShapeLowbits && ops[1].Shape == ShapeLowbits
+	if pol == KernelsHeuristic {
+		switch {
+		case pairRGS:
+			return KernelRGSPair
+		case allLookup:
+			return KernelLookupProbe
+		default:
+			return KernelFilterChain
+		}
+	}
+	n0 := ops[0].Len
+	chain := decodeCost(c, ops[0])
+	decodeAll := decodeCost(c, ops[0])
+	for _, op := range ops[1:] {
+		chain += probeCost(c, op, n0)
+		decodeAll += decodeCost(c, op) + c.MergeElem*float64(op.Len+n0)
+	}
+	best, k := chain, KernelFilterChain
+	if decodeAll < best {
+		best, k = decodeAll, KernelDecodeAll
+	}
+	if allLookup && chain <= best {
+		// Same bucket probes as the chain, but consecutive probes share
+		// bucket decodes; prefer it on ties.
+		best, k = chain, KernelLookupProbe
+	}
+	if pairRGS {
+		// The stored RGS kernel is the calibrated group scan plus the final
+		// result sort (the groups emit permutation order).
+		total := float64(ops[0].Len + ops[1].Len)
+		rgs := c.GroupElem*total + c.Probe*float64(n0)
+		if rgs < best {
+			k = KernelRGSPair
+		}
+	}
+	return k
+}
+
+// storedCost prices the chosen strategy for Explain.
+func storedCost(c *Costs, k Kernel, ops []Operand) float64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	n0 := ops[0].Len
+	switch k {
+	case KernelRGSPair:
+		total := float64(ops[0].Len + ops[1].Len)
+		return c.GroupElem*total + c.Probe*float64(n0)
+	case KernelDecodeAll:
+		cost := decodeCost(c, ops[0])
+		for _, op := range ops[1:] {
+			cost += decodeCost(c, op) + c.MergeElem*float64(op.Len+n0)
+		}
+		return cost
+	default: // FilterChain, LookupProbe
+		cost := decodeCost(c, ops[0])
+		for _, op := range ops[1:] {
+			cost += probeCost(c, op, n0)
+		}
+		return cost
+	}
+}
+
+// ChoosePair picks merge vs gallop for one pairwise sorted-set operation
+// (the delta-segment evaluator and the composite-result intersections):
+// galloping wins once the size ratio covers its per-probe overhead. Under
+// KernelsHeuristic it always merges (the pre-planner behavior).
+func ChoosePair(c *Costs, pol KernelPolicy, small, large int) Kernel {
+	if pol == KernelsHeuristic {
+		return KernelMerge
+	}
+	if small > large {
+		small, large = large, small
+	}
+	merge := c.MergeElem * float64(small+large)
+	gallop := c.GallopProbe * float64(small) * probeDepth(large, small)
+	if gallop < merge {
+		return KernelGallop
+	}
+	return KernelMerge
+}

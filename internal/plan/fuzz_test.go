@@ -1,0 +1,95 @@
+package plan
+
+import "testing"
+
+// FuzzParseQuery checks that Parse never panics and that the normalized
+// rendering is a fixed point: it reparses successfully to the same string.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"a", "a AND b", "a OR b", "a AND NOT b", "(a OR b) AND c",
+		"a b c", "NOT a", "((x))", "a AND (b OR (c AND d))", "()", "a )(",
+		"AND OR NOT", "ümlaut AND 漢字", "a\tAND\nb",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n, err := Parse(q)
+		if err != nil {
+			return
+		}
+		key := n.String()
+		n2, err := Parse(key)
+		if err != nil {
+			t.Fatalf("normalized form %q (of %q) does not reparse: %v", key, q, err)
+		}
+		if n2.String() != key {
+			t.Fatalf("normalization not a fixed point: %q -> %q -> %q", q, key, n2.String())
+		}
+	})
+}
+
+// evalMembership evaluates a (possibly un-normalized) tree against a
+// synthetic membership oracle: doc d contains term t iff a hash of (t, d)
+// has its low bit set. NOT is full complement within the test universe, so
+// unbounded trees are evaluable here too — exactly what comparing pre- and
+// post-normalization semantics needs.
+func evalMembership(n Node, doc uint32) bool {
+	switch n := n.(type) {
+	case Term:
+		h := uint32(2166136261)
+		for i := 0; i < len(n); i++ {
+			h = (h ^ uint32(n[i])) * 16777619
+		}
+		h = (h ^ doc) * 16777619
+		return h&1 == 1
+	case Not:
+		return !evalMembership(n.Kid, doc)
+	case And:
+		for _, k := range n.Kids {
+			if !evalMembership(k, doc) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, k := range n.Kids {
+			if evalMembership(k, doc) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// FuzzNormalize checks the normalizer's two contracts on every parseable
+// input: idempotence (normalize∘normalize renders identically to normalize)
+// and semantics preservation (the raw parse tree and its normalized form
+// select the same documents under a synthetic membership oracle).
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"a", "b AND a", "a OR b OR a", "a AND (b AND (c AND d))",
+		"NOT NOT a", "NOT (a OR b)", "x AND NOT y AND NOT NOT z",
+		"(a OR b) AND (b OR a)", "a a a", "a AND (b OR (c AND d)) OR e",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		raw, err := ParseTree(q)
+		if err != nil {
+			return
+		}
+		n1 := Normalize(raw)
+		n2 := Normalize(n1)
+		if n1.String() != n2.String() {
+			t.Fatalf("normalize not idempotent: %q -> %q -> %q", q, n1.String(), n2.String())
+		}
+		for doc := uint32(0); doc < 64; doc++ {
+			if evalMembership(raw, doc) != evalMembership(n1, doc) {
+				t.Fatalf("normalize changed semantics of %q (normal form %q) at doc %d", q, n1.String(), doc)
+			}
+		}
+	})
+}

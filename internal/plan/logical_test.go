@@ -1,4 +1,4 @@
-package engine
+package plan
 
 import (
 	"errors"
@@ -92,6 +92,41 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestSyntaxErrorOffsets pins the byte offsets syntax errors report: the
+// lexer records each token's position and the parser threads it into
+// SyntaxError, so error messages (and fsiserve's 400 bodies) can point at
+// the offending byte of the original query string.
+func TestSyntaxErrorOffsets(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantPos int
+		wantMsg string
+	}{
+		{"a AND", 5, "unexpected end of query"},    // after the 3-byte AND at offset 2
+		{"a AND  ", 5, "unexpected end of query"},  // trailing spaces don't move the offset
+		{"AND a", 0, `unexpected "AND"`},           // operator in term position
+		{"a ) b", 2, `unexpected ")"`},             // stray close paren
+		{"a OR or b", 5, `unexpected "or"`},        // doubled operator, case-insensitive
+		{"(a AND b", 0, "unclosed parenthesis"},    // points at the open paren
+		{"x (y", 2, "unclosed parenthesis"},        // ... also mid-query
+		{"a (", 3, "unexpected end of query"},      // open paren then nothing
+		{"ab NOT", 6, "unexpected end of query"},   // NOT with no operand
+		{"(a OR b)) c", 8, `unexpected ")"`},       // balanced prefix, surplus close
+		{"ümlaut AND AND", 12, `unexpected "AND"`}, // offsets are bytes, not runes: ü is 2 bytes
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q) = %v, want *SyntaxError", c.in, err)
+			continue
+		}
+		if se.Pos != c.wantPos || se.Msg != c.wantMsg {
+			t.Errorf("Parse(%q) = offset %d %q, want offset %d %q", c.in, se.Pos, se.Msg, c.wantPos, c.wantMsg)
+		}
+	}
+}
+
 func TestTerms(t *testing.T) {
 	n, err := Parse("a AND (b OR c) AND NOT d AND a")
 	if err != nil {
@@ -107,31 +142,4 @@ func TestTerms(t *testing.T) {
 			t.Fatalf("Terms = %v, want %v", got, want)
 		}
 	}
-}
-
-// FuzzParseQuery checks that Parse never panics and that the normalized
-// rendering is a fixed point: it reparses successfully to the same string.
-func FuzzParseQuery(f *testing.F) {
-	seeds := []string{
-		"a", "a AND b", "a OR b", "a AND NOT b", "(a OR b) AND c",
-		"a b c", "NOT a", "((x))", "a AND (b OR (c AND d))", "()", "a )(",
-		"AND OR NOT", "ümlaut AND 漢字", "a\tAND\nb",
-	}
-	for _, s := range seeds {
-		f.Add(s)
-	}
-	f.Fuzz(func(t *testing.T, q string) {
-		n, err := Parse(q)
-		if err != nil {
-			return
-		}
-		key := n.String()
-		n2, err := Parse(key)
-		if err != nil {
-			t.Fatalf("normalized form %q (of %q) does not reparse: %v", key, q, err)
-		}
-		if n2.String() != key {
-			t.Fatalf("normalization not a fixed point: %q -> %q -> %q", q, key, n2.String())
-		}
-	})
 }

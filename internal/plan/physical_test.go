@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeStats is a hand-set statistics source for planner tests.
+type fakeStats struct {
+	docs   int
+	lens   map[string]int
+	shapes map[string]Shape
+}
+
+func (f *fakeStats) NumDocs() int         { return f.docs }
+func (f *fakeStats) TermLen(t string) int { return f.lens[t] }
+func (f *fakeStats) TermShape(t string) Shape {
+	if s, ok := f.shapes[t]; ok {
+		return s
+	}
+	return ShapeRawStored
+}
+
+func mustParse(t *testing.T, q string) Node {
+	t.Helper()
+	n, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return n
+}
+
+func TestChooseListKernel(t *testing.T) {
+	c := DefaultCosts()
+	cases := []struct {
+		name  string
+		sizes []int
+		want  Kernel
+	}{
+		{"balanced", []int{50_000, 60_000}, KernelGroupScan},
+		{"heavy-skew", []int{10, 100_000}, KernelGallop},
+		{"empty-operand", []int{0, 5_000}, KernelMerge},
+	}
+	for _, tc := range cases {
+		if got := ChooseListKernel(c, KernelsCost, tc.sizes); got != tc.want {
+			t.Errorf("%s: ChooseListKernel(%v) = %v, want %v", tc.name, tc.sizes, got, tc.want)
+		}
+	}
+	// The heuristic policy reproduces the Auto skew rule exactly.
+	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100 * heuristicSkew}); got != KernelHashBin {
+		t.Errorf("heuristic at threshold = %v, want HashBin", got)
+	}
+	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100*heuristicSkew - 1}); got != KernelGroupScan {
+		t.Errorf("heuristic below threshold = %v, want GroupScan", got)
+	}
+}
+
+func TestChooseStored(t *testing.T) {
+	c := DefaultCosts()
+	lowPair := []Operand{{1000, ShapeLowbits}, {1200, ShapeLowbits}}
+	if got := ChooseStored(c, KernelsCost, lowPair); got != KernelRGSPair {
+		t.Errorf("lowbits pair = %v, want RGSPair", got)
+	}
+	gammas := []Operand{{500, ShapeGamma}, {5000, ShapeDelta}, {9000, ShapeGamma}}
+	if got := ChooseStored(c, KernelsCost, gammas); got != KernelLookupProbe {
+		t.Errorf("all-γ/δ = %v, want LookupProbe", got)
+	}
+	mixed := []Operand{{500, ShapeRawStored}, {5000, ShapeGamma}}
+	if got := ChooseStored(c, KernelsHeuristic, mixed); got != KernelFilterChain {
+		t.Errorf("heuristic mixed = %v, want FilterChain", got)
+	}
+	if got := ChooseStored(c, KernelsCost, mixed); got != KernelFilterChain && got != KernelDecodeAll {
+		t.Errorf("cost mixed = %v, want a chain/decode strategy", got)
+	}
+}
+
+func TestChoosePair(t *testing.T) {
+	c := DefaultCosts()
+	if got := ChoosePair(c, KernelsCost, 5, 1_000_000); got != KernelGallop {
+		t.Errorf("5 vs 1M = %v, want Gallop", got)
+	}
+	if got := ChoosePair(c, KernelsCost, 40_000, 50_000); got != KernelMerge {
+		t.Errorf("balanced = %v, want Merge", got)
+	}
+	if got := ChoosePair(c, KernelsHeuristic, 5, 1_000_000); got != KernelMerge {
+		t.Errorf("heuristic = %v, want Merge (the pre-planner behavior)", got)
+	}
+}
+
+// termOrder extracts the term names of the root conjunction in plan order.
+func termOrder(p *Plan) []string {
+	root := &p.Ops[p.Root()]
+	var out []string
+	for _, ti := range p.TermOps(root) {
+		out = append(out, p.Ops[ti].Term)
+	}
+	return out
+}
+
+func TestBuildOrdering(t *testing.T) {
+	st := &fakeStats{docs: 100_000, lens: map[string]int{"a": 1000, "b": 10, "c": 100}}
+	n := mustParse(t, "a AND b AND c")
+	c := DefaultCosts()
+
+	var p Plan
+	Build(&p, n, n.String(), st, c, Policy{Order: OrderCost}, false)
+	if got := termOrder(&p); got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Errorf("OrderCost = %v, want [b c a]", got)
+	}
+	Build(&p, n, n.String(), st, c, Policy{Order: OrderWorst}, false)
+	if got := termOrder(&p); got[0] != "a" || got[1] != "c" || got[2] != "b" {
+		t.Errorf("OrderWorst = %v, want [a c b]", got)
+	}
+}
+
+func TestBuildEstimates(t *testing.T) {
+	st := &fakeStats{docs: 10_000, lens: map[string]int{"a": 1000, "b": 100}}
+	n := mustParse(t, "a AND b")
+	var p Plan
+	Build(&p, n, n.String(), st, DefaultCosts(), Policy{}, false)
+	root := &p.Ops[p.Root()]
+	// Independence: 10000 · (1000/10000) · (100/10000) = 10.
+	if root.Rows != 10 {
+		t.Errorf("AND est_rows = %d, want 10", root.Rows)
+	}
+	n = mustParse(t, "a OR b")
+	Build(&p, n, n.String(), st, DefaultCosts(), Policy{}, false)
+	if root := &p.Ops[p.Root()]; root.Rows != 1100 {
+		t.Errorf("OR est_rows = %d, want 1100", root.Rows)
+	}
+}
+
+func TestBuildStoredDecodeFlags(t *testing.T) {
+	st := &fakeStats{
+		docs:   100_000,
+		lens:   map[string]int{"g1": 200, "g2": 5000},
+		shapes: map[string]Shape{"g1": ShapeGamma, "g2": ShapeGamma},
+	}
+	n := mustParse(t, "g1 AND g2")
+	var p Plan
+	Build(&p, n, n.String(), st, DefaultCosts(), Policy{}, true)
+	root := &p.Ops[p.Root()]
+	if root.Kernel != KernelLookupProbe && root.Kernel != KernelFilterChain && root.Kernel != KernelDecodeAll {
+		t.Fatalf("stored kernel = %v, want a stored strategy", root.Kernel)
+	}
+	terms := p.TermOps(root)
+	if p.Ops[terms[0]].Term != "g1" {
+		t.Fatalf("probe side = %q, want g1 (the smaller list)", p.Ops[terms[0]].Term)
+	}
+	if root.Kernel != KernelDecodeAll && p.Ops[terms[1]].Decode {
+		t.Errorf("probed operand marked decode under %v", root.Kernel)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	st := &fakeStats{docs: 100_000, lens: map[string]int{"a": 50, "b": 40_000, "c": 100, "d": 60}}
+	n := mustParse(t, "a AND b AND (c OR d) AND NOT c")
+	var p Plan
+	Build(&p, n, n.String(), st, DefaultCosts(), Policy{}, false)
+	out := p.Explain()
+	for _, want := range []string{
+		"plan for", "AND kernel=", "OR merge", "NOT ",
+		"term a (df=50, list)", "term b (df=40000, list)", "est_rows=", "est_cost=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestBuildAllocs pins the planner's hot-path contract: once a pooled plan
+// has grown to a query's size, rebuilding it allocates nothing — plan
+// construction rides the per-query allocation budget for free.
+func TestBuildAllocs(t *testing.T) {
+	st := &fakeStats{docs: 100_000, lens: map[string]int{
+		"a": 1000, "b": 10, "c": 100, "d": 40_000, "e": 7,
+	}}
+	n := mustParse(t, "a AND b AND (c OR d OR (a AND e)) AND NOT e")
+	key := n.String()
+	c := DefaultCosts()
+	var p Plan
+	Build(&p, n, key, st, c, Policy{}, false) // warm the arenas
+	allocs := testing.AllocsPerRun(100, func() {
+		Build(&p, n, key, st, c, Policy{}, false)
+	})
+	if allocs != 0 {
+		t.Errorf("Build allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -35,6 +35,43 @@ func TestIntoVariantsMatchAllocating(t *testing.T) {
 	}
 }
 
+// TestIntersectGallopInto drives the planner's skew kernel through random
+// and adversarial shapes, checking it against the linear-merge reference:
+// argument order must not matter, the prefix must survive, and runs of
+// consecutive matches (where galloping resumes at distance 1) must all be
+// found.
+func TestIntersectGallopInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := randomSet(rng, rng.Intn(50), 2000)
+		b := randomSet(rng, rng.Intn(1000), 2000)
+		want := IntersectReference(a, b)
+		prefix := []uint32{42}
+		got := IntersectGallopInto(Clone(prefix), a, b)
+		if !Equal(got[:1], prefix) || !Equal(got[1:], want) {
+			t.Fatalf("trial %d: gallop(a,b) = %v, want %v", trial, got[1:], want)
+		}
+		if got := IntersectGallopInto(nil, b, a); !Equal(got, want) {
+			t.Fatalf("trial %d: gallop(b,a) = %v, want %v", trial, got, want)
+		}
+	}
+	cases := [][2][]uint32{
+		{{}, {1, 2, 3}},
+		{{1, 2, 3}, {1, 2, 3}},          // identical: every probe matches at distance 1
+		{{5}, {1, 2, 3, 4, 5}},          // match at the far end
+		{{9}, {1, 2, 3}},                // probe past the end
+		{{0, 1, 2, 3}, {3}},             // larger side probes
+		{{1, 3, 5, 7}, {0, 2, 4, 6, 8}}, // interleaved, empty result
+		{{0, ^uint32(0)}, {^uint32(0)}}, // extremes
+	}
+	for i, c := range cases {
+		want := IntersectReference(c[0], c[1])
+		if got := IntersectGallopInto(nil, c[0], c[1]); !Equal(got, want) {
+			t.Fatalf("case %d: gallop = %v, want %v", i, got, want)
+		}
+	}
+}
+
 // unionRef is the obviously-correct oracle: pairwise unions left to right.
 func unionRef(lists ...[]uint32) []uint32 {
 	var out []uint32
