@@ -11,6 +11,7 @@
 //	fsibench -serve-json BENCH_serve.json # machine-readable serving benchmark
 //	fsibench -churn-json BENCH_churn.json # machine-readable live-update churn experiment
 //	fsibench -plan-json BENCH_plan.json # machine-readable plan-quality experiment
+//	fsibench -obs-json BENCH_obs.json  # machine-readable observability experiment (scraped vs measured percentiles)
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		serveOut = flag.String("serve-json", "", "run the engine serving benchmark (mixed AND/OR workload) and write it as JSON to this file (QPS, ns/op, B/op, allocs/op per storage mode), then exit")
 		churnOut = flag.String("churn-json", "", "run the live-update churn experiment (interleaved add/delete/query) and write it as JSON to this file (latency vs delta size per storage × compaction threshold), then exit")
 		planOut  = flag.String("plan-json", "", "run the plan-quality experiment (cost-based plans vs df-ordered baseline vs worst-order) and write it as JSON to this file (ns/op per workload shape × storage × policy), then exit")
+		obsOut   = flag.String("obs-json", "", "run the observability experiment (replay with /metrics scrapes between phases) and write it as JSON to this file (measured vs histogram-scraped latency percentiles per phase), then exit")
 	)
 	flag.Parse()
 
@@ -95,6 +97,12 @@ func main() {
 		rep := harness.PlanBench(cfg)
 		writeJSON(*planOut, rep)
 		fmt.Printf("wrote %s (%d scenarios)\n", *planOut, len(rep.Scenarios))
+		return
+	}
+	if *obsOut != "" {
+		rep := harness.ObsBench(cfg)
+		writeJSON(*obsOut, rep)
+		fmt.Printf("wrote %s (%d phases)\n", *obsOut, len(rep.Phases))
 		return
 	}
 	run := func(e harness.Experiment) {

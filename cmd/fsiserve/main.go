@@ -7,12 +7,17 @@
 // and serves an HTTP JSON API:
 //
 //	GET /query?q=a+AND+b&limit=10   boolean query (AND/OR/NOT, parens)
-//	GET /query?q=...&explain=1      ... plus the executed physical plan
+//	GET /query?q=...&explain=1      ... plus the estimated physical plan
+//	GET /query?q=...&explain=analyze ... executed plan with measured rows/time per operator
 //	POST /query/batch               many queries in one call (shared planning)
 //	POST /index/doc                 add/update a document (live, no rebuild)
 //	DELETE /index/doc/{id}          delete a document (tombstoned immediately)
 //	GET /stats                      engine + cache + delta/compaction counters
+//	GET /metrics                    Prometheus text: counters, latency/stage histograms, per-kernel series
+//	GET /debug/slowlog              ring buffer of queries slower than -slowlog-ms
 //	GET /healthz                    liveness
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // With -load N it instead replays N queries from the synthetic query
 // stream through the engine at -concurrency workers and reports QPS and
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"slices"
@@ -41,6 +47,7 @@ import (
 	"fastintersect"
 	"fastintersect/internal/engine"
 	"fastintersect/internal/invindex"
+	"fastintersect/internal/obs"
 	"fastintersect/internal/workload"
 )
 
@@ -61,6 +68,9 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "load-generator worker goroutines")
 		orFrac      = flag.Float64("or", 0.10, "load-generator fraction of queries with an OR branch")
 		notFrac     = flag.Float64("not", 0.05, "load-generator fraction of queries with a NOT term")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowlogMS   = flag.Int("slowlog-ms", 250, "slow-query log threshold in milliseconds (0 disables /debug/slowlog)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N queries with stage/operator timing (0 = engine default of 64)")
 	)
 	flag.Parse()
 
@@ -101,6 +111,7 @@ func main() {
 		Algorithm:        algo,
 		Storage:          storage,
 		CompactThreshold: *compactAt,
+		TraceSample:      *traceSample,
 	})
 	if err := loadCorpus(eng, corpus); err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
@@ -117,7 +128,11 @@ func main() {
 		})
 		return
 	}
-	serve(eng, *addr)
+	opts := serverOptions{pprof: *pprofOn}
+	if *slowlogMS > 0 {
+		opts.slow = obs.NewSlowLog(time.Duration(*slowlogMS)*time.Millisecond, 128)
+	}
+	serve(eng, *addr, opts)
 }
 
 // loadCorpus installs the simulated-real corpus, term-major. Stats().Docs
@@ -134,10 +149,10 @@ func loadCorpus(eng *engine.Engine, corpus *workload.Real) error {
 }
 
 // serve runs the HTTP API until SIGINT/SIGTERM, then drains connections.
-func serve(eng *engine.Engine, addr string) {
+func serve(eng *engine.Engine, addr string, opts serverOptions) {
 	srv := &http.Server{
 		Addr:         addr,
-		Handler:      newServer(eng).handler(),
+		Handler:      newServer(eng, opts).handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
@@ -161,25 +176,114 @@ func serve(eng *engine.Engine, addr string) {
 	}
 }
 
+// serverOptions configures the optional observability surfaces.
+type serverOptions struct {
+	slow  *obs.SlowLog // nil disables slow-query recording
+	pprof bool         // mount net/http/pprof under /debug/pprof/
+}
+
 // server wires the engine to HTTP.
 type server struct {
 	eng     *engine.Engine
+	slow    *obs.SlowLog
+	pprof   bool
 	started time.Time
 }
 
-func newServer(eng *engine.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+func newServer(eng *engine.Engine, opts ...serverOptions) *server {
+	var o serverOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	s := &server{eng: eng, slow: o.slow, pprof: o.pprof, started: time.Now()}
+	s.eng.Metrics().GaugeFunc("fsi_uptime_seconds",
+		"Seconds since the serving process started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	s.route(mux, "GET /query", "/query", s.handleQuery)
+	s.route(mux, "POST /query/batch", "/query/batch", s.handleQueryBatch)
+	s.route(mux, "GET /stats", "/stats", s.handleStats)
+	s.route(mux, "POST /index/doc", "/index/doc", s.handleAddDoc)
+	s.route(mux, "DELETE /index/doc/{id}", "/index/doc/:id", s.handleDeleteDoc)
+	s.route(mux, "GET /debug/slowlog", "/debug/slowlog", s.handleSlowlog)
+	// /metrics and /healthz stay uninstrumented: scrape and liveness traffic
+	// would otherwise dominate the per-endpoint series they exist to expose.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /index/doc", s.handleAddDoc)
-	mux.HandleFunc("DELETE /index/doc/{id}", s.handleDeleteDoc)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// route registers h instrumented with per-endpoint request/error counters
+// and a latency histogram, all on the engine's metrics registry so one
+// /metrics scrape covers engine and HTTP series alike.
+func (s *server) route(mux *http.ServeMux, pattern, path string, h http.HandlerFunc) {
+	reg := s.eng.Metrics()
+	lbl := `{path="` + path + `"}`
+	reqs := reg.Counter("fsi_http_requests_total"+lbl, "HTTP requests served, by endpoint.")
+	errs := reg.Counter("fsi_http_errors_total"+lbl, "HTTP responses with status >= 400, by endpoint.")
+	lat := reg.Histogram("fsi_http_request_seconds"+lbl, "HTTP request latency, by endpoint.")
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		reqs.Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(time.Since(t0))
+	})
+}
+
+// statusWriter captures the response status for the error counter; an
+// unset status means an implicit 200 from the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleMetrics renders every registered series in the Prometheus text
+// exposition format (version 0.0.4 — the plain-text contract scrapers
+// accept without a client library on our side).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.eng.Metrics().WritePrometheus(w)
+}
+
+// slowlogResponse is the GET /debug/slowlog body. Entries are newest
+// first; Total counts every slow query ever seen, including entries the
+// ring has since evicted.
+type slowlogResponse struct {
+	ThresholdMS int64           `json:"threshold_ms"`
+	Total       uint64          `json:"total"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, slowlogResponse{
+		ThresholdMS: s.slow.Threshold().Milliseconds(),
+		Total:       s.slow.Total(),
+		Entries:     entries,
+	})
 }
 
 type queryResponse struct {
@@ -190,8 +294,10 @@ type queryResponse struct {
 	Truncated  bool     `json:"truncated"`
 	Cached     bool     `json:"cached"`
 	ElapsedUS  int64    `json:"elapsed_us"`
-	// Plan is the executed physical plan (operator tree with kernels and
-	// cost estimates), present when the request asked for explain=1.
+	// Plan is the physical plan (operator tree with kernels and cost
+	// estimates), present when the request asked for explain=1; with
+	// explain=analyze it additionally carries measured rows and time per
+	// operator plus stage and per-shard timings.
 	Plan string `json:"plan,omitempty"`
 }
 
@@ -224,12 +330,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		planStr string
 		err     error
 	)
-	if r.URL.Query().Get("explain") == "1" {
-		res, planStr, err = s.eng.Explain(q)
-	} else {
+	switch explain := r.URL.Query().Get("explain"); explain {
+	case "", "0":
 		res, err = s.eng.Query(q)
+	case "1":
+		res, planStr, err = s.eng.Explain(q)
+	case "analyze":
+		res, planStr, err = s.eng.ExplainAnalyze(q)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad explain %q (want 1 for the estimated plan or analyze for measured execution)", explain)})
+		return
 	}
 	if err != nil {
+		s.slow.Record(obs.SlowEntry{
+			Time: start, Query: q,
+			DurationUS: time.Since(start).Microseconds(),
+			Error:      err.Error(),
+		})
 		// Syntax errors carry the byte offset of the offending token in the
 		// message ("syntax error at offset N: ..."), so 400 bodies point at
 		// the position in the submitted query.
@@ -240,6 +357,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorResponse{err.Error()})
 		return
 	}
+	s.slow.Record(obs.SlowEntry{
+		Time: start, Query: q, Normalized: res.Normalized,
+		DurationUS: time.Since(start).Microseconds(),
+		Rows:       len(res.Docs),
+		Cached:     res.Cached,
+	})
 	docs := res.Docs
 	truncated := false
 	if limit >= 0 && len(docs) > limit {

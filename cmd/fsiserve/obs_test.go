@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fastintersect/internal/engine"
+	"fastintersect/internal/obs"
+	"fastintersect/internal/workload"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue returns the sample for an exact series name (including any
+// label set), or -1 when absent.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestServeMetrics pins the /metrics contract: well-formed exposition
+// text, the promised engine and HTTP series, and counter monotonicity
+// across traffic.
+func TestServeMetrics(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 2)
+
+	q := workload.TermName(0) + " AND " + workload.TermName(7)
+	for i := 0; i < 3; i++ {
+		if _, code := getQuery(t, ts, q); code != http.StatusOK {
+			t.Fatalf("query: HTTP %d", code)
+		}
+	}
+	if _, code := getQuery(t, ts, "a AND ("); code != http.StatusBadRequest {
+		t.Fatalf("malformed query: HTTP %d, want 400", code)
+	}
+
+	text := scrape(t, ts)
+
+	// Shape: every non-comment, non-blank line is `name[{labels}] value`,
+	// and each family has exactly one HELP and one TYPE header.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+	headers := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE "):
+			headers[strings.Join(strings.Fields(line)[:3], " ")]++
+		default:
+			if !sample.MatchString(line) {
+				t.Errorf("malformed sample line %q", line)
+			}
+		}
+	}
+	for h, n := range headers {
+		if n != 1 {
+			t.Errorf("header %q appears %d times", h, n)
+		}
+	}
+
+	for _, want := range []string{
+		"fsi_queries_total",
+		"fsi_query_errors_total",
+		"fsi_query_latency_seconds_count",
+		"fsi_cache_hits_total",
+		"fsi_index_generation",
+		"fsi_uptime_seconds",
+		`fsi_http_requests_total{path="/query"}`,
+		`fsi_http_errors_total{path="/query"}`,
+		`fsi_http_request_seconds_count{path="/query"}`,
+	} {
+		if metricValue(t, text, want) < 0 {
+			t.Errorf("scrape missing series %s", want)
+		}
+	}
+	if v := metricValue(t, text, `fsi_http_errors_total{path="/query"}`); v != 1 {
+		t.Errorf(`fsi_http_errors_total{path="/query"} = %v, want 1 (the malformed query)`, v)
+	}
+
+	// Monotonicity: more traffic strictly raises the counters.
+	q1 := metricValue(t, text, "fsi_queries_total")
+	h1 := metricValue(t, text, `fsi_http_requests_total{path="/query"}`)
+	for i := 0; i < 2; i++ {
+		if _, code := getQuery(t, ts, q); code != http.StatusOK {
+			t.Fatalf("query: HTTP %d", code)
+		}
+	}
+	text = scrape(t, ts)
+	if q2 := metricValue(t, text, "fsi_queries_total"); q2 != q1+2 {
+		t.Errorf("fsi_queries_total %v -> %v, want +2", q1, q2)
+	}
+	if h2 := metricValue(t, text, `fsi_http_requests_total{path="/query"}`); h2 != h1+2 {
+		t.Errorf("fsi_http_requests_total %v -> %v, want +2", h1, h2)
+	}
+}
+
+// TestServeExplainAnalyze drives explain=analyze over HTTP: same result
+// as a plain query, a plan carrying measured rows/time per operator, and
+// a 400 for unknown explain values.
+func TestServeExplainAnalyze(t *testing.T) {
+	corpus := testCorpus(t)
+	ts, _ := testServer(t, corpus, 3)
+	q := workload.TermName(0) + " AND (" + workload.TermName(5) + " OR " + workload.TermName(9) + ")"
+	plain, code := getQuery(t, ts, q)
+	if code != http.StatusOK {
+		t.Fatalf("plain query: HTTP %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/query?" + url.Values{"q": {q}, "explain": {"analyze"}, "limit": {"-1"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain=analyze: HTTP %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != plain.Count {
+		t.Errorf("analyze changed the result: %d docs vs %d", qr.Count, plain.Count)
+	}
+	for _, want := range []string{"est_cost=", "act_rows=", "act_time=", "stages:", "shard 0:"} {
+		if !strings.Contains(qr.Plan, want) {
+			t.Errorf("analyze plan missing %q:\n%s", want, qr.Plan)
+		}
+	}
+	// Analyze re-executes even though the plain query above cached q.
+	if qr.Cached {
+		t.Error("analyze served the cached result instead of executing")
+	}
+
+	resp2, err := http.Get(ts.URL + "/query?" + url.Values{"q": {q}, "explain": {"full"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("explain=full: HTTP %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestServeSlowlog exercises /debug/slowlog with a zero threshold so
+// every query (and errors) lands in the ring: entries come back newest
+// first, Total outlives ring eviction, and the disabled default is an
+// empty 200.
+func TestServeSlowlog(t *testing.T) {
+	corpus := testCorpus(t)
+	eng := engine.New(engine.Config{Shards: 2, CacheSize: 16})
+	if err := loadCorpus(eng, corpus); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, serverOptions{
+		slow: obs.NewSlowLog(0, 4),
+	}).handler())
+	t.Cleanup(ts.Close)
+
+	queries := []string{
+		workload.TermName(0),
+		workload.TermName(1),
+		workload.TermName(2),
+		workload.TermName(3),
+		workload.TermName(4),
+	}
+	for _, q := range queries {
+		if _, code := getQuery(t, ts, q); code != http.StatusOK {
+			t.Fatalf("query %q: HTTP %d", q, code)
+		}
+	}
+	if _, code := getQuery(t, ts, "a AND ("); code != http.StatusBadRequest {
+		t.Fatalf("malformed query: HTTP %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sl slowlogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sl); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Total != 6 {
+		t.Errorf("total = %d, want 6 (5 queries + 1 error)", sl.Total)
+	}
+	if len(sl.Entries) != 4 {
+		t.Fatalf("ring holds %d entries, want capacity 4", len(sl.Entries))
+	}
+	// Newest first: the error entry is the most recent.
+	if sl.Entries[0].Error == "" || sl.Entries[0].Query != "a AND (" {
+		t.Errorf("newest entry = %+v, want the failed query", sl.Entries[0])
+	}
+	for i, e := range sl.Entries[1:] {
+		want := queries[len(queries)-1-i]
+		if e.Query != want {
+			t.Errorf("entry %d query = %q, want %q", i+1, e.Query, want)
+		}
+		if e.DurationUS < 0 || e.Time.IsZero() || e.Time.After(time.Now()) {
+			t.Errorf("entry %d has bogus timing: %+v", i+1, e)
+		}
+	}
+
+	// The default server (no slowlog) still serves the endpoint: empty.
+	tsOff, _ := testServer(t, corpus, 1)
+	respOff, err := http.Get(tsOff.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respOff.Body.Close()
+	if respOff.StatusCode != http.StatusOK {
+		t.Fatalf("disabled slowlog: HTTP %d", respOff.StatusCode)
+	}
+	var off slowlogResponse
+	if err := json.NewDecoder(respOff.Body).Decode(&off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Total != 0 || len(off.Entries) != 0 || off.ThresholdMS != 0 {
+		t.Errorf("disabled slowlog = %+v, want empty", off)
+	}
+}
+
+// TestServePprofGate: /debug/pprof/ exists only behind the -pprof flag.
+func TestServePprofGate(t *testing.T) {
+	corpus := testCorpus(t)
+	eng := engine.New(engine.Config{Shards: 1})
+	if err := loadCorpus(eng, corpus); err != nil {
+		t.Fatal(err)
+	}
+	tsOn := httptest.NewServer(newServer(eng, serverOptions{pprof: true}).handler())
+	t.Cleanup(tsOn.Close)
+	resp, err := http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof enabled: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	tsOff, _ := testServer(t, corpus, 1)
+	resp, err = http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: HTTP %d, want 404", resp.StatusCode)
+	}
+}

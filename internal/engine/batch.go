@@ -37,7 +37,8 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 	if len(queries) == 0 {
 		return out
 	}
-	e.queries.Add(uint64(len(queries)))
+	e.met.batches.Inc()
+	e.met.queries.Add(uint64(len(queries)))
 
 	// Parse and deduplicate by canonical form, preserving first-seen order.
 	byKey := map[string]*batchPending{}
@@ -45,7 +46,7 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 	for i, q := range queries {
 		ast, err := plan.Parse(q)
 		if err != nil {
-			e.errors.Add(1)
+			e.met.queryErrors.Inc()
 			out[i] = BatchResult{Err: err}
 			continue
 		}
@@ -73,7 +74,7 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 		shards := e.snapshot()
 		if shards == nil {
 			for _, u := range pending {
-				e.errors.Add(uint64(len(u.idxs)))
+				e.met.queryErrors.Add(uint64(len(u.idxs)))
 				u.err = ErrNotBuilt
 			}
 		} else {
@@ -147,7 +148,7 @@ func (e *Engine) runBatch(shards []*shard, pending []*batchPending, gen uint64) 
 			}
 		}
 		if evalErr != nil {
-			e.errors.Add(uint64(len(u.idxs)))
+			e.met.queryErrors.Add(uint64(len(u.idxs)))
 			u.err = evalErr
 		} else {
 			total := 0

@@ -37,8 +37,15 @@ func benchWorkload(tb testing.TB) (*workload.Real, []string) {
 }
 
 func buildBenchEngine(tb testing.TB, st invindex.Storage, cacheSize int) *Engine {
+	return buildBenchEngineCfg(tb, Config{Shards: 2, CacheSize: cacheSize, Storage: st})
+}
+
+// buildBenchEngineCfg builds the shared bench corpus into an engine with an
+// arbitrary configuration (the overhead guard compares instrumented vs.
+// NoMetrics on otherwise identical engines).
+func buildBenchEngineCfg(tb testing.TB, cfg Config) *Engine {
 	real, _ := benchWorkload(tb)
-	e := New(Config{Shards: 2, CacheSize: cacheSize, Storage: st})
+	e := New(cfg)
 	b := e.NewBuilder()
 	for t, docs := range real.Postings {
 		if err := b.AddPosting(workload.TermName(t), docs); err != nil {

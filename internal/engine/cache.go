@@ -10,13 +10,22 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	// Stale counts entries dropped on lookup because the index generation
-	// moved past them (a mutation or rebuild happened after they were
-	// computed). It replaces the all-or-nothing purge counter of the
-	// immutable-index engine.
-	Stale    uint64 `json:"stale"`
-	Entries  int    `json:"entries"`
-	Capacity int    `json:"capacity"`
+	// Stale counts lookups that found an entry but could not serve it
+	// because of a generation mismatch in either direction: the entry was
+	// computed before the lookup's generation (a mutation or rebuild
+	// superseded it; the entry is dropped) or after it (the lookup raced a
+	// mutation and snapshotted early; the entry stays). Every stale lookup
+	// is also counted as a miss — Hits+Misses is the total lookup count and
+	// Stale ⊆ Misses tells mutation-driven misses apart from capacity ones.
+	Stale uint64 `json:"stale"`
+	// DroppedPuts counts inserts discarded because their generation was
+	// superseded before the put landed (the computation raced a mutation).
+	// Under sustained mutation load this is why entries never materialize;
+	// without it those puts are silently indistinguishable from successful
+	// ones that were then evicted.
+	DroppedPuts uint64 `json:"dropped_puts"`
+	Entries     int    `json:"entries"`
+	Capacity    int    `json:"capacity"`
 }
 
 // cache is a mutex-guarded LRU of query results keyed by the normalized
@@ -31,14 +40,15 @@ type CacheStats struct {
 // generation, so results computed against pre-mutation shard state become
 // unservable the moment the mutation lands.
 type cache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	stale     uint64
+	mu          sync.Mutex
+	cap         int
+	ll          *list.List // front = most recently used
+	items       map[string]*list.Element
+	hits        uint64
+	misses      uint64
+	evictions   uint64
+	stale       uint64
+	droppedPuts uint64
 	// maxGen is the newest index generation this cache has seen (every
 	// lookup presents the current one). Inserts stamped older are dropped:
 	// they could never be served, and at capacity they would evict a
@@ -83,12 +93,13 @@ func (c *cache) get(key string, gen uint64) ([]uint32, bool) {
 	if e.gen != gen {
 		// Older than the lookup's generation: unservable forever, drop it.
 		// Newer (the lookup raced a mutation and snapshotted early): still
-		// servable to current-generation lookups, so just miss.
+		// servable to current-generation lookups, so keep it. Both
+		// directions are generation staleness, not capacity misses.
 		if e.gen < gen {
 			c.ll.Remove(el)
 			delete(c.items, key)
-			c.stale++
 		}
+		c.stale++
 		c.misses++
 		return nil, false
 	}
@@ -112,11 +123,13 @@ func (c *cache) put(key string, docs []uint32, gen uint64) {
 		c.maxGen = gen
 	}
 	if gen < c.maxGen {
+		c.droppedPuts++
 		return
 	}
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*cacheEntry)
 		if gen < e.gen {
+			c.droppedPuts++
 			return
 		}
 		e.docs = docs
@@ -140,11 +153,12 @@ func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Stale:     c.stale,
-		Entries:   c.ll.Len(),
-		Capacity:  c.cap,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Stale:       c.stale,
+		DroppedPuts: c.droppedPuts,
+		Entries:     c.ll.Len(),
+		Capacity:    c.cap,
 	}
 }

@@ -129,6 +129,99 @@ func TestCacheKeyCanonicalForm(t *testing.T) {
 	}
 }
 
+// TestCacheGenerationCounters pins the accounting satellite: every
+// generation-related miss is counted in Stale (both mismatch directions),
+// generation-discarded inserts are counted in DroppedPuts, and
+// Hits+Misses stays the total lookup count throughout.
+func TestCacheGenerationCounters(t *testing.T) {
+	c := newCache(8)
+	lookups := 0
+	get := func(key string, gen uint64) bool {
+		lookups++
+		_, ok := c.get(key, gen)
+		return ok
+	}
+	c.put("q", []uint32{1}, 1)
+	if !get("q", 1) {
+		t.Fatal("fresh entry missed")
+	}
+	// Entry older than the lookup: dropped and stale.
+	if get("q", 2) {
+		t.Fatal("superseded entry served")
+	}
+	st := c.stats()
+	if st.Stale != 1 || st.Entries != 0 {
+		t.Fatalf("after old-entry drop: %+v", st)
+	}
+	// Entry newer than the lookup (the lookup snapshotted its generation
+	// before a mutation landed): a stale miss too, but the entry stays
+	// servable for current-generation lookups.
+	c.put("q", []uint32{2}, 2)
+	if get("q", 1) {
+		t.Fatal("newer entry served to an older-generation lookup")
+	}
+	st = c.stats()
+	if st.Stale != 2 {
+		t.Fatalf("newer-direction mismatch not counted stale: %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("newer entry should survive an older lookup: %+v", st)
+	}
+	if !get("q", 2) {
+		t.Fatal("current-generation lookup should still hit")
+	}
+
+	// Puts from behind the newest seen generation are discarded — and now
+	// counted, so sustained-mutation workloads can see why entries never
+	// materialize.
+	c.put("r", []uint32{1}, 1) // maxGen is 2: dropped
+	if st = c.stats(); st.DroppedPuts != 1 {
+		t.Fatalf("behind-maxGen put not counted: %+v", st)
+	}
+	c.put("q", []uint32{3}, 1) // behind the existing entry's generation too
+	if st = c.stats(); st.DroppedPuts != 2 {
+		t.Fatalf("behind-entry put not counted: %+v", st)
+	}
+	if st.Hits+st.Misses != uint64(lookups) {
+		t.Fatalf("Hits(%d)+Misses(%d) != lookups(%d)", st.Hits, st.Misses, lookups)
+	}
+	if st.Stale > st.Misses {
+		t.Fatalf("Stale(%d) must be a subset of Misses(%d)", st.Stale, st.Misses)
+	}
+}
+
+// TestCacheCountersUnderMutation drives the real engine query/mutation path
+// and checks the generation accounting surfaces there: mutations between
+// repeated queries must show up as stale lookups, never as phantom hits.
+func TestCacheCountersUnderMutation(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2, CacheSize: 64}, 5_000)
+	q := "m2 AND m3"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(q)
+	if err != nil || !res.Cached {
+		t.Fatalf("second query should hit: %v %v", res, err)
+	}
+	if err := e.AddDocument(1_000_001, []string{"m2", "m3"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("query after a mutation served a stale cached result")
+	}
+	st := e.cache.stats()
+	if st.Stale == 0 {
+		t.Fatalf("mutation-invalidated lookup not counted stale: %+v", st)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1: %+v", st.Hits, st)
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := newCache(64)
 	var wg sync.WaitGroup

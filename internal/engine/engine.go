@@ -37,11 +37,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastintersect"
 	"fastintersect/internal/invindex"
+	"fastintersect/internal/obs"
 	"fastintersect/internal/plan"
 	"fastintersect/internal/sets"
 )
@@ -80,6 +83,16 @@ type Config struct {
 	// IndexOptions are forwarded to fastintersect.Preprocess for every
 	// posting list.
 	IndexOptions []fastintersect.Option
+	// TraceSample traces 1 in N queries with per-stage and per-operator
+	// timing (0 = the package default of 64). Sampled traces feed the stage
+	// histograms and per-kernel counters on Metrics(); unsampled queries
+	// pay one atomic add and a nil check per operator.
+	TraceSample int
+	// NoMetrics disables the latency/stage histograms and trace sampling
+	// (the plain operation counters stay on — they are one sharded atomic
+	// add each). Exists for the CI overhead guard and for embedders that
+	// bring their own instrumentation.
+	NoMetrics bool
 }
 
 // Engine serves queries against a sharded inverted index. All methods are
@@ -102,11 +115,10 @@ type Engine struct {
 	// they change the representation, not the visible document set.
 	gen atomic.Uint64
 
-	queries     atomic.Uint64
-	errors      atomic.Uint64
-	rebuilds    atomic.Uint64
-	mutations   atomic.Uint64
-	compactions atomic.Uint64
+	// met is the observability surface: operation counters, latency and
+	// stage histograms, per-kernel counters and the trace sampler, all on a
+	// per-engine obs.Registry (see metrics.go and Metrics).
+	met *engineMetrics
 }
 
 // ErrNotBuilt is returned by Query and the mutation methods before any index
@@ -126,13 +138,21 @@ func New(cfg Config) *Engine {
 	if costs == nil {
 		costs = plan.Calibrated()
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		costs:   costs,
 		workers: make(chan struct{}, cfg.Workers),
 		cache:   newCache(cfg.CacheSize),
 	}
+	e.met = newEngineMetrics(e, cfg)
+	return e
 }
+
+// Metrics returns the engine's metric registry — operation counters, the
+// query-latency and per-stage histograms, per-kernel counters and the
+// cache/generation callback series — for rendering via
+// obs.Registry.WritePrometheus (fsiserve mounts it at GET /metrics).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 
 // shardOf routes a document to its partition (Fibonacci hashing on the
 // docID so consecutive IDs spread evenly).
@@ -241,7 +261,7 @@ func (e *Engine) Install(b *Builder) error {
 	e.shards = shards
 	e.mu.Unlock()
 	e.gen.Add(1)
-	e.rebuilds.Add(1)
+	e.met.rebuilds.Inc()
 	return nil
 }
 
@@ -272,7 +292,7 @@ type Result struct {
 // or a pooled buffer — so it is safe to cache and to hand to the caller
 // while the contexts are recycled into concurrent queries.
 func (e *Engine) Query(q string) (*Result, error) {
-	res, _, err := e.execute(q, false)
+	res, _, err := e.execute(q, modeQuery)
 	return res, err
 }
 
@@ -281,72 +301,232 @@ func (e *Engine) Query(q string) (*Result, error) {
 // and cost estimates). The plan is rebuilt even on a cache hit, so the
 // rendering always reflects current index statistics.
 func (e *Engine) Explain(q string) (*Result, string, error) {
-	return e.execute(q, true)
+	return e.execute(q, modeExplain)
 }
 
-func (e *Engine) execute(q string, explain bool) (*Result, string, error) {
-	e.queries.Add(1)
+// ExplainAnalyze executes the query with a full per-operator trace —
+// bypassing the result cache, so the plan really runs — and renders the
+// executed plan with measured rows and time next to each operator's
+// estimates, followed by the stage and per-shard timing breakdown. This is
+// the planner feedback surface: est_rows vs act_rows per operator is
+// exactly the signal the ROADMAP's self-tuning planner consumes. The
+// result is still written to the cache, so an analyzed query warms it like
+// any other.
+func (e *Engine) ExplainAnalyze(q string) (*Result, string, error) {
+	return e.execute(q, modeAnalyze)
+}
+
+// execMode selects what execute returns beyond the result.
+type execMode uint8
+
+const (
+	modeQuery   execMode = iota // result only
+	modeExplain                 // result + estimated plan (cache may serve the result)
+	modeAnalyze                 // result + executed plan with actuals (cache bypassed)
+)
+
+// execute wraps executeQuery with the per-query observability: the query
+// counter, the latency histogram, the sampling decision and the trace
+// lifecycle. Timing is skipped entirely when neither the histograms nor a
+// trace want it.
+func (e *Engine) execute(q string, mode execMode) (*Result, string, error) {
+	m := e.met
+	m.queries.Inc()
+	var tr *obs.Trace
+	if mode == modeAnalyze || m.sampleTrace() {
+		tr = obs.GetTrace()
+		tr.Query = q
+	}
+	var start time.Time
+	timed := m.enabled || tr != nil
+	if timed {
+		start = time.Now()
+	}
+	res, expl, err := e.executeQuery(q, mode, tr)
+	if err != nil {
+		m.queryErrors.Inc()
+	}
+	if timed {
+		total := time.Since(start)
+		if m.enabled {
+			m.latency.Observe(total)
+		}
+		if tr != nil {
+			tr.TotalNs = total.Nanoseconds()
+			tr.Err = err != nil
+			if m.enabled {
+				for s, ns := range tr.Stages {
+					if ns > 0 {
+						m.stages[s].Observe(time.Duration(ns))
+					}
+				}
+			}
+			obs.PutTrace(tr)
+		}
+	}
+	return res, expl, err
+}
+
+// stamp records the time since *t0 into tr's stage s and advances *t0.
+// No-op without a trace, so call sites need no guards.
+func stamp(tr *obs.Trace, s obs.Stage, t0 *time.Time) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.Stages[s] = now.Sub(*t0).Nanoseconds()
+	*t0 = now
+}
+
+func (e *Engine) executeQuery(q string, mode execMode, tr *obs.Trace) (*Result, string, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	ast, err := plan.Parse(q)
 	if err != nil {
-		e.errors.Add(1)
 		return nil, "", err
 	}
+	stamp(tr, obs.StageParse, &t0)
 	key := ast.String()
+	stamp(tr, obs.StageNormalize, &t0)
 	// Snapshot the index generation BEFORE the shard state: if a mutation or
 	// Install lands while we evaluate, the entry we put below is stamped with
 	// a superseded generation and can never be served.
 	gen := e.gen.Load()
-	docs, hit := e.cache.get(key, gen)
-	if hit && !explain {
+	var docs []uint32
+	hit := false
+	if mode != modeAnalyze {
+		// Analyze mode bypasses the probe: its whole point is to measure a
+		// real execution, and serving the cached docs would render every
+		// operator "(not executed)".
+		docs, hit = e.cache.get(key, gen)
+		stamp(tr, obs.StageCache, &t0)
+	}
+	if hit && tr != nil {
+		tr.Cached = true
+	}
+	if hit && mode == modeQuery {
 		return &Result{Docs: docs, Normalized: key, Cached: true}, "", nil
 	}
 	shards := e.snapshot()
 	if shards == nil {
-		e.errors.Add(1)
 		return nil, "", ErrNotBuilt
 	}
 	pc := getPlanCtx()
 	pc.stats.fill(shards)
 	pp := plan.Build(&pc.plan, ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy,
 		e.cfg.Storage == invindex.StorageCompressed)
+	stamp(tr, obs.StagePlan, &t0)
 	expl := ""
-	if explain {
-		expl = pp.Explain()
-		if e.cfg.Algorithm != fastintersect.Auto {
-			// The plan renders the cost model's choices; a configured
-			// algorithm overrides them at execution (see listAlgorithm), so
-			// say so rather than show a kernel that never ran.
-			expl += fmt.Sprintf("note: Config.Algorithm=%v overrides the list-kernel choices above\n", e.cfg.Algorithm)
-		}
+	if mode == modeExplain {
+		expl = pp.Explain() + e.algorithmNote()
 	}
 	if hit {
 		putPlanCtx(pc)
 		return &Result{Docs: docs, Normalized: key, Cached: true}, expl, nil
 	}
-	merged, err := e.executePlan(shards, pp)
-	putPlanCtx(pc)
+	var agg *traceRec
+	if tr != nil {
+		agg = getTraceRec(len(pp.Ops))
+	}
+	merged, err := e.executePlan(shards, pp, tr, agg)
 	if err != nil {
-		e.errors.Add(1)
+		putTraceRec(agg)
+		putPlanCtx(pc)
 		return nil, "", err
 	}
+	if tr != nil {
+		e.met.recordKernels(pp, agg)
+	}
+	if mode == modeAnalyze {
+		expl = renderAnalyze(pc, pp, agg, tr) + e.algorithmNote()
+	}
+	putTraceRec(agg)
+	putPlanCtx(pc)
 	e.cache.put(key, merged, gen)
 	return &Result{Docs: merged, Normalized: key}, expl, nil
 }
 
+// algorithmNote flags a configured intersection algorithm on explain
+// output: the plan renders the cost model's choices, but a configured
+// algorithm overrides them at execution (see listAlgorithm), so say so
+// rather than show a kernel that never ran.
+func (e *Engine) algorithmNote() string {
+	if e.cfg.Algorithm == fastintersect.Auto {
+		return ""
+	}
+	return fmt.Sprintf("note: Config.Algorithm=%v overrides the list-kernel choices above\n", e.cfg.Algorithm)
+}
+
+// renderAnalyze renders the executed plan with actuals plus the stage and
+// per-shard breakdown of the trace. The OpActual arena rides on the plan
+// context so steady-state analyze calls reuse it.
+func renderAnalyze(pc *planCtx, pp *plan.Plan, agg *traceRec, tr *obs.Trace) string {
+	if cap(pc.actuals) < len(agg.ops) {
+		pc.actuals = make([]plan.OpActual, len(agg.ops))
+	}
+	pc.actuals = pc.actuals[:len(agg.ops)]
+	for i, a := range agg.ops {
+		pc.actuals[i] = plan.OpActual{Execs: a.execs, Rows: a.rows, Ns: a.ns}
+	}
+	var sb strings.Builder
+	sb.WriteString(pp.ExplainAnalyze(pc.actuals))
+	sb.WriteString("stages:")
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if ns := tr.Stages[s]; ns > 0 {
+			fmt.Fprintf(&sb, " %s=%s", s, fmtNs(ns))
+		}
+	}
+	sb.WriteString("\n")
+	for _, sp := range tr.Shards {
+		fmt.Fprintf(&sb, "shard %d: rows=%d time=%s\n", sp.Shard, sp.Rows, fmtNs(sp.Ns))
+	}
+	return sb.String()
+}
+
+// fmtNs matches the plan package's cost rendering (ns/µs/ms).
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
 // executePlan runs one physical plan over the shard set and merges the
-// per-shard sorted results into a fresh slice.
-func (e *Engine) executePlan(shards []*shard, pp *plan.Plan) ([]uint32, error) {
+// per-shard sorted results into a fresh slice. When the query is traced
+// (tr and agg non-nil, always together), each shard evaluation records its
+// per-operator actuals into a context-local traceRec, and the recordings
+// are merged into agg — the per-shard spans and the exec/merge stage
+// timings land on tr.
+func (e *Engine) executePlan(shards []*shard, pp *plan.Plan, tr *obs.Trace, agg *traceRec) ([]uint32, error) {
 	if len(shards) == 1 {
 		// Single shard: evaluate inline, skipping the fan-out goroutine but
 		// still holding a bounded worker slot — Config.Workers caps shard
 		// evaluations across ALL in-flight queries regardless of shape.
 		e.workers <- struct{}{}
 		defer func() { <-e.workers }()
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		c := getExecCtx()
+		c.rec = agg // nil for untraced queries
 		docs, owned, err := e.evalSegments(c, shards[0], pp)
+		// agg is owned by the caller: detach it before the context returns
+		// to the pool on every path, or putExecCtx would recycle it.
+		c.rec = nil
 		if err != nil {
 			putExecCtx(c)
 			return nil, err
+		}
+		if tr != nil {
+			stamp(tr, obs.StageExec, &t0)
+			tr.Shards = append(tr.Shards, obs.ShardSpan{Shard: 0, Rows: len(docs), Ns: tr.Stages[obs.StageExec]})
 		}
 		merged := make([]uint32, len(docs))
 		copy(merged, docs)
@@ -354,7 +534,12 @@ func (e *Engine) executePlan(shards []*shard, pp *plan.Plan) ([]uint32, error) {
 			c.putBuf(docs)
 		}
 		putExecCtx(c)
+		stamp(tr, obs.StageMerge, &t0)
 		return merged, nil
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qc := getQueryCtx(len(shards))
 	var wg sync.WaitGroup
@@ -366,16 +551,38 @@ func (e *Engine) executePlan(shards []*shard, pp *plan.Plan) ([]uint32, error) {
 			defer func() { <-e.workers }()
 			c := getExecCtx()
 			qc.ctxs[i] = c
+			if agg != nil {
+				c.rec = getTraceRec(len(pp.Ops))
+				shardStart := time.Now()
+				qc.results[i], qc.owned[i], qc.errs[i] = e.evalSegments(c, s, pp)
+				c.rec.shardNs = time.Since(shardStart).Nanoseconds()
+				return
+			}
 			qc.results[i], qc.owned[i], qc.errs[i] = e.evalSegments(c, s, pp)
 		}(i, s)
 	}
 	wg.Wait()
+	if agg != nil {
+		// Harvest the per-shard recordings before the contexts are pooled:
+		// putQueryCtx → putExecCtx would recycle them unread (that fallback
+		// is the cleanup for the error return below).
+		for i, c := range qc.ctxs {
+			if c == nil || c.rec == nil {
+				continue
+			}
+			agg.merge(c.rec)
+			tr.Shards = append(tr.Shards, obs.ShardSpan{Shard: i, Rows: len(qc.results[i]), Ns: c.rec.shardNs})
+			putTraceRec(c.rec)
+			c.rec = nil
+		}
+	}
 	for _, err := range qc.errs {
 		if err != nil {
 			putQueryCtx(qc)
 			return nil, err
 		}
 	}
+	stamp(tr, obs.StageExec, &t0)
 	// Shards partition the document space, so the per-shard sorted results
 	// are disjoint and merging is a pure interleave; the k-way union writes
 	// into a fresh exactly-sized slice, so the merged result never aliases
@@ -386,6 +593,7 @@ func (e *Engine) executePlan(shards []*shard, pp *plan.Plan) ([]uint32, error) {
 	}
 	merged := sets.UnionKInto(make([]uint32, 0, total), qc.results...)
 	putQueryCtx(qc)
+	stamp(tr, obs.StageMerge, &t0)
 	return merged, nil
 }
 
@@ -460,11 +668,11 @@ func (e *Engine) Stats() Stats {
 		Shards:      e.cfg.Shards,
 		Storage:     e.cfg.Storage.String(),
 		Postings:    PostingStats{Encodings: map[string]EncodingStat{}},
-		Queries:     e.queries.Load(),
-		QueryErrors: e.errors.Load(),
-		Rebuilds:    e.rebuilds.Load(),
-		Mutations:   e.mutations.Load(),
-		Compactions: e.compactions.Load(),
+		Queries:     e.met.queries.Value(),
+		QueryErrors: e.met.queryErrors.Value(),
+		Rebuilds:    e.met.rebuilds.Value(),
+		Mutations:   e.met.mutations.Value(),
+		Compactions: e.met.compactions.Value(),
 		Generation:  e.gen.Load(),
 		Workers:     e.cfg.Workers,
 		Cache:       e.cache.stats(),

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"fastintersect"
 	"fastintersect/internal/compress"
@@ -56,7 +57,25 @@ func (e *Engine) intersectPair(c *execCtx, pol plan.KernelPolicy, a, b []uint32)
 // read-only) or is backed by a context buffer (owned = true; the caller
 // recycles it with c.putBuf once consumed). Either way it is only valid
 // until the context is released.
-func (e *Engine) evalOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) (docs []uint32, owned bool, err error) {
+//
+// When the query is traced (c.rec non-nil) each evaluation also records
+// the operator's execution count, output rows and inclusive wall time;
+// ExplainAnalyze derives exclusive times by subtracting children at render
+// time. Untraced queries take the first branch — a nil check per operator.
+func (e *Engine) evalOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) ([]uint32, bool, error) {
+	if c.rec == nil {
+		return e.evalOpInner(c, ix, p, i)
+	}
+	start := time.Now()
+	docs, owned, err := e.evalOpInner(c, ix, p, i)
+	a := &c.rec.ops[i]
+	a.execs++
+	a.rows += int64(len(docs))
+	a.ns += time.Since(start).Nanoseconds()
+	return docs, owned, err
+}
+
+func (e *Engine) evalOpInner(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) (docs []uint32, owned bool, err error) {
 	op := &p.Ops[i]
 	switch op.Kind {
 	case plan.OpTerm:
@@ -97,6 +116,19 @@ func (e *Engine) evalOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) (
 	return nil, false, fmt.Errorf("engine: unknown plan op kind %d", op.Kind)
 }
 
+// recTerm records a term operand fetched inside a conjunction pushdown:
+// the kernel consumes the list without materializing per-term output, so
+// the recorded rows are the operand's input length and its time (one map
+// lookup) is accounted to the parent (ns stays 0).
+func recTerm(c *execCtx, ti int32, n int) {
+	if c.rec == nil {
+		return
+	}
+	a := &c.rec.ops[ti]
+	a.execs++
+	a.rows += int64(n)
+}
+
 // evalAndOp evaluates one conjunction operator under evalOp's ownership
 // rules. The plan supplies the operand order; the kernel is re-priced on
 // the shard's actual sizes.
@@ -106,20 +138,31 @@ func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32
 	compressed := ix.Storage() == invindex.StorageCompressed
 	for _, ti := range p.TermOps(op) {
 		term := p.Ops[ti].Term
+		var n int
 		if compressed {
 			s := ix.Stored(term)
-			if s == nil || s.Len() == 0 {
+			if s != nil {
+				n = s.Len()
+			}
+			if n == 0 {
+				recTerm(c, ti, 0)
 				c.releaseFrame(f)
 				return nil, false, nil // empty operand: whole conjunction is empty
 			}
+			recTerm(c, ti, n)
 			f.stored = append(f.stored, s)
 			continue
 		}
 		l := ix.Postings(term)
-		if l == nil || l.Len() == 0 {
+		if l != nil {
+			n = l.Len()
+		}
+		if n == 0 {
+			recTerm(c, ti, 0)
 			c.releaseFrame(f)
 			return nil, false, nil // empty operand: whole conjunction is empty
 		}
+		recTerm(c, ti, n)
 		f.lists = append(f.lists, l)
 	}
 	var cur []uint32

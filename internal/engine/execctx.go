@@ -36,6 +36,12 @@ type execCtx struct {
 	pool  []*evalFrame
 	lens  []int          // scratch for per-shard list-kernel pricing
 	ops   []plan.Operand // scratch for per-shard stored-strategy pricing
+
+	// rec, when non-nil, makes evalOp record per-operator actuals (execs,
+	// rows, inclusive ns) into it — set by executePlan for traced queries,
+	// indexed parallel to the executing plan's Ops. Untraced queries pay
+	// one nil check per operator.
+	rec *traceRec
 }
 
 // evalFrame holds one AND/OR operator's operand collections, recycled
@@ -64,6 +70,12 @@ func putExecCtx(c *execCtx) {
 	c.memoK = c.memoK[:0]
 	c.memoV = c.memoV[:0]
 	c.fi.Reset()
+	if c.rec != nil {
+		// Error-path cleanup: executePlan harvests (and detaches) recordings
+		// on success, so one still attached here was abandoned mid-query.
+		putTraceRec(c.rec)
+		c.rec = nil
+	}
 	execCtxPool.Put(c)
 }
 

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sync"
+
+	"fastintersect/internal/obs"
+	"fastintersect/internal/plan"
+)
+
+// engineMetrics is the engine's observability surface: sharded counters for
+// the operation mix, log₂ histograms for end-to-end and per-stage latency,
+// and per-kernel execution counters fed by sampled traces. Every engine
+// owns a private obs.Registry (exposed via Engine.Metrics), so two engines
+// in one process never mix series and tests need no global reset.
+//
+// The counters are always live — they are one sharded atomic add each.
+// The histograms and the trace sampler are disabled by Config.NoMetrics,
+// which is what the CI overhead guard benchmarks against.
+type engineMetrics struct {
+	reg     *obs.Registry
+	enabled bool
+	sampler *obs.Sampler
+
+	queries     *obs.Counter
+	queryErrors *obs.Counter
+	batches     *obs.Counter
+	mutations   *obs.Counter
+	compactions *obs.Counter
+	rebuilds    *obs.Counter
+
+	latency *obs.Histogram
+	stages  [obs.NumStages]*obs.Histogram
+
+	kernelExecs [plan.KernelCount]*obs.Counter
+	kernelRows  [plan.KernelCount]*obs.Counter
+	kernelNs    [plan.KernelCount]*obs.Counter
+}
+
+// defaultTraceSample traces 1 in 64 queries: frequent enough that the
+// stage/kernel series move within seconds under load, rare enough that the
+// tracing cost disappears into the <2% overhead budget.
+const defaultTraceSample = 64
+
+func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
+	sample := cfg.TraceSample
+	if sample <= 0 {
+		sample = defaultTraceSample
+	}
+	r := obs.NewRegistry()
+	m := &engineMetrics{
+		reg:         r,
+		enabled:     !cfg.NoMetrics,
+		sampler:     obs.NewSampler(sample),
+		queries:     r.Counter("fsi_queries_total", "Queries accepted (including parse failures and cache hits)."),
+		queryErrors: r.Counter("fsi_query_errors_total", "Queries that returned an error."),
+		batches:     r.Counter("fsi_batches_total", "QueryBatch calls."),
+		mutations:   r.Counter("fsi_mutations_total", "Effective AddDocument/DeleteDocument mutations."),
+		compactions: r.Counter("fsi_compactions_total", "Completed shard compactions."),
+		rebuilds:    r.Counter("fsi_rebuilds_total", "Index installs."),
+		latency:     r.Histogram("fsi_query_latency_seconds", "End-to-end Query latency."),
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		m.stages[s] = r.Histogram(`fsi_query_stage_seconds{stage="`+s.String()+`"}`,
+			"Per-stage latency of sampled queries.")
+	}
+	for k := 1; k < plan.KernelCount; k++ { // skip KernelNone
+		name := plan.Kernel(k).String()
+		m.kernelExecs[k] = r.Counter(`fsi_kernel_executions_total{kernel="`+name+`"}`,
+			"Conjunction-kernel executions observed in sampled queries.")
+		m.kernelRows[k] = r.Counter(`fsi_kernel_rows_total{kernel="`+name+`"}`,
+			"Output rows produced by each kernel in sampled queries.")
+		m.kernelNs[k] = r.Counter(`fsi_kernel_ns_total{kernel="`+name+`"}`,
+			"Wall nanoseconds spent in each kernel in sampled queries (inclusive of operand fetch).")
+	}
+	r.CounterFunc("fsi_cache_hits_total", "Result-cache hits.",
+		func() uint64 { return e.cache.stats().Hits })
+	r.CounterFunc("fsi_cache_misses_total", "Result-cache misses (including stale drops).",
+		func() uint64 { return e.cache.stats().Misses })
+	r.CounterFunc("fsi_cache_evictions_total", "Result-cache capacity evictions.",
+		func() uint64 { return e.cache.stats().Evictions })
+	r.CounterFunc("fsi_cache_stale_total", "Result-cache probes invalidated by a generation mismatch.",
+		func() uint64 { return e.cache.stats().Stale })
+	r.CounterFunc("fsi_cache_dropped_puts_total", "Result-cache inserts discarded because their generation was superseded.",
+		func() uint64 { return e.cache.stats().DroppedPuts })
+	r.GaugeFunc("fsi_cache_entries", "Result-cache resident entries.",
+		func() float64 { return float64(e.cache.stats().Entries) })
+	r.GaugeFunc("fsi_index_generation", "Index generation (bumped by every install and effective mutation).",
+		func() float64 { return float64(e.gen.Load()) })
+	return m
+}
+
+// sampleTrace decides whether this query gets a stage trace.
+func (m *engineMetrics) sampleTrace() bool {
+	return m.enabled && m.sampler.Sample()
+}
+
+// recordKernels folds one traced query's per-operator actuals into the
+// per-kernel counters: only conjunctions that ran a real multi-operand
+// kernel contribute, and their time is inclusive of operand fetch (that is
+// what the kernel tier is accountable for end to end).
+func (m *engineMetrics) recordKernels(pp *plan.Plan, agg *traceRec) {
+	if !m.enabled {
+		return
+	}
+	for i := range pp.Ops {
+		op := &pp.Ops[i]
+		if op.Kind != plan.OpAnd || op.Kernel == plan.KernelNone {
+			continue
+		}
+		a := &agg.ops[i]
+		if a.execs == 0 {
+			continue
+		}
+		k := op.Kernel
+		m.kernelExecs[k].Add(uint64(a.execs))
+		m.kernelRows[k].Add(uint64(a.rows))
+		m.kernelNs[k].Add(uint64(a.ns))
+	}
+}
+
+// opAcc accumulates one plan operator's executions during a traced query.
+type opAcc struct {
+	execs int64
+	rows  int64
+	ns    int64
+}
+
+// traceRec is the per-execution-context recording arena of a traced query:
+// one opAcc per plan operator (indexed parallel to plan.Ops) plus the
+// shard-level span. It rides on execCtx.rec — evalOp records into it only
+// when it is non-nil, so untraced queries pay a single nil check per
+// operator. Pooled, like every other per-query structure.
+type traceRec struct {
+	ops       []opAcc
+	shardRows int64
+	shardNs   int64
+}
+
+var traceRecPool = sync.Pool{New: func() any { return new(traceRec) }}
+
+// getTraceRec returns a zeroed recording arena sized for n plan operators.
+func getTraceRec(n int) *traceRec {
+	r := traceRecPool.Get().(*traceRec)
+	if cap(r.ops) < n {
+		r.ops = make([]opAcc, n)
+	} else {
+		r.ops = r.ops[:n]
+		for i := range r.ops {
+			r.ops[i] = opAcc{}
+		}
+	}
+	r.shardRows = 0
+	r.shardNs = 0
+	return r
+}
+
+// putTraceRec recycles r. Nil-safe.
+func putTraceRec(r *traceRec) {
+	if r != nil {
+		traceRecPool.Put(r)
+	}
+}
+
+// merge folds another shard's recording into r (the query-level aggregate).
+func (r *traceRec) merge(o *traceRec) {
+	for i := range o.ops {
+		r.ops[i].execs += o.ops[i].execs
+		r.ops[i].rows += o.ops[i].rows
+		r.ops[i].ns += o.ops[i].ns
+	}
+}

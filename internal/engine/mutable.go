@@ -185,7 +185,7 @@ func (e *Engine) AddDocument(docID uint32, terms []string) error {
 	}
 	spawn := e.wantsCompactLocked(s)
 	s.mu.Unlock()
-	e.mutations.Add(1)
+	e.met.mutations.Inc()
 	e.gen.Add(1)
 	if spawn {
 		go e.compactShard(s) //nolint:errcheck // failure restores the delta; retried on the next trigger
@@ -217,7 +217,7 @@ func (e *Engine) DeleteDocument(docID uint32) (bool, error) {
 	s.live--
 	spawn := e.wantsCompactLocked(s)
 	s.mu.Unlock()
-	e.mutations.Add(1)
+	e.met.mutations.Inc()
 	e.gen.Add(1)
 	if spawn {
 		go e.compactShard(s) //nolint:errcheck
@@ -348,7 +348,7 @@ func (e *Engine) compactShard(s *shard) error {
 		}
 	}
 	s.live = live
-	e.compactions.Add(1)
+	e.met.compactions.Inc()
 	return nil
 }
 

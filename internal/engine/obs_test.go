@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/obs"
+	"fastintersect/internal/race"
+)
+
+// TestExplainAnalyze pins the planner-feedback surface: the rendered plan
+// must carry measured rows and time per operator next to the estimates,
+// under both storage modes and both shard shapes.
+func TestExplainAnalyze(t *testing.T) {
+	const numDocs = 20_000
+	for _, st := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s-%dshard", st, shards), func(t *testing.T) {
+				e := buildTestEngine(t, Config{Shards: shards, Storage: st, CacheSize: 64}, numDocs)
+				res, expl, err := e.ExplainAnalyze("(m2 AND m3) OR m11 AND NOT m13")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, want := range []string{
+					"est_rows=", "act_rows=", "act_time=", "est_cost=", "stages:", "shard 0:",
+				} {
+					if !strings.Contains(expl, want) {
+						t.Errorf("analyze output missing %q:\n%s", want, expl)
+					}
+				}
+				if strings.Contains(expl, "(not executed)") {
+					t.Errorf("fully-executed plan rendered unexecuted operators:\n%s", expl)
+				}
+				// The engine has no deltas or tombstones here, so the root's
+				// measured rows (base segments, summed over shards) must equal
+				// the final result exactly.
+				rootWant := fmt.Sprintf("act_rows=%d", len(res.Docs))
+				if !strings.Contains(expl, rootWant) {
+					t.Errorf("no operator reports the result cardinality %s:\n%s", rootWant, expl)
+				}
+				if shards > 1 && !strings.Contains(expl, fmt.Sprintf("shard %d:", shards-1)) {
+					t.Errorf("missing per-shard span for shard %d:\n%s", shards-1, expl)
+				}
+			})
+		}
+	}
+}
+
+// TestExplainAnalyzeBypassesCache: analyze must re-execute even when the
+// result is cached (otherwise every operator would read "(not executed)"),
+// and its result must still land in the cache.
+func TestExplainAnalyzeBypassesCache(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2, CacheSize: 64}, 10_000)
+	q := "m2 AND m5"
+	if _, err := e.Query(q); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	res, expl, err := e.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("analyze served the cached result instead of executing")
+	}
+	if strings.Contains(expl, "(not executed)") {
+		t.Fatalf("analyze did not execute the plan:\n%s", expl)
+	}
+	res2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("query after analyze should hit the cache")
+	}
+}
+
+// TestTraceSampling checks the 1-in-N gate: stage histograms accumulate
+// only sampled queries, and NoMetrics turns them off entirely.
+func TestTraceSampling(t *testing.T) {
+	const numDocs, queries = 5_000, 64
+	e := buildTestEngine(t, Config{Shards: 2, TraceSample: 4}, numDocs)
+	for i := 0; i < queries; i++ {
+		if _, err := e.Query("m2 AND m3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.met.stages[obs.StageParse].Snapshot().Count
+	if got != queries/4 {
+		t.Errorf("stage histogram holds %d samples, want %d (1 in 4 of %d)", got, queries/4, queries)
+	}
+	if lat := e.met.latency.Snapshot().Count; lat != queries {
+		t.Errorf("latency histogram holds %d, want every query (%d)", lat, queries)
+	}
+
+	off := buildTestEngine(t, Config{Shards: 2, NoMetrics: true}, numDocs)
+	for i := 0; i < queries; i++ {
+		if _, err := off.Query("m2 AND m3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := off.met.latency.Snapshot().Count; n != 0 {
+		t.Errorf("NoMetrics engine observed %d latencies, want 0", n)
+	}
+	if n := off.met.stages[obs.StageParse].Snapshot().Count; n != 0 {
+		t.Errorf("NoMetrics engine sampled %d traces, want 0", n)
+	}
+	// Counters stay on regardless: they are the Stats() source of truth.
+	if st := off.Stats(); st.Queries != queries {
+		t.Errorf("NoMetrics engine counted %d queries, want %d", st.Queries, queries)
+	}
+}
+
+// TestEngineMetricsEndToEnd scrapes the per-engine registry and checks the
+// series the ISSUE promises are present and move with traffic.
+func TestEngineMetricsEndToEnd(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2, CacheSize: 8, TraceSample: 1}, 5_000)
+	for i := 0; i < 8; i++ {
+		if _, err := e.Query("m2 AND m3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Query("zzz OR"); err == nil {
+		t.Fatal("malformed query should error")
+	}
+	if err := e.AddDocument(10_001, []string{"m2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DeleteDocument(10_001); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"fsi_queries_total 9",
+		"fsi_query_errors_total 1",
+		"fsi_mutations_total 2",
+		"fsi_rebuilds_total 1",
+		"fsi_cache_hits_total",
+		"fsi_cache_dropped_puts_total",
+		"fsi_index_generation 3", // install + 2 mutations
+		"fsi_query_latency_seconds_count 9",
+		`fsi_query_stage_seconds_bucket{stage="parse",le=`,
+		`fsi_kernel_executions_total{kernel=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// TraceSample=1 traces everything; the AND ran a real kernel each time,
+	// so some kernel counter must be non-zero.
+	hot := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "fsi_kernel_executions_total{") && !strings.HasSuffix(line, " 0") {
+			hot = true
+		}
+	}
+	if !hot {
+		t.Errorf("no kernel execution recorded with TraceSample=1:\n%s", text)
+	}
+}
+
+// TestQueryAllocsTraced extends the allocation guard to the instrumented
+// path: with tracing sampled OFF the bounds of TestQueryAllocs must hold
+// unchanged (the default configuration differs only by a nil check per
+// operator), and with every query traced the pooled trace machinery may
+// add only a small constant.
+func TestQueryAllocsTraced(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops Puts under -race; the allocation bounds cannot hold")
+	}
+	const numDocs = 20_000
+	cases := []struct {
+		name   string
+		cfg    Config
+		shards int
+		max    float64
+	}{
+		// TraceSample beyond any loop below: tracing never fires, bounds
+		// match TestQueryAllocs exactly.
+		{"sampled-off-1shard", Config{Shards: 1, TraceSample: 1 << 30}, 1, 30},
+		{"sampled-off-4shard", Config{Shards: 4, TraceSample: 1 << 30}, 4, 70},
+		// Every query traced: trace, stage stamps and per-op recording all
+		// ride pooled arenas.
+		{"traced-1shard", Config{Shards: 1, TraceSample: 1}, 1, 40},
+		{"traced-4shard", Config{Shards: 4, TraceSample: 1}, 4, 85},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := buildTestEngine(t, tc.cfg, numDocs)
+			const q = "m2 AND m3"
+			for i := 0; i < 5; i++ { // warm pools
+				if _, err := e.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var err error
+			n := testing.AllocsPerRun(50, func() {
+				_, err = e.Query(q)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n > tc.max {
+				t.Fatalf("Query(%q) allocates %.1f times per op, want ≤ %v", q, n, tc.max)
+			}
+		})
+	}
+}
+
+// TestMetricsOverheadGuard is the CI overhead gate: the default
+// instrumented configuration must stay within 5% of NoMetrics on the mixed
+// workload. Gated behind FSI_OVERHEAD_GUARD because wall-clock comparisons
+// are too noisy for the ordinary -race matrix; CI runs it on a dedicated
+// step with repetitions.
+func TestMetricsOverheadGuard(t *testing.T) {
+	if os.Getenv("FSI_OVERHEAD_GUARD") == "" {
+		t.Skip("set FSI_OVERHEAD_GUARD=1 to run the instrumentation overhead gate")
+	}
+	base := benchEngineNs(t, Config{Shards: 2, NoMetrics: true})
+	inst := benchEngineNs(t, Config{Shards: 2}) // default: metrics on, 1-in-64 tracing
+	ratio := float64(inst) / float64(base)
+	t.Logf("uninstrumented %d ns/op, instrumented %d ns/op, ratio %.3f", base, inst, ratio)
+	if ratio > 1.05 {
+		t.Fatalf("instrumentation overhead %.1f%% exceeds the 5%% budget", (ratio-1)*100)
+	}
+}
+
+// benchEngineNs runs the BenchmarkQueryMixed workload under cfg a few times
+// and returns the fastest ns/op (minimum-of-reps rejects scheduler noise).
+func benchEngineNs(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	e := buildBenchEngineCfg(t, cfg)
+	_, queries := benchWorkload(t)
+	best := int64(0)
+	for rep := 0; rep < 5; rep++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if ns := r.NsPerOp(); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -79,6 +79,9 @@ func encodingShape(enc compress.Encoding) plan.Shape {
 type planCtx struct {
 	plan  plan.Plan
 	stats planStats
+	// actuals is the ExplainAnalyze rendering arena (one OpActual per plan
+	// operator), pooled with the context like the plan's own arenas.
+	actuals []plan.OpActual
 }
 
 var planCtxPool = sync.Pool{New: func() any { return new(planCtx) }}

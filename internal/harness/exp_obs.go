@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastintersect/internal/engine"
+	"fastintersect/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "obs-bench",
+		Title: "Scraped latency-histogram percentiles vs directly measured replay latency",
+		Paper: "engine tier (no paper artifact); validates the /metrics surface and seeds BENCH_obs.json",
+		Run:   runObsBench,
+	})
+}
+
+// ObsPhase is one replay phase of the observability experiment: the same
+// query stream measured two ways — per-query wall clock on the caller
+// side, and the engine's log2-bucketed latency histogram scraped in
+// Prometheus text form before and after the phase. The scraped
+// percentiles are bucket upper bounds, so they may sit up to one power of
+// two above the measured values; agreement beyond that is a histogram or
+// scrape bug.
+type ObsPhase struct {
+	Name      string `json:"name"`
+	Queries   int    `json:"queries"`
+	Mutations int    `json:"mutations"`
+
+	MeasuredP50US float64 `json:"measured_p50_us"`
+	MeasuredP90US float64 `json:"measured_p90_us"`
+	MeasuredP99US float64 `json:"measured_p99_us"`
+
+	ScrapeP50US float64 `json:"scrape_p50_us"`
+	ScrapeP90US float64 `json:"scrape_p90_us"`
+	ScrapeP99US float64 `json:"scrape_p99_us"`
+
+	// Cumulative engine counters after the phase, read from the same
+	// scrape that closed the histogram window.
+	QueriesTotal   uint64 `json:"queries_total"`
+	MutationsTotal uint64 `json:"mutations_total"`
+}
+
+// ObsReport is the machine-readable result of the observability
+// experiment: the BENCH_obs.json artifact emitted by fsibench -obs-json.
+type ObsReport struct {
+	Schema      string     `json:"schema"`
+	Scale       string     `json:"scale"`
+	Seed        uint64     `json:"seed"`
+	TraceSample int        `json:"trace_sample"`
+	Phases      []ObsPhase `json:"phases"`
+}
+
+// ObsBench replays a mixed AND/OR/NOT stream through an instrumented
+// engine (result cache disabled so every query pays the full pipeline),
+// scraping /metrics-equivalent text between phases and folding the
+// histogram-derived percentiles next to the directly measured ones. A
+// second phase interleaves live mutations so the counter series move too.
+func ObsBench(cfg Config) *ObsReport {
+	const traceSample = 16
+	rc := workload.SmallRealConfig()
+	rc.NumDocs, rc.NumTerms, rc.NumQueries = 100_000, 2_000, 128
+	n := 4_000
+	if cfg.Full() {
+		rc.NumDocs, rc.NumTerms, rc.NumQueries = 1_000_000, 20_000, 1_000
+		n = 40_000
+	}
+	rc.Seed = cfg.Seed
+	real := workload.NewReal(rc)
+	sc := workload.DefaultStreamConfig()
+	sc.OrFrac, sc.NotFrac = 0.30, 0.10
+	sc.Seed = cfg.Seed + 1
+	queries := real.QueryStream(n, sc)
+
+	e := engine.New(engine.Config{Shards: 2, TraceSample: traceSample})
+	b := e.NewBuilder()
+	for t, docs := range real.Postings {
+		if err := b.AddPosting(workload.TermName(t), docs); err != nil {
+			panic(fmt.Sprintf("harness: obs bench build: %v", err))
+		}
+	}
+	if err := e.Install(b); err != nil {
+		panic(fmt.Sprintf("harness: obs bench install: %v", err))
+	}
+	for _, q := range queries[:min(64, len(queries))] { // warm pools before the measured window
+		if _, err := e.Query(q); err != nil {
+			panic(fmt.Sprintf("harness: obs bench warm-up query %q: %v", q, err))
+		}
+	}
+
+	rep := &ObsReport{
+		Schema:      "fsibench/obs/v1",
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		TraceSample: traceSample,
+	}
+	prev := promScrape(e)
+
+	// Phase 1: pure replay.
+	lat := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		t0 := time.Now()
+		if _, err := e.Query(q); err != nil {
+			panic(fmt.Sprintf("harness: obs bench query %q: %v", q, err))
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	cur := promScrape(e)
+	rep.Phases = append(rep.Phases, obsPhase("replay", lat, 0, prev, cur))
+	prev = cur
+
+	// Phase 2: the same stream with live mutations interleaved, so the
+	// mutation/generation counters move inside the measured window.
+	lat = lat[:0]
+	muts := 0
+	churn := queries[:min(n/4, len(queries))]
+	for i, q := range churn {
+		if i%8 == 0 {
+			id := uint32(rc.NumDocs) + uint32(i)
+			if err := e.AddDocument(id, []string{workload.TermName(i % rc.NumTerms)}); err != nil {
+				panic(fmt.Sprintf("harness: obs bench add: %v", err))
+			}
+			muts++
+		}
+		t0 := time.Now()
+		if _, err := e.Query(q); err != nil {
+			panic(fmt.Sprintf("harness: obs bench churn query %q: %v", q, err))
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	cur = promScrape(e)
+	rep.Phases = append(rep.Phases, obsPhase("churn", lat, muts, prev, cur))
+	return rep
+}
+
+// obsPhase builds one phase record from the measured latencies and the
+// scrape texts bracketing the phase.
+func obsPhase(name string, lat []time.Duration, muts int, before, after string) ObsPhase {
+	sorted := slices.Clone(lat)
+	slices.Sort(sorted)
+	bles, bcounts := promBuckets(before, "fsi_query_latency_seconds_bucket")
+	ales, acounts := promBuckets(after, "fsi_query_latency_seconds_bucket")
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return ObsPhase{
+		Name:           name,
+		Queries:        len(lat),
+		Mutations:      muts,
+		MeasuredP50US:  us(nearestRank(sorted, 50)),
+		MeasuredP90US:  us(nearestRank(sorted, 90)),
+		MeasuredP99US:  us(nearestRank(sorted, 99)),
+		ScrapeP50US:    us(bucketQuantile(ales, acounts, bles, bcounts, 0.50)),
+		ScrapeP90US:    us(bucketQuantile(ales, acounts, bles, bcounts, 0.90)),
+		ScrapeP99US:    us(bucketQuantile(ales, acounts, bles, bcounts, 0.99)),
+		QueriesTotal:   uint64(promValue(after, "fsi_queries_total")),
+		MutationsTotal: uint64(promValue(after, "fsi_mutations_total")),
+	}
+}
+
+// promScrape renders the engine's metrics registry exactly as GET
+// /metrics would.
+func promScrape(e *engine.Engine) string {
+	var sb strings.Builder
+	if err := e.Metrics().WritePrometheus(&sb); err != nil {
+		panic(fmt.Sprintf("harness: scrape: %v", err))
+	}
+	return sb.String()
+}
+
+// promValue returns the sample for an exact series name, or 0 when the
+// series is absent.
+func promValue(text, series string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, _ := strconv.ParseFloat(rest, 64)
+			return v
+		}
+	}
+	return 0
+}
+
+// promBuckets parses one histogram's cumulative bucket series out of
+// exposition text: parallel slices of upper bounds in seconds (+Inf last)
+// and cumulative counts, in ascending le order.
+func promBuckets(text, family string) (les []float64, counts []uint64) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, family+`{le="`)
+		if !ok {
+			continue
+		}
+		leStr, valStr, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			if leStr != "+Inf" {
+				continue
+			}
+			le = math.Inf(1)
+		}
+		c, err := strconv.ParseUint(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		les = append(les, le)
+		counts = append(counts, c)
+	}
+	return les, counts
+}
+
+// cumAt evaluates a cumulative bucket series at bound x: the count of the
+// largest le <= x (0 below the first emitted bucket — the registry only
+// writes the occupied range, and everything below it is empty).
+func cumAt(les []float64, counts []uint64, x float64) uint64 {
+	c := uint64(0)
+	for i, le := range les {
+		if le > x {
+			break
+		}
+		c = counts[i]
+	}
+	return c
+}
+
+// bucketQuantile estimates quantile q of the observations falling between
+// two cumulative scrapes, returning the upper bound of the bucket holding
+// the rank — the resolution the log2 histogram actually has.
+func bucketQuantile(ales []float64, acounts []uint64, bles []float64, bcounts []uint64, q float64) time.Duration {
+	if len(ales) == 0 {
+		return 0
+	}
+	delta := make([]uint64, len(ales))
+	for i := range ales {
+		delta[i] = acounts[i] - cumAt(bles, bcounts, ales[i])
+	}
+	total := delta[len(delta)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, d := range delta {
+		if d >= rank {
+			le := ales[i]
+			if math.IsInf(le, 1) && i > 0 {
+				le = 2 * ales[i-1] // +Inf bucket: all we know is "above the last bound"
+			}
+			return time.Duration(le * 1e9)
+		}
+	}
+	return time.Duration(ales[len(ales)-1] * 1e9)
+}
+
+// nearestRank returns the p-th percentile (nearest-rank) of sorted
+// latencies.
+func nearestRank(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func runObsBench(cfg Config) []*Table {
+	rep := ObsBench(cfg)
+	t := &Table{
+		ID:      "obs-bench",
+		Title:   "Measured replay percentiles vs scraped histogram percentiles (µs)",
+		Columns: []string{"phase", "queries", "mutations", "p50 meas", "p50 scrape", "p90 meas", "p90 scrape", "p99 meas", "p99 scrape"},
+		Notes: []string{
+			"scrape columns are log2-bucket upper bounds: at most 2x the measured value by construction",
+			fmt.Sprintf("stage/operator tracing sampled 1 in %d; the latency histogram sees every query", rep.TraceSample),
+		},
+	}
+	for _, p := range rep.Phases {
+		t.AddRow(p.Name, fmt.Sprintf("%d", p.Queries), fmt.Sprintf("%d", p.Mutations),
+			fmt.Sprintf("%.0f", p.MeasuredP50US), fmt.Sprintf("%.0f", p.ScrapeP50US),
+			fmt.Sprintf("%.0f", p.MeasuredP90US), fmt.Sprintf("%.0f", p.ScrapeP90US),
+			fmt.Sprintf("%.0f", p.MeasuredP99US), fmt.Sprintf("%.0f", p.ScrapeP99US))
+	}
+	return []*Table{t}
+}

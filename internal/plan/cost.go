@@ -216,6 +216,9 @@ var kernelNames = [...]string{
 	"RGSPair", "LookupProbe", "FilterChain", "DecodeAll",
 }
 
+// KernelCount is the number of kernel values, for per-kernel metric arrays.
+const KernelCount = len(kernelNames)
+
 func (k Kernel) String() string {
 	if int(k) < len(kernelNames) {
 		return kernelNames[k]
