@@ -49,6 +49,10 @@ const (
 	Lookup
 	// BPP is the (simplified) Bille–Pagh–Pagh hashed-image algorithm.
 	BPP
+	// Bitseg is the word-parallel bitmap tier (internal/bitseg):
+	// density-partitioned lists intersected 64 docIDs per AND over dense
+	// ranges, run merges over sparse ones.
+	Bitseg
 )
 
 // AutoSkewThreshold is the size ratio above which Auto switches to HashBin;
@@ -60,7 +64,7 @@ const AutoSkewThreshold = 100
 var algoNames = [...]string{
 	"Auto", "RanGroupScan", "RanGroup", "IntGroup", "IntGroupOpt", "HashBin",
 	"Merge", "Hash", "SkipList", "SvS", "Adaptive", "BaezaYates",
-	"SmallAdaptive", "Lookup", "BPP",
+	"SmallAdaptive", "Lookup", "BPP", "Bitseg",
 }
 
 // String returns the algorithm's name as used in the paper.
@@ -97,6 +101,8 @@ func KernelAlgorithm(k plan.Kernel) Algorithm {
 		return SvS
 	case plan.KernelHashBin:
 		return HashBin
+	case plan.KernelBitsegAnd:
+		return Bitseg
 	default:
 		return RanGroupScan
 	}
@@ -108,7 +114,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		RanGroupScan, RanGroup, IntGroup, IntGroupOpt, HashBin,
 		Merge, Hash, SkipList, SvS, Adaptive, BaezaYates, SmallAdaptive,
-		Lookup, BPP,
+		Lookup, BPP, Bitseg,
 	}
 }
 

@@ -80,10 +80,14 @@ func main() {
 		costs := plan.Calibrated()
 		if algo == fastintersect.Auto && len(lists) >= 2 {
 			sizes := make([]int, len(lists))
+			span := 0
 			for i, l := range lists {
 				sizes[i] = l.Len()
+				if sp := l.Span(); sp > 0 && (span == 0 || sp < span) {
+					span = sp
+				}
 			}
-			algo = fastintersect.KernelAlgorithm(plan.ChooseListKernel(costs, plan.KernelsCost, sizes))
+			algo = fastintersect.KernelAlgorithm(plan.ChooseListKernel(costs, plan.KernelsCost, sizes, span))
 		}
 		if *explain {
 			var parts []string

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"fastintersect/internal/baseline"
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/core"
 	"fastintersect/internal/sets"
 )
@@ -31,6 +32,7 @@ type ExecContext struct {
 	skips   []*baseline.SkipList
 	lookups []*baseline.Lookup
 	bpps    []*baseline.BPP
+	bsegs   []*bitseg.List
 	buf     []uint32
 }
 
@@ -67,6 +69,7 @@ func (c *ExecContext) Reset() {
 	clear(c.skips[:cap(c.skips)])
 	clear(c.lookups[:cap(c.lookups)])
 	clear(c.bpps[:cap(c.bpps)])
+	clear(c.bsegs[:cap(c.bsegs)])
 }
 
 // grow returns s resized to k reusing its capacity.
@@ -193,6 +196,12 @@ func IntersectInto(ctx *ExecContext, dst []uint32, algo Algorithm, lists ...*Lis
 			ctx.bpps[i] = l.bppStruct()
 		}
 		return appendOrAdopt(dst, baseline.IntersectBPP(ctx.bpps...)), nil
+	case Bitseg:
+		ctx.bsegs = grow(ctx.bsegs, len(lists))
+		for i, l := range lists {
+			ctx.bsegs[i] = l.bitsegStruct()
+		}
+		return bitseg.IntersectKInto(dst, ctx.bsegs...), nil
 	default:
 		return nil, fmt.Errorf("fastintersect: unknown algorithm %d", int(algo))
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fastintersect/internal/baseline"
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/core"
 	"fastintersect/internal/sets"
 )
@@ -91,6 +92,7 @@ type List struct {
 	skip   *baseline.SkipList
 	lookup *baseline.Lookup
 	bpp    *baseline.BPP
+	bseg   *bitseg.List
 }
 
 // Preprocess validates and preprocesses a set of document IDs. The input
@@ -123,6 +125,15 @@ func (l *List) Set() []uint32 { return l.set }
 
 // Seed returns the hash-family seed the list was built with.
 func (l *List) Seed() uint64 { return l.opts.seed }
+
+// Span returns one past the largest document ID (0 for an empty list) —
+// the universe extent the planner's bitmap-tier costing needs.
+func (l *List) Span() int {
+	if len(l.set) == 0 {
+		return 0
+	}
+	return int(l.set[len(l.set)-1]) + 1
+}
 
 // Structure accessors: build-once, cached. Preprocessing failures cannot
 // occur here because the set was validated in Preprocess.
@@ -211,6 +222,15 @@ func (l *List) bppStruct() *baseline.BPP {
 		l.bpp = baseline.NewBPP(l.set)
 	}
 	return l.bpp
+}
+
+func (l *List) bitsegStruct() *bitseg.List {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bseg == nil {
+		l.bseg, _ = bitseg.FromSorted(l.set)
+	}
+	return l.bseg
 }
 
 // ErrNoLists is returned when Intersect is called without lists.

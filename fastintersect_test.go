@@ -47,52 +47,9 @@ func TestPreprocessUnsorted(t *testing.T) {
 	}
 }
 
-func TestEveryAlgorithmAgrees(t *testing.T) {
-	rng := xhash.NewRNG(0xA11)
-	a, b := workload.PairWithIntersection(1<<20, 2000, 6000, 300, rng)
-	la, lb := mustPreprocess(t, a), mustPreprocess(t, b)
-	want := sets.IntersectReference(a, b)
-	for _, algo := range Algorithms() {
-		got, err := IntersectWith(algo, la, lb)
-		if err != nil {
-			t.Fatalf("%v: %v", algo, err)
-		}
-		if !algo.Sorted() {
-			sets.SortU32(got)
-		}
-		if !sets.Equal(got, want) {
-			t.Fatalf("%v: got %d elements, want %d", algo, len(got), len(want))
-		}
-	}
-}
-
-func TestEveryAlgorithmAgreesKSets(t *testing.T) {
-	rng := xhash.NewRNG(0xB22)
-	raw := workload.RandomSets(1<<16, []int{900, 1500, 2500}, rng)
-	lists := make([]*List, len(raw))
-	for i, s := range raw {
-		lists[i] = mustPreprocess(t, s)
-	}
-	want := sets.IntersectReference(raw...)
-	for _, algo := range Algorithms() {
-		if mx := algo.MaxSets(); mx > 0 && len(lists) > mx {
-			if _, err := IntersectWith(algo, lists...); err == nil {
-				t.Fatalf("%v accepted %d sets", algo, len(lists))
-			}
-			continue
-		}
-		got, err := IntersectWith(algo, lists...)
-		if err != nil {
-			t.Fatalf("%v: %v", algo, err)
-		}
-		if !algo.Sorted() {
-			sets.SortU32(got)
-		}
-		if !sets.Equal(got, want) {
-			t.Fatalf("%v: got %d elements, want %d", algo, len(got), len(want))
-		}
-	}
-}
+// Algorithm-parity coverage (every Algorithm vs the scalar reference over
+// pair, k-way, adversarial and randomized shapes) lives in the shared
+// cross-kernel harness: internal/kerneltest.TestListKernelParity.
 
 func TestAutoPolicy(t *testing.T) {
 	rng := xhash.NewRNG(0xC33)
@@ -169,13 +126,13 @@ func sortedU32(s []uint32) []uint32 {
 }
 
 func TestAlgorithmStringers(t *testing.T) {
-	if Auto.String() != "Auto" || RanGroupScan.String() != "RanGroupScan" || BPP.String() != "BPP" {
+	if Auto.String() != "Auto" || RanGroupScan.String() != "RanGroupScan" || Bitseg.String() != "Bitseg" {
 		t.Fatal("String() wrong")
 	}
 	if Algorithm(99).String() != "Algorithm(?)" {
 		t.Fatal("unknown String() wrong")
 	}
-	if len(Algorithms()) != 14 {
+	if len(Algorithms()) != 15 {
 		t.Fatalf("Algorithms() has %d entries", len(Algorithms()))
 	}
 }

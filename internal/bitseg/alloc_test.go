@@ -1,0 +1,75 @@
+package bitseg
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastintersect/internal/sets"
+)
+
+// benchSets builds a dense/dense/sparse trio over a shared universe.
+func benchSets(n, span int) (a, b, c []uint32) {
+	rng := rand.New(rand.NewSource(0xA110C))
+	a = genSorted(rng, n, span)
+	b = genSorted(rng, n, span)
+	c = genSorted(rng, n/16, span)
+	return
+}
+
+// TestBitsegAllocs locks in the zero-steady-state-allocation contract of
+// every kernel when dst capacity is sufficient.
+func TestBitsegAllocs(t *testing.T) {
+	a, b, c := benchSets(40000, 8*ChunkWidth)
+	la, lb, lc := mustList(t, a), mustList(t, b), mustList(t, c)
+	dst := make([]uint32, 0, len(a)+len(b))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"IntersectInto", func() { dst = IntersectInto(dst[:0], la, lb) }},
+		{"IntersectKInto", func() { dst = IntersectKInto(dst[:0], la, lb, lc) }},
+		{"UnionInto", func() { dst = UnionInto(dst[:0], la, lb) }},
+		{"DifferenceInto", func() { dst = DifferenceInto(dst[:0], la, lb) }},
+		{"DecodeInto", func() { dst = la.DecodeInto(dst[:0]) }},
+		{"FilterInto", func() { dst = la.FilterInto(c, dst[:0]) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(20, tc.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// BenchmarkIntersectBitseg measures the word-parallel kernel against the
+// scalar merge on the dense regime it is built for.
+func BenchmarkIntersectBitseg(b *testing.B) {
+	sa, sb, sc := benchSets(40000, 8*ChunkWidth)
+	la, _ := FromSorted(sa)
+	lb, _ := FromSorted(sb)
+	lc, _ := FromSorted(sc)
+	dst := make([]uint32, 0, len(sa))
+	b.Run("pair/dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectInto(dst[:0], la, lb)
+		}
+	})
+	b.Run("pair/dense-sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectInto(dst[:0], la, lc)
+		}
+	})
+	b.Run("kway3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectKInto(dst[:0], la, lb, lc)
+		}
+	})
+	b.Run("scalar-merge-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = sets.IntersectInto(dst[:0], sa, sb)
+		}
+	})
+}

@@ -1,0 +1,546 @@
+// Package bitseg is the word-parallel bitmap tier of the posting-list
+// kernels: a density-partitioned representation that packs dense docID
+// ranges into 64-bit bitmap segments and keeps sparse ranges as plain
+// sorted runs, so intersections over dense lists collapse into AND +
+// bits.OnesCount-style word operations instead of per-element scalar work
+// (the FESIA/roaring hybrid applied to the paper's w(A) word images, §3.1).
+//
+// The docID space is cut into fixed ChunkWidth-wide ranges. Each occupied
+// range becomes one chunk, stored either as a ChunkWords-long bitmap (when
+// more than DenseMin elements fall in the range — the point where 4-byte
+// elements outweigh the fixed 512-byte bitmap) or as the sorted elements
+// themselves. The representation is chosen per range at build time, so one
+// list freely mixes dense and sparse regions.
+//
+// All kernels follow the repository's *Into discipline: they append to the
+// caller's dst and touch only stack scratch, so steady-state calls allocate
+// only when the result outgrows dst.
+package bitseg
+
+import (
+	"math/bits"
+
+	"fastintersect/internal/sets"
+)
+
+const (
+	// ChunkBits is log₂ of the chunk width.
+	ChunkBits = 12
+	// ChunkWidth is the docID range covered by one chunk (4096).
+	ChunkWidth = 1 << ChunkBits
+	// ChunkWords is the 64-bit word count of a dense chunk's bitmap (64,
+	// i.e. 512 bytes).
+	ChunkWords = ChunkWidth / 64
+	// DenseMin is the occupancy above which a chunk goes dense: past 128
+	// elements the 512-byte bitmap is smaller than the 4-byte-per-element
+	// run, and the word kernels win on speed well before that.
+	DenseMin = ChunkWords * 64 / 32
+)
+
+// chunk is one occupied ChunkWidth-wide docID range. Exactly one of words
+// and run is non-nil: words is the dense bitmap (bit r set ⇔ base+r
+// present), run holds the sorted absolute docIDs of a sparse range.
+type chunk struct {
+	base  uint32
+	words []uint64
+	run   []uint32
+}
+
+// List is an immutable density-partitioned posting list. Safe for
+// concurrent use after construction.
+type List struct {
+	n      int
+	span   int
+	size   int
+	dense  int
+	chunks []chunk
+}
+
+// chunkBase returns the chunk-aligned base of docID x.
+func chunkBase(x uint32) uint32 { return x &^ (ChunkWidth - 1) }
+
+// FromSorted builds the hybrid representation of a strictly increasing
+// docID set. The input is not retained. Dense bitmaps and sparse runs are
+// carved from two shared arenas, so a build allocates O(1) slices
+// regardless of chunk count.
+func FromSorted(set []uint32) (*List, error) {
+	if err := sets.Validate(set); err != nil {
+		return nil, err
+	}
+	l := &List{n: len(set)}
+	if len(set) == 0 {
+		return l, nil
+	}
+	nChunks, dense, sparseElems := 0, 0, 0
+	for i := 0; i < len(set); {
+		base := chunkBase(set[i])
+		j := i
+		for j < len(set) && set[j]-base < ChunkWidth {
+			j++
+		}
+		nChunks++
+		if j-i > DenseMin {
+			dense++
+		} else {
+			sparseElems += j - i
+		}
+		i = j
+	}
+	l.chunks = make([]chunk, 0, nChunks)
+	words := make([]uint64, 0, dense*ChunkWords) // zeroed arena
+	runs := make([]uint32, 0, sparseElems)
+	for i := 0; i < len(set); {
+		base := chunkBase(set[i])
+		j := i
+		for j < len(set) && set[j]-base < ChunkWidth {
+			j++
+		}
+		c := chunk{base: base}
+		if j-i > DenseMin {
+			off := len(words)
+			words = words[:off+ChunkWords]
+			w := words[off : off+ChunkWords : off+ChunkWords]
+			for _, x := range set[i:j] {
+				r := x - base
+				w[r>>6] |= 1 << (r & 63)
+			}
+			c.words = w
+		} else {
+			off := len(runs)
+			runs = append(runs, set[i:j]...)
+			c.run = runs[off:len(runs):len(runs)]
+		}
+		l.chunks = append(l.chunks, c)
+		i = j
+	}
+	l.dense = dense
+	l.span = int(set[len(set)-1]) + 1
+	l.size = int(EncodedBits(set) / 8)
+	return l, nil
+}
+
+// EncodedBits returns the exact encoded size in bits FromSorted would
+// produce for a sorted set — payload plus a 64-bit per-chunk directory
+// entry — without building it. compress.ChooseEncoding prices the bitmap
+// tier with this.
+func EncodedBits(set []uint32) uint64 {
+	var b uint64
+	for i := 0; i < len(set); {
+		base := chunkBase(set[i])
+		j := i
+		for j < len(set) && set[j]-base < ChunkWidth {
+			j++
+		}
+		b += 64 // directory entry
+		if j-i > DenseMin {
+			b += ChunkWidth
+		} else {
+			b += 32 * uint64(j-i)
+		}
+		i = j
+	}
+	return b
+}
+
+// Len returns the number of postings.
+func (l *List) Len() int { return l.n }
+
+// Span returns one past the largest docID (0 for an empty list) — the
+// universe extent the cost model turns into a chunk count.
+func (l *List) Span() int { return l.span }
+
+// Chunks returns the number of occupied chunks.
+func (l *List) Chunks() int { return len(l.chunks) }
+
+// DenseChunks returns how many chunks are stored as bitmaps.
+func (l *List) DenseChunks() int { return l.dense }
+
+// SizeBytes returns the payload footprint: bitmaps, runs and the per-chunk
+// directory, excluding only the fixed-size struct header.
+func (l *List) SizeBytes() int { return l.size }
+
+// Contains reports whether docID x is present.
+func (l *List) Contains(x uint32) bool {
+	base := chunkBase(x)
+	lo, hi := 0, len(l.chunks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.chunks[mid].base < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(l.chunks) || l.chunks[lo].base != base {
+		return false
+	}
+	c := &l.chunks[lo]
+	if c.words != nil {
+		r := x - base
+		return c.words[r>>6]&(1<<(r&63)) != 0
+	}
+	return sets.Contains(c.run, x)
+}
+
+// DecodeInto appends the sorted docIDs to dst.
+func (l *List) DecodeInto(dst []uint32) []uint32 {
+	for i := range l.chunks {
+		dst = appendChunk(dst, &l.chunks[i])
+	}
+	return dst
+}
+
+// appendWord appends the set bits of w as docIDs base+bit to dst.
+func appendWord(dst []uint32, base uint32, w uint64) []uint32 {
+	for w != 0 {
+		dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+		w &= w - 1
+	}
+	return dst
+}
+
+// appendChunk appends every docID of c to dst.
+func appendChunk(dst []uint32, c *chunk) []uint32 {
+	if c.words == nil {
+		return append(dst, c.run...)
+	}
+	for w, v := range c.words {
+		if v != 0 {
+			dst = appendWord(dst, c.base+uint32(w<<6), v)
+		}
+	}
+	return dst
+}
+
+// filterRunDense appends the members of run whose bit is set in words
+// (a bitmap based at base) to dst.
+func filterRunDense(dst, run []uint32, words []uint64, base uint32) []uint32 {
+	for _, x := range run {
+		r := x - base
+		if words[r>>6]&(1<<(r&63)) != 0 {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// intersectRuns appends the intersection of two sorted runs to dst — a
+// local two-pointer merge so the k-way kernel's stack buffers never leak
+// into another package's escape analysis.
+func intersectRuns(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// intersectChunk appends the intersection of two same-base chunks to dst.
+func intersectChunk(dst []uint32, ca, cb *chunk) []uint32 {
+	switch {
+	case ca.words != nil && cb.words != nil:
+		aw, bw := ca.words, cb.words
+		_, _ = aw[ChunkWords-1], bw[ChunkWords-1] // hoist the bounds checks
+		for w := 0; w < ChunkWords; w++ {
+			if v := aw[w] & bw[w]; v != 0 {
+				dst = appendWord(dst, ca.base+uint32(w<<6), v)
+			}
+		}
+		return dst
+	case ca.words != nil:
+		return filterRunDense(dst, cb.run, ca.words, ca.base)
+	case cb.words != nil:
+		return filterRunDense(dst, ca.run, cb.words, cb.base)
+	default:
+		return intersectRuns(dst, ca.run, cb.run)
+	}
+}
+
+// IntersectInto appends the intersection of a and b to dst: a linear merge
+// over the chunk directories, then per matching chunk either a 64-word AND
+// (dense×dense), a bit-test filter (dense×sparse) or a run merge
+// (sparse×sparse). The result is ascending. dst must not alias either
+// operand's storage.
+func IntersectInto(dst []uint32, a, b *List) []uint32 {
+	i, j := 0, 0
+	for i < len(a.chunks) && j < len(b.chunks) {
+		ca, cb := &a.chunks[i], &b.chunks[j]
+		switch {
+		case ca.base < cb.base:
+			i++
+		case cb.base < ca.base:
+			j++
+		default:
+			dst = intersectChunk(dst, ca, cb)
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// kStack bounds the stack-allocated cursor arrays of IntersectKInto;
+// conjunctions wider than this (vanishingly rare — the planner bounds
+// query width well below it) fall back to heap cursors.
+const kStack = 16
+
+// IntersectKInto appends the intersection of k lists to dst, ascending.
+// The chunk directories advance in lockstep (only ranges every list
+// occupies are visited); an all-dense chunk group runs the word-AND across
+// all k bitmaps, and a group with sparse members filters the shortest
+// sparse run through the rest via O(1) bit tests and run merges, inside
+// two fixed stack buffers — zero allocations for k ≤ 16.
+func IntersectKInto(dst []uint32, lists ...*List) []uint32 {
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return lists[0].DecodeInto(dst)
+	case 2:
+		return IntersectInto(dst, lists[0], lists[1])
+	}
+	k := len(lists)
+	var idxArr [kStack]int
+	var chArr [kStack]*chunk
+	idx, chs := idxArr[:], chArr[:]
+	if k > kStack {
+		idx, chs = make([]int, k), make([]*chunk, k)
+	}
+	idx = idx[:k]
+	chs = chs[:k]
+	for {
+		var maxBase uint32
+		for i, l := range lists {
+			if idx[i] >= len(l.chunks) {
+				return dst
+			}
+			if b := l.chunks[idx[i]].base; i == 0 || b > maxBase {
+				maxBase = b
+			}
+		}
+		aligned := true
+		for i, l := range lists {
+			for idx[i] < len(l.chunks) && l.chunks[idx[i]].base < maxBase {
+				idx[i]++
+			}
+			if idx[i] >= len(l.chunks) {
+				return dst
+			}
+			if l.chunks[idx[i]].base != maxBase {
+				aligned = false
+			}
+		}
+		if !aligned {
+			continue
+		}
+		for i, l := range lists {
+			chs[i] = &l.chunks[idx[i]]
+			idx[i]++
+		}
+		dst = intersectChunkK(dst, chs)
+	}
+}
+
+// intersectChunkK appends the intersection of k same-base chunks to dst.
+func intersectChunkK(dst []uint32, chs []*chunk) []uint32 {
+	var sp *chunk
+	for _, c := range chs {
+		if c.words == nil && (sp == nil || len(c.run) < len(sp.run)) {
+			sp = c
+		}
+	}
+	if sp == nil { // all dense: k-way word AND
+		base := chs[0].base
+		for w := 0; w < ChunkWords; w++ {
+			v := chs[0].words[w]
+			for _, c := range chs[1:] {
+				v &= c.words[w]
+			}
+			if v != 0 {
+				dst = appendWord(dst, base+uint32(w<<6), v)
+			}
+		}
+		return dst
+	}
+	// Probe the shortest sparse run through every other chunk. Sparse runs
+	// hold at most DenseMin elements, so two fixed stack buffers suffice.
+	var b0, b1 [DenseMin]uint32
+	cur := append(b0[:0], sp.run...)
+	spare := b1[:0]
+	for _, c := range chs {
+		if c == sp {
+			continue
+		}
+		if len(cur) == 0 {
+			break
+		}
+		if c.words != nil {
+			spare = filterRunDense(spare[:0], cur, c.words, c.base)
+		} else {
+			spare = intersectRuns(spare[:0], cur, c.run)
+		}
+		cur, spare = spare, cur
+	}
+	return append(dst, cur...)
+}
+
+// UnionInto appends the union of a and b to dst, ascending. dst must not
+// alias either operand's storage.
+func UnionInto(dst []uint32, a, b *List) []uint32 {
+	i, j := 0, 0
+	for i < len(a.chunks) && j < len(b.chunks) {
+		ca, cb := &a.chunks[i], &b.chunks[j]
+		switch {
+		case ca.base < cb.base:
+			dst = appendChunk(dst, ca)
+			i++
+		case cb.base < ca.base:
+			dst = appendChunk(dst, cb)
+			j++
+		default:
+			dst = unionChunk(dst, ca, cb)
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.chunks); i++ {
+		dst = appendChunk(dst, &a.chunks[i])
+	}
+	for ; j < len(b.chunks); j++ {
+		dst = appendChunk(dst, &b.chunks[j])
+	}
+	return dst
+}
+
+// unionChunk appends the union of two same-base chunks to dst.
+func unionChunk(dst []uint32, ca, cb *chunk) []uint32 {
+	if ca.words == nil && cb.words == nil {
+		return sets.UnionInto(dst, ca.run, cb.run)
+	}
+	// At least one bitmap: OR into a stack accumulator and enumerate.
+	var acc [ChunkWords]uint64
+	for _, c := range [2]*chunk{ca, cb} {
+		if c.words != nil {
+			for w, v := range c.words {
+				acc[w] |= v
+			}
+		} else {
+			for _, x := range c.run {
+				r := x - c.base
+				acc[r>>6] |= 1 << (r & 63)
+			}
+		}
+	}
+	for w, v := range acc {
+		if v != 0 {
+			dst = appendWord(dst, ca.base+uint32(w<<6), v)
+		}
+	}
+	return dst
+}
+
+// DifferenceInto appends a − b to dst, ascending. dst must not alias
+// either operand's storage.
+func DifferenceInto(dst []uint32, a, b *List) []uint32 {
+	i, j := 0, 0
+	for i < len(a.chunks) {
+		ca := &a.chunks[i]
+		for j < len(b.chunks) && b.chunks[j].base < ca.base {
+			j++
+		}
+		if j == len(b.chunks) || b.chunks[j].base != ca.base {
+			dst = appendChunk(dst, ca)
+			i++
+			continue
+		}
+		dst = differenceChunk(dst, ca, &b.chunks[j])
+		i++
+		j++
+	}
+	return dst
+}
+
+// differenceChunk appends ca − cb for two same-base chunks to dst.
+func differenceChunk(dst []uint32, ca, cb *chunk) []uint32 {
+	switch {
+	case ca.words != nil && cb.words != nil:
+		for w := 0; w < ChunkWords; w++ {
+			if v := ca.words[w] &^ cb.words[w]; v != 0 {
+				dst = appendWord(dst, ca.base+uint32(w<<6), v)
+			}
+		}
+		return dst
+	case ca.words != nil:
+		var acc [ChunkWords]uint64
+		copy(acc[:], ca.words)
+		for _, x := range cb.run {
+			r := x - cb.base
+			acc[r>>6] &^= 1 << (r & 63)
+		}
+		for w, v := range acc {
+			if v != 0 {
+				dst = appendWord(dst, ca.base+uint32(w<<6), v)
+			}
+		}
+		return dst
+	case cb.words != nil:
+		for _, x := range ca.run {
+			r := x - cb.base
+			if cb.words[r>>6]&(1<<(r&63)) == 0 {
+				dst = append(dst, x)
+			}
+		}
+		return dst
+	default:
+		return sets.DifferenceInto(dst, ca.run, cb.run)
+	}
+}
+
+// FilterInto appends the members of probe (ascending docIDs) present in l
+// to out — the stored-tier probe filter. A chunk cursor advances with the
+// probes, so a pass over p probes costs O(p + chunks) with an O(1) bit
+// test per probe on dense chunks.
+func (l *List) FilterInto(probe, out []uint32) []uint32 {
+	ci, ri := 0, 0
+	curBase := ^uint32(0)
+	for _, x := range probe {
+		base := chunkBase(x)
+		if base != curBase {
+			for ci < len(l.chunks) && l.chunks[ci].base < base {
+				ci++
+			}
+			if ci == len(l.chunks) {
+				break
+			}
+			curBase = base
+			ri = 0
+		}
+		c := &l.chunks[ci]
+		if c.base != base {
+			continue
+		}
+		if c.words != nil {
+			r := x - base
+			if c.words[r>>6]&(1<<(r&63)) != 0 {
+				out = append(out, x)
+			}
+			continue
+		}
+		for ri < len(c.run) && c.run[ri] < x {
+			ri++
+		}
+		if ri < len(c.run) && c.run[ri] == x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package bitseg
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastintersect/internal/sets"
+)
+
+// genSorted draws an ascending set of roughly n docIDs from [0, span).
+func genSorted(rng *rand.Rand, n, span int) []uint32 {
+	if n <= 0 || span <= 0 {
+		return nil
+	}
+	s := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, uint32(rng.Intn(span)))
+	}
+	return sets.SortDedup(s)
+}
+
+// shapes returns a deterministic sweep of set shapes covering the
+// density regimes and the chunk-boundary adversarial cases.
+func shapes() map[string][]uint32 {
+	rng := rand.New(rand.NewSource(0xB17))
+	dense := make([]uint32, 0, 3*ChunkWidth)
+	for i := 0; i < 3*ChunkWidth; i += 2 {
+		dense = append(dense, uint32(i))
+	}
+	full := make([]uint32, 2*ChunkWidth)
+	for i := range full {
+		full[i] = uint32(i)
+	}
+	straddle := []uint32{ChunkWidth - 2, ChunkWidth - 1, ChunkWidth, ChunkWidth + 1, 3*ChunkWidth - 1, 3 * ChunkWidth}
+	altA := make([]uint32, 0, 4*DenseMin)
+	altB := make([]uint32, 0, 4*DenseMin)
+	for c := 0; c < 8; c++ {
+		base := uint32(c * ChunkWidth)
+		tgt := &altA
+		if c%2 == 1 {
+			tgt = &altB
+		}
+		for i := 0; i < 2*DenseMin; i++ {
+			*tgt = append(*tgt, base+uint32(i*13%ChunkWidth))
+		}
+	}
+	return map[string][]uint32{
+		"empty":        nil,
+		"singleton0":   {0},
+		"singletonEnd": {ChunkWidth - 1},
+		"singletonB1":  {ChunkWidth},
+		"nearMax":      {^uint32(0) - 2, ^uint32(0) - 1, ^uint32(0)},
+		"dense":        dense,
+		"fullChunks":   full,
+		"straddle":     straddle,
+		"altChunksA":   sets.SortDedup(altA),
+		"altChunksB":   sets.SortDedup(altB),
+		"sparseWide":   genSorted(rng, 200, 1<<20),
+		"sparseTight":  genSorted(rng, 200, 4*ChunkWidth),
+		"midDensity":   genSorted(rng, 2000, 8*ChunkWidth),
+		"heavy":        genSorted(rng, 30000, 16*ChunkWidth),
+		"boundary129":  genSorted(rng, DenseMin+1, ChunkWidth),
+		"boundary128":  genSorted(rng, DenseMin, ChunkWidth),
+	}
+}
+
+func mustList(t *testing.T, set []uint32) *List {
+	t.Helper()
+	l, err := FromSorted(set)
+	if err != nil {
+		t.Fatalf("FromSorted: %v", err)
+	}
+	return l
+}
+
+func TestFromSortedRejectsInvalid(t *testing.T) {
+	if _, err := FromSorted([]uint32{3, 2}); err == nil {
+		t.Fatal("descending input accepted")
+	}
+	if _, err := FromSorted([]uint32{2, 2}); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+}
+
+func TestRoundTripAndAccessors(t *testing.T) {
+	for name, set := range shapes() {
+		t.Run(name, func(t *testing.T) {
+			l := mustList(t, set)
+			if l.Len() != len(set) {
+				t.Fatalf("Len = %d, want %d", l.Len(), len(set))
+			}
+			wantSpan := 0
+			if len(set) > 0 {
+				wantSpan = int(set[len(set)-1]) + 1
+			}
+			if l.Span() != wantSpan {
+				t.Fatalf("Span = %d, want %d", l.Span(), wantSpan)
+			}
+			got := l.DecodeInto(nil)
+			if !equal(got, set) {
+				t.Fatalf("DecodeInto mismatch: got %d elems, want %d", len(got), len(set))
+			}
+			if wb := int(EncodedBits(set) / 8); wb != l.SizeBytes() {
+				t.Fatalf("EncodedBits/8 = %d, SizeBytes = %d", wb, l.SizeBytes())
+			}
+			// SizeBytes never exceeds raw by more than the directory of a
+			// single chunk per occupied chunk.
+			if l.Chunks() > 0 && l.SizeBytes() > 4*len(set)+8*l.Chunks()+ChunkWidth/8 {
+				t.Fatalf("SizeBytes = %d implausibly large for n=%d chunks=%d", l.SizeBytes(), len(set), l.Chunks())
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0))
+	for name, set := range shapes() {
+		t.Run(name, func(t *testing.T) {
+			l := mustList(t, set)
+			for _, x := range set {
+				if !l.Contains(x) {
+					t.Fatalf("Contains(%d) = false for a member", x)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				x := uint32(rng.Int63())
+				if l.Contains(x) != sets.Contains(set, x) {
+					t.Fatalf("Contains(%d) disagrees with oracle", x)
+				}
+			}
+		})
+	}
+}
+
+func TestDenseSparsePartition(t *testing.T) {
+	full := make([]uint32, ChunkWidth)
+	for i := range full {
+		full[i] = uint32(i)
+	}
+	l := mustList(t, full)
+	if l.Chunks() != 1 || l.DenseChunks() != 1 {
+		t.Fatalf("full chunk: chunks=%d dense=%d, want 1/1", l.Chunks(), l.DenseChunks())
+	}
+	l = mustList(t, full[:DenseMin]) // exactly DenseMin stays sparse
+	if l.DenseChunks() != 0 {
+		t.Fatalf("%d-element chunk went dense", DenseMin)
+	}
+	l = mustList(t, full[:DenseMin+1])
+	if l.DenseChunks() != 1 {
+		t.Fatalf("%d-element chunk stayed sparse", DenseMin+1)
+	}
+}
+
+func TestPairKernelsMatchOracle(t *testing.T) {
+	sh := shapes()
+	names := make([]string, 0, len(sh))
+	for n := range sh {
+		names = append(names, n)
+	}
+	for _, an := range names {
+		for _, bn := range names {
+			a, b := sh[an], sh[bn]
+			la, lb := mustList(t, a), mustList(t, b)
+			if got, want := IntersectInto(nil, la, lb), sets.IntersectReference(a, b); !equal(got, want) {
+				t.Fatalf("Intersect(%s,%s): got %d elems, want %d", an, bn, len(got), len(want))
+			}
+			if got, want := UnionInto(nil, la, lb), sets.UnionInto(nil, a, b); !equal(got, want) {
+				t.Fatalf("Union(%s,%s): got %d elems, want %d", an, bn, len(got), len(want))
+			}
+			if got, want := DifferenceInto(nil, la, lb), sets.DifferenceInto(nil, a, b); !equal(got, want) {
+				t.Fatalf("Difference(%s,%s): got %d elems, want %d", an, bn, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestIntersectKMatchesOracle(t *testing.T) {
+	sh := shapes()
+	groups := [][]string{
+		{"dense", "midDensity", "heavy"},
+		{"dense", "sparseTight", "fullChunks"},
+		{"altChunksA", "altChunksB", "dense"},
+		{"empty", "dense", "heavy"},
+		{"straddle", "dense", "fullChunks", "midDensity"},
+		{"heavy", "midDensity", "dense", "fullChunks", "boundary129"},
+	}
+	for _, g := range groups {
+		lists := make([]*List, len(g))
+		raws := make([][]uint32, len(g))
+		for i, n := range g {
+			raws[i] = sh[n]
+			lists[i] = mustList(t, sh[n])
+		}
+		got := IntersectKInto(nil, lists...)
+		want := sets.IntersectReference(raws...)
+		if !equal(got, want) {
+			t.Fatalf("IntersectK(%v): got %d elems, want %d", g, len(got), len(want))
+		}
+	}
+	// Degenerate arities.
+	d := sh["dense"]
+	if got := IntersectKInto(nil); len(got) != 0 {
+		t.Fatal("IntersectK() non-empty")
+	}
+	if got := IntersectKInto(nil, mustList(t, d)); !equal(got, d) {
+		t.Fatal("IntersectK(single) is not identity")
+	}
+	// Wide conjunction exercises the heap-cursor fallback (k > kStack).
+	wide := make([]*List, kStack+2)
+	wraw := make([][]uint32, kStack+2)
+	for i := range wide {
+		wide[i] = mustList(t, d)
+		wraw[i] = d
+	}
+	if got, want := IntersectKInto(nil, wide...), sets.IntersectReference(wraw...); !equal(got, want) {
+		t.Fatalf("IntersectK wide: got %d elems, want %d", len(got), len(want))
+	}
+}
+
+func TestFilterInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF1))
+	for name, set := range shapes() {
+		t.Run(name, func(t *testing.T) {
+			l := mustList(t, set)
+			probe := genSorted(rng, 500, 1<<20)
+			// Mix in guaranteed members so the hit path is exercised.
+			if len(set) > 0 {
+				probe = sets.SortDedup(append(probe, set[0], set[len(set)/2], set[len(set)-1]))
+			}
+			got := l.FilterInto(probe, nil)
+			want := sets.IntersectReference(probe, set)
+			if !equal(got, want) {
+				t.Fatalf("FilterInto: got %d elems, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+func equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

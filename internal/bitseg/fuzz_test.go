@@ -1,0 +1,78 @@
+package bitseg
+
+import (
+	"testing"
+
+	"fastintersect/internal/sets"
+)
+
+// bytesToSet reinterprets fuzz bytes as a sorted, deduplicated docID set.
+func bytesToSet(data []byte) []uint32 {
+	s := make([]uint32, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		// 24-bit values keep the universe small enough that fuzz inputs
+		// actually collide across chunks.
+		s = append(s, uint32(data[i])<<16|uint32(data[i+1])<<8|uint32(data[i+2]))
+	}
+	return sets.SortDedup(s)
+}
+
+// FuzzBitsegRoundTrip checks encode/decode identity plus the exact size
+// estimator against arbitrary doc sets.
+func FuzzBitsegRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 0, 2, 0, 16, 0})
+	f.Add([]byte{0, 15, 255, 0, 16, 0, 0, 16, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := bytesToSet(data)
+		l, err := FromSorted(set)
+		if err != nil {
+			t.Fatalf("FromSorted on validated input: %v", err)
+		}
+		got := l.DecodeInto(nil)
+		if len(got) != len(set) {
+			t.Fatalf("round trip length: got %d, want %d", len(got), len(set))
+		}
+		for i := range got {
+			if got[i] != set[i] {
+				t.Fatalf("round trip at %d: got %d, want %d", i, got[i], set[i])
+			}
+		}
+		if want := int(EncodedBits(set) / 8); want != l.SizeBytes() {
+			t.Fatalf("EncodedBits/8 = %d, SizeBytes = %d", want, l.SizeBytes())
+		}
+	})
+}
+
+// FuzzBitsegIntersect checks every bitseg set operation against the scalar
+// merge oracle on a pair of arbitrary doc sets.
+func FuzzBitsegIntersect(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 2}, []byte{0, 0, 2, 0, 0, 3})
+	f.Add([]byte{0, 15, 255, 0, 16, 0}, []byte{0, 16, 0, 0, 16, 1})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a, b := bytesToSet(da), bytesToSet(db)
+		la, err := FromSorted(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := FromSorted(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(op string, got, want []uint32) {
+			if len(got) != len(want) {
+				t.Fatalf("%s length: got %d, want %d", op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s at %d: got %d, want %d", op, i, got[i], want[i])
+				}
+			}
+		}
+		check("intersect", IntersectInto(nil, la, lb), sets.IntersectReference(a, b))
+		check("intersectK", IntersectKInto(nil, la, lb, la), sets.IntersectReference(a, b, a))
+		check("union", UnionInto(nil, la, lb), sets.UnionInto(nil, a, b))
+		check("difference", DifferenceInto(nil, la, lb), sets.DifferenceInto(nil, a, b))
+		check("filter", lb.FilterInto(a, nil), sets.IntersectReference(a, b))
+	})
+}

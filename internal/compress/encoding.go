@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"fastintersect/internal/baseline"
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/core"
 )
 
@@ -32,10 +33,15 @@ const (
 	// decoded by a single bit concatenation, plus one image word per group
 	// so intersections skip non-matching groups without decoding.
 	EncLowbits
+	// EncBitseg stores the list density-partitioned (internal/bitseg):
+	// 64-bit bitmap segments over dense docID ranges, sorted runs over
+	// sparse ones. Dense lists shrink below raw AND intersect word-at-a-time
+	// — 64 docIDs per AND instruction — without any decode.
+	EncBitseg
 )
 
 // encodingNames in declaration order.
-var encodingNames = [...]string{"Raw", "Gamma", "Delta", "Lowbits"}
+var encodingNames = [...]string{"Raw", "Gamma", "Delta", "Lowbits", "Bitseg"}
 
 // String names the encoding.
 func (e Encoding) String() string {
@@ -59,7 +65,7 @@ func ParseEncoding(name string) (Encoding, error) {
 
 // Encodings lists every storage encoding in declaration order.
 func Encodings() []Encoding {
-	return []Encoding{EncRaw, EncGamma, EncDelta, EncLowbits}
+	return []Encoding{EncRaw, EncGamma, EncDelta, EncLowbits, EncBitseg}
 }
 
 // The encoding-selection heuristic. ChooseEncoding compares the exact γ/δ
@@ -81,6 +87,12 @@ const (
 	// fastest compressed variant; 2 keeps that trade available across
 	// densities.
 	LowbitsSpaceFactor = 2.0
+	// BitsegSpaceFactor is the space multiple of the best gap code that
+	// EncBitseg is allowed to cost, on the same rationale: the word-parallel
+	// kernels are the fastest intersection in the repertoire, so dense lists
+	// may pay up to 2× the gap-coded size for them (they still undercut
+	// raw — that is a hard gate).
+	BitsegSpaceFactor = 2.0
 )
 
 // GapCodeBits returns the exact bit counts of the standard gap encoding of
@@ -157,6 +169,14 @@ func ChooseEncoding(set []uint32) Encoding {
 	best, enc := gamma, EncGamma
 	if delta < best {
 		best, enc = delta, EncDelta
+	}
+	// Dense lists take the bitmap tier when its exact size beats raw and
+	// stays within BitsegSpaceFactor of the best gap code: the word kernels
+	// are the fastest intersection available, and bitseg bits undercut raw
+	// only when bitmap segments dominate (density ≳ 1/32 per chunk), so the
+	// size gate doubles as the density gate.
+	if bb := bitseg.EncodedBits(set); bb < rawBits && float64(bb) <= BitsegSpaceFactor*float64(best) {
+		return EncBitseg
 	}
 	if n >= LowbitsMinLen {
 		lb := LowbitsBitsEstimate(n)

@@ -99,6 +99,8 @@ func TestIntersectStoredAllocs(t *testing.T) {
 		{"gamma-pair", EncGamma, EncGamma, 0},
 		{"mixed-gamma-lowbits", EncGamma, EncLowbits, 0},
 		{"raw-delta", EncRaw, EncDelta, 0},
+		{"bitseg-pair", EncBitseg, EncBitseg, 0},
+		{"mixed-bitseg-gamma", EncBitseg, EncGamma, 0},
 	}
 	for _, tc := range pairs {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,6 +3,7 @@ package compress
 import (
 	"sync"
 
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/bitword"
 	"fastintersect/internal/plan"
 )
@@ -16,6 +17,7 @@ type scratch struct {
 	ord   []*Stored
 	lls   []*LookupList // intersectLookupInto's cost-ordered "others"
 	llsIn []*LookupList // IntersectStoredInto's assembled operand list
+	bits  []*bitseg.List
 	ops   []plan.Operand
 	bufA  []uint32
 	bufB  []uint32
@@ -44,5 +46,6 @@ func putScratch(sc *scratch) {
 	clear(sc.ord)
 	clear(sc.lls)
 	clear(sc.llsIn)
+	clear(sc.bits)
 	scratchPool.Put(sc)
 }

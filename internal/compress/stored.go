@@ -3,6 +3,7 @@ package compress
 import (
 	"fmt"
 
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/bitword"
 	"fastintersect/internal/core"
 	"fastintersect/internal/plan"
@@ -26,12 +27,16 @@ const StoredHashImages = 1
 //	            intersections decode only the buckets they visit
 //	EncLowbits  an RGSList — the Appendix B grouped structure whose decode
 //	            is a single bit concatenation
+//	EncBitseg   a bitseg.List — density-partitioned bitmap segments and
+//	            sorted runs, intersected word-at-a-time with no decode
 type Stored struct {
 	enc    Encoding
 	n      int
+	span   int
 	raw    []uint32
 	lookup *LookupList
 	rgs    *RGSList
+	bits   *bitseg.List
 }
 
 // NewStored stores a sorted set under the given encoding. EncLowbits needs
@@ -51,11 +56,16 @@ func NewStored(fam *core.Family, set []uint32, enc Encoding) (*Stored, error) {
 		s.lookup, err = NewLookupListAuto(set, Delta, DefaultStoredBucket)
 	case EncLowbits:
 		s.rgs, err = NewRGSList(fam, set, StoredHashImages, RGSLowbits)
+	case EncBitseg:
+		s.bits, err = bitseg.FromSorted(set)
 	default:
 		err = fmt.Errorf("compress: unknown encoding %d", int(enc))
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(set) > 0 {
+		s.span = int(set[len(set)-1]) + 1
 	}
 	return s, nil
 }
@@ -76,6 +86,10 @@ func (s *Stored) Encoding() Encoding { return s.enc }
 // Len returns the number of postings.
 func (s *Stored) Len() int { return s.n }
 
+// Span returns one past the largest stored docID (0 for an empty list) —
+// the extent the planner's bitmap-tier costing needs.
+func (s *Stored) Span() int { return s.span }
+
 // SizeBytes returns the exact payload footprint: element storage plus any
 // directory, excluding only the fixed-size struct headers.
 func (s *Stored) SizeBytes() int {
@@ -86,6 +100,8 @@ func (s *Stored) SizeBytes() int {
 		return s.lookup.SizeBytes()
 	case EncLowbits:
 		return s.rgs.SizeBytes()
+	case EncBitseg:
+		return s.bits.SizeBytes()
 	}
 	return 0
 }
@@ -112,6 +128,8 @@ func (s *Stored) DecodeInto(dst []uint32) []uint32 {
 		return s.lookup.DecodeInto(dst)
 	case EncLowbits:
 		return s.rgs.DecodeDocsInto(dst)
+	case EncBitseg:
+		return s.bits.DecodeInto(dst)
 	}
 	return dst
 }
@@ -125,6 +143,8 @@ func (s *Stored) Shape() plan.Shape {
 		return plan.ShapeDelta
 	case EncLowbits:
 		return plan.ShapeLowbits
+	case EncBitseg:
+		return plan.ShapeBitseg
 	default:
 		return plan.ShapeRawStored
 	}
@@ -170,7 +190,7 @@ func IntersectStoredInto(dst []uint32, ss ...*Stored) []uint32 {
 	}
 	sc.ops = sc.ops[:0]
 	for _, s := range ord {
-		sc.ops = append(sc.ops, plan.Operand{Len: s.n, Shape: s.Shape()})
+		sc.ops = append(sc.ops, plan.Operand{Len: s.n, Shape: s.Shape(), Span: s.span})
 	}
 	strat := plan.ChooseStored(plan.Calibrated(), plan.KernelsCost, sc.ops)
 	return execStored(dst, sc, strat, ord)
@@ -203,6 +223,22 @@ func execStored(dst []uint32, sc *scratch, strat plan.Kernel, ord []*Stored) []u
 		return dst
 	}
 	switch strat {
+	case plan.KernelBitsegAnd:
+		ok := true
+		for _, s := range ord {
+			if s.enc != EncBitseg {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		sc.bits = sc.bits[:0]
+		for _, s := range ord {
+			sc.bits = append(sc.bits, s.bits)
+		}
+		return bitseg.IntersectKInto(dst, sc.bits...)
 	case plan.KernelRGSPair:
 		if len(ord) != 2 || ord[0].enc != EncLowbits || ord[1].enc != EncLowbits {
 			break
@@ -273,6 +309,8 @@ func (s *Stored) filterSortedInto(probe, out []uint32, sc *scratch) []uint32 {
 		return s.lookup.filterSorted(probe, out, &sc.bufA)
 	case EncLowbits:
 		return s.rgs.filterDocs(probe, out, &sc.bufA)
+	case EncBitseg:
+		return s.bits.FilterInto(probe, out)
 	}
 	return out
 }

@@ -75,97 +75,13 @@ func TestStoredRoundtripProperty(t *testing.T) {
 	}
 }
 
-func TestIntersectStoredAllEncodingPairs(t *testing.T) {
-	fam := storedFam()
-	rng := xhash.NewRNG(0xA11)
-	for trial := 0; trial < 8; trial++ {
-		n1 := 200 + rng.Intn(2000)
-		n2 := 200 + rng.Intn(5000)
-		maxR := n1
-		if n2 < maxR {
-			maxR = n2
-		}
-		a, b := workload.PairWithIntersection(1<<22, n1, n2, rng.Intn(maxR), rng)
-		want := sets.IntersectReference(a, b)
-		for _, ea := range Encodings() {
-			sa, err := NewStored(fam, a, ea)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, eb := range Encodings() {
-				sb, err := NewStored(fam, b, eb)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got := IntersectStored(sa, sb); !sets.Equal(got, want) {
-					t.Fatalf("trial %d %v∩%v: got %d, want %d", trial, ea, eb, len(got), len(want))
-				}
-				// Operand order must not matter.
-				if got := IntersectStored(sb, sa); !sets.Equal(got, want) {
-					t.Fatalf("trial %d %v∩%v swapped: got %d, want %d", trial, eb, ea, len(got), len(want))
-				}
-			}
-		}
-	}
-}
-
-func TestIntersectStoredKWayMixed(t *testing.T) {
-	fam := storedFam()
-	rng := xhash.NewRNG(0xB22)
-	for trial := 0; trial < 6; trial++ {
-		lists := workload.KWithIntersection(1<<20, []int{400, 900, 1500, 2500}, 50+rng.Intn(200), rng)
-		want := sets.IntersectReference(lists...)
-		encs := Encodings()
-		ss := make([]*Stored, len(lists))
-		for i, l := range lists {
-			var err error
-			ss[i], err = NewStored(fam, l, encs[(trial+i)%len(encs)])
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		if got := IntersectStored(ss...); !sets.Equal(got, want) {
-			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
-		}
-	}
-}
-
-func TestIntersectStoredAdaptiveMatchesReference(t *testing.T) {
-	fam := storedFam()
-	rng := xhash.NewRNG(0xC33)
-	// Spans the heuristic's regimes so adaptive intersections cross
-	// encodings (raw tiny ∩ lowbits large, γ dense ∩ δ sparse, ...).
-	shapes := []struct {
-		n1, n2   int
-		universe uint32
-	}{
-		{16, 5000, 1 << 24},
-		{2048, 2048, 1 << 13},
-		{2048, 8192, 1 << 26},
-		{300, 70000, 1 << 26},
-		{70000, 70000, 1 << 26},
-	}
-	for _, sh := range shapes {
-		r := sh.n1 / 10
-		if r < 1 {
-			r = 1
-		}
-		a, b := workload.PairWithIntersection(sh.universe, sh.n1, sh.n2, r, rng)
-		want := sets.IntersectReference(a, b)
-		sa, err := NewStoredAdaptive(fam, a)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sb, err := NewStoredAdaptive(fam, b)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := IntersectStored(sa, sb); !sets.Equal(got, want) {
-			t.Fatalf("n1=%d n2=%d u=%d (%v∩%v): got %d, want %d",
-				sh.n1, sh.n2, sh.universe, sa.Encoding(), sb.Encoding(), len(got), len(want))
-		}
-	}
-}
+// Stored-intersection parity coverage (every encoding uniformly, mixed
+// encodings, the adaptive chooser and every forced strategy — including the
+// shape-mismatch downgrade paths — vs the scalar reference) lives in the
+// shared cross-kernel harness: internal/kerneltest.TestStoredKernelParity.
+// This file keeps only the representation contracts local to the package:
+// round-trips, size accounting, the encoding chooser's regimes, and the
+// degenerate-input behavior of IntersectStored.
 
 func TestIntersectStoredDegenerate(t *testing.T) {
 	fam := storedFam()
@@ -195,9 +111,10 @@ func TestChooseEncodingRegimes(t *testing.T) {
 		want     Encoding
 	}{
 		{"tiny", 32, 1 << 16, EncRaw},
-		{"small-dense", 2048, 1 << 13, EncGamma},
+		{"small-dense", 2048, 1 << 13, EncBitseg},
 		{"small-sparse", 2048, 1 << 26, EncDelta},
-		{"large-dense", 1 << 16, 1 << 18, EncGamma},
+		{"mid-dense", 2048, 40 * 1024, EncGamma},
+		{"large-dense", 1 << 16, 1 << 18, EncBitseg},
 		{"large-mid", 1 << 16, 1 << 26, EncLowbits},
 	}
 	for _, c := range cases {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"fastintersect/internal/compress"
 	"fastintersect/internal/invindex"
 	"fastintersect/internal/race"
 	"fastintersect/internal/sets"
@@ -106,10 +107,19 @@ func TestQueryAllocs(t *testing.T) {
 		{"compressed-and-1shard", invindex.StorageCompressed, 1, "m2 AND m3", 30},
 		{"compressed-mixed-1shard", invindex.StorageCompressed, 1, "(m2 AND m3) OR m11 AND NOT m13", 60},
 		{"compressed-and-4shard", invindex.StorageCompressed, 4, "m2 AND m3", 70},
+		// The m2/m3/m4 lists are dense enough to store as bitseg, so this
+		// pins the word-parallel k-way kernel end to end: stored bitmaps in,
+		// zero kernel-side allocations, same budget as the scalar paths.
+		{"bitseg-kway-1shard", invindex.StorageCompressed, 1, "m2 AND m3 AND m4", 30},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			e := buildTestEngine(t, Config{Shards: tc.shards, Storage: tc.storage}, numDocs)
+			if tc.name == "bitseg-kway-1shard" {
+				if enc, ok := e.snapshot()[0].base.Encoding("m2"); !ok || enc != compress.EncBitseg {
+					t.Fatalf("m2 encoding = %v, %v; the bitseg case needs bitseg-backed lists", enc, ok)
+				}
+			}
 			for i := 0; i < 5; i++ { // warm pools
 				if _, err := e.Query(tc.query); err != nil {
 					t.Fatal(err)

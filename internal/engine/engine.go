@@ -104,6 +104,7 @@ type Engine struct {
 	costs   *plan.Costs // cost-model coefficients (configured or calibrated)
 	workers chan struct{}
 	cache   *cache
+	plans   *planCache
 
 	mu     sync.RWMutex
 	shards []*shard
@@ -114,6 +115,15 @@ type Engine struct {
 	// state are never served (see cache.go). Compactions do not bump it —
 	// they change the representation, not the visible document set.
 	gen atomic.Uint64
+
+	// statsEpoch tracks representation changes: bumped by every Install and
+	// every successful compaction swap, the two events that can re-encode
+	// posting lists and so change the statistics a physical plan was priced
+	// against. The plan cache stamps entries with it (see plancache.go);
+	// document mutations deliberately leave it alone — they bump gen, and a
+	// slightly stale plan is correctness-safe because shards re-price
+	// kernels on actual sizes at execution.
+	statsEpoch atomic.Uint64
 
 	// met is the observability surface: operation counters, latency and
 	// stage histograms, per-kernel counters and the trace sampler, all on a
@@ -143,6 +153,7 @@ func New(cfg Config) *Engine {
 		costs:   costs,
 		workers: make(chan struct{}, cfg.Workers),
 		cache:   newCache(cfg.CacheSize),
+		plans:   newPlanCache(),
 	}
 	e.met = newEngineMetrics(e, cfg)
 	return e
@@ -261,6 +272,7 @@ func (e *Engine) Install(b *Builder) error {
 	e.shards = shards
 	e.mu.Unlock()
 	e.gen.Add(1)
+	e.statsEpoch.Add(1) // new bases may store terms under new encodings
 	e.met.rebuilds.Inc()
 	return nil
 }
@@ -413,10 +425,33 @@ func (e *Engine) executeQuery(q string, mode execMode, tr *obs.Trace) (*Result, 
 	if shards == nil {
 		return nil, "", ErrNotBuilt
 	}
-	pc := getPlanCtx()
-	pc.stats.fill(shards)
-	pp := plan.Build(&pc.plan, ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy,
-		e.cfg.Storage == invindex.StorageCompressed)
+	// The stats epoch is loaded BEFORE the statistics are read: if an
+	// Install or compaction swaps bases in between, the plan built below is
+	// stamped with the superseded epoch and rebuilt on its next lookup
+	// instead of lingering with stale shapes.
+	epoch := e.statsEpoch.Load()
+	var pp *plan.Plan
+	var pc *planCtx
+	if mode == modeQuery {
+		pp = e.plans.get(key, epoch)
+	}
+	if pp != nil {
+		e.met.planHits.Inc()
+	} else {
+		pc = getPlanCtx()
+		pc.stats.fill(shards)
+		stored := e.cfg.Storage == invindex.StorageCompressed
+		if mode == modeQuery {
+			// Build into a cache-owned plan (shared read-only by later
+			// queries); Explain/Analyze rebuild into the pooled arena so
+			// their rendering always reflects current statistics.
+			e.met.planMisses.Inc()
+			pp = plan.Build(new(plan.Plan), ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy, stored)
+			e.plans.put(key, pp, epoch)
+		} else {
+			pp = plan.Build(&pc.plan, ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy, stored)
+		}
+	}
 	stamp(tr, obs.StagePlan, &t0)
 	expl := ""
 	if mode == modeExplain {
@@ -653,9 +688,14 @@ type Stats struct {
 	Mutations   uint64       `json:"mutations"`
 	Compactions uint64       `json:"compactions"`
 	Generation  uint64       `json:"generation"`
-	Delta       DeltaStats   `json:"delta"`
-	Workers     int          `json:"workers"`
-	Cache       CacheStats   `json:"cache"`
+	// StatsEpoch counts representation changes (installs + compaction
+	// swaps); PlanCacheEntries is the number of physical plans memoized
+	// against the current epoch's statistics.
+	StatsEpoch       uint64     `json:"stats_epoch"`
+	PlanCacheEntries int        `json:"plan_cache_entries"`
+	Delta            DeltaStats `json:"delta"`
+	Workers          int        `json:"workers"`
+	Cache            CacheStats `json:"cache"`
 }
 
 // Stats returns current counters. Docs counts distinct live documents:
@@ -674,9 +714,11 @@ func (e *Engine) Stats() Stats {
 		Mutations:   e.met.mutations.Value(),
 		Compactions: e.met.compactions.Value(),
 		Generation:  e.gen.Load(),
+		StatsEpoch:  e.statsEpoch.Load(),
 		Workers:     e.cfg.Workers,
 		Cache:       e.cache.stats(),
 	}
+	st.PlanCacheEntries = e.plans.entries()
 	for _, s := range shards {
 		s.mu.RLock()
 		ix := s.base

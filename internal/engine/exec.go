@@ -36,10 +36,14 @@ func (e *Engine) listAlgorithm(c *execCtx, p *plan.Plan, lists []*fastintersect.
 		return a
 	}
 	c.lens = c.lens[:0]
+	span := 0
 	for _, l := range lists {
 		c.lens = append(c.lens, l.Len())
+		if sp := l.Span(); sp > 0 && (span == 0 || sp < span) {
+			span = sp
+		}
 	}
-	return fastintersect.KernelAlgorithm(plan.ChooseListKernel(e.costs, p.Policy.Kernels, c.lens))
+	return fastintersect.KernelAlgorithm(plan.ChooseListKernel(e.costs, p.Policy.Kernels, c.lens, span))
 }
 
 // intersectPair intersects two sorted sets into a context buffer with the
@@ -174,7 +178,7 @@ func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32
 		// shard's actual lengths and encodings.
 		c.ops = c.ops[:0]
 		for _, s := range f.stored {
-			c.ops = append(c.ops, plan.Operand{Len: s.Len(), Shape: s.Shape()})
+			c.ops = append(c.ops, plan.Operand{Len: s.Len(), Shape: s.Shape(), Span: s.Span()})
 		}
 		strat := plan.ChooseStored(e.costs, p.Policy.Kernels, c.ops)
 		cur = compress.IntersectStoredStrategy(c.getBuf(), strat, f.stored...)

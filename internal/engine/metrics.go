@@ -27,6 +27,8 @@ type engineMetrics struct {
 	mutations   *obs.Counter
 	compactions *obs.Counter
 	rebuilds    *obs.Counter
+	planHits    *obs.Counter
+	planMisses  *obs.Counter
 
 	latency *obs.Histogram
 	stages  [obs.NumStages]*obs.Histogram
@@ -57,6 +59,8 @@ func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
 		mutations:   r.Counter("fsi_mutations_total", "Effective AddDocument/DeleteDocument mutations."),
 		compactions: r.Counter("fsi_compactions_total", "Completed shard compactions."),
 		rebuilds:    r.Counter("fsi_rebuilds_total", "Index installs."),
+		planHits:    r.Counter("fsi_plan_cache_hits_total", "Queries served a memoized physical plan."),
+		planMisses:  r.Counter("fsi_plan_cache_misses_total", "Queries that built a plan (cold key or stale stats epoch)."),
 		latency:     r.Histogram("fsi_query_latency_seconds", "End-to-end Query latency."),
 	}
 	for s := obs.Stage(0); s < obs.NumStages; s++ {
@@ -86,6 +90,10 @@ func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
 		func() float64 { return float64(e.cache.stats().Entries) })
 	r.GaugeFunc("fsi_index_generation", "Index generation (bumped by every install and effective mutation).",
 		func() float64 { return float64(e.gen.Load()) })
+	r.GaugeFunc("fsi_stats_epoch", "Statistics epoch (bumped by installs and compaction swaps; invalidates the plan cache).",
+		func() float64 { return float64(e.statsEpoch.Load()) })
+	r.GaugeFunc("fsi_plan_cache_entries", "Plan-cache resident entries.",
+		func() float64 { return float64(e.plans.entries()) })
 	return m
 }
 

@@ -348,6 +348,11 @@ func (e *Engine) compactShard(s *shard) error {
 		}
 	}
 	s.live = live
+	// The swap can re-encode any list in this shard (a dense delta folding
+	// into the base may flip a term from Gamma to Bitseg, say), so plans
+	// priced against the old shapes must be rebuilt: bump the stats epoch,
+	// invalidating every plan-cache entry (see plancache.go).
+	e.statsEpoch.Add(1)
 	e.met.compactions.Inc()
 	return nil
 }

@@ -68,6 +68,8 @@ func encodingShape(enc compress.Encoding) plan.Shape {
 		return plan.ShapeDelta
 	case compress.EncLowbits:
 		return plan.ShapeLowbits
+	case compress.EncBitseg:
+		return plan.ShapeBitseg
 	default:
 		return plan.ShapeRawStored
 	}
@@ -89,8 +91,12 @@ var planCtxPool = sync.Pool{New: func() any { return new(planCtx) }}
 func getPlanCtx() *planCtx { return planCtxPool.Get().(*planCtx) }
 
 // putPlanCtx drops the base-index references so a pooled plan context never
-// pins a swapped-out shard set, then recycles it.
+// pins a swapped-out shard set, then recycles it. Nil-safe: a plan-cache
+// hit never acquires a context.
 func putPlanCtx(pc *planCtx) {
+	if pc == nil {
+		return
+	}
 	clear(pc.stats.bases)
 	pc.stats.bases = pc.stats.bases[:0]
 	pc.stats.docs = 0

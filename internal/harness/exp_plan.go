@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"fastintersect/internal/engine"
@@ -9,6 +10,25 @@ import (
 	"fastintersect/internal/plan"
 	"fastintersect/internal/workload"
 )
+
+// denseQueries conjoins the workload's head terms — the lists dense enough
+// to store as word-parallel bitmaps — in pairs and triples. On this stream
+// the cost model should select the bitseg kernel (the heuristic baseline
+// never does), making it the measurement workload for the bitmap tier's
+// end-to-end speedup.
+func denseQueries() []string {
+	var qs []string
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			qs = append(qs, workload.TermName(i)+" AND "+workload.TermName(j))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		qs = append(qs, fmt.Sprintf("%s AND %s AND %s",
+			workload.TermName(i), workload.TermName(i+1), workload.TermName(i+2)))
+	}
+	return qs
+}
 
 func init() {
 	register(Experiment{
@@ -42,6 +62,11 @@ type PlanScenario struct {
 	QPS         float64 `json:"qps"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BitsegPlans counts sampled queries whose physical plan selected the
+	// word-parallel bitmap kernel — the evidence that a bitseg speedup came
+	// from the cost model choosing it, not from forcing it (the heuristic
+	// policy must always report 0 here).
+	BitsegPlans int `json:"bitseg_plans"`
 }
 
 // PlanReport is the machine-readable result of the plan-quality experiment:
@@ -70,11 +95,13 @@ func PlanBench(cfg Config) *PlanReport {
 	real := workload.NewReal(rc)
 
 	workloads := []struct {
-		Name string
-		SC   workload.StreamConfig
+		Name    string
+		SC      workload.StreamConfig
+		Queries []string // overrides the stream when non-nil
 	}{
-		{"and-heavy", workload.StreamConfig{OrFrac: 0, NotFrac: 0, Seed: cfg.Seed + 1}},
-		{"mixed", workload.StreamConfig{OrFrac: 0.30, NotFrac: 0.10, Seed: cfg.Seed + 2}},
+		{"and-heavy", workload.StreamConfig{OrFrac: 0, NotFrac: 0, Seed: cfg.Seed + 1}, nil},
+		{"dense-and", workload.StreamConfig{}, denseQueries()},
+		{"mixed", workload.StreamConfig{OrFrac: 0.30, NotFrac: 0.10, Seed: cfg.Seed + 2}, nil},
 	}
 	rep := &PlanReport{
 		Schema: "fsibench/plan/v1",
@@ -94,7 +121,10 @@ func PlanBench(cfg Config) *PlanReport {
 				panic(fmt.Sprintf("harness: plan bench install: %v", err))
 			}
 			for _, wl := range workloads {
-				queries := real.QueryStream(2*rc.NumQueries, wl.SC)
+				queries := wl.Queries
+				if queries == nil {
+					queries = real.QueryStream(2*rc.NumQueries, wl.SC)
+				}
 				for _, q := range queries[:min(64, len(queries))] { // warm pools and structure caches
 					if _, err := e.Query(q); err != nil {
 						panic(fmt.Sprintf("harness: plan bench warm-up query %q: %v", q, err))
@@ -123,6 +153,16 @@ func PlanBench(cfg Config) *PlanReport {
 				if ns > 0 {
 					qps = 1e9 / float64(ns)
 				}
+				bitsegPlans := 0
+				for _, q := range queries[:min(32, len(queries))] {
+					_, expl, err := e.Explain(q)
+					if err != nil {
+						panic(fmt.Sprintf("harness: plan bench explain %q: %v", q, err))
+					}
+					if strings.Contains(expl, "BitsegAnd") {
+						bitsegPlans++
+					}
+				}
 				rep.Scenarios = append(rep.Scenarios, PlanScenario{
 					Workload:    wl.Name,
 					Storage:     st.String(),
@@ -132,6 +172,7 @@ func PlanBench(cfg Config) *PlanReport {
 					QPS:         qps,
 					BytesPerOp:  r.AllocedBytesPerOp(),
 					AllocsPerOp: r.AllocsPerOp(),
+					BitsegPlans: bitsegPlans,
 				})
 			}
 		}
@@ -152,10 +193,11 @@ func runPlanBench(cfg Config) []*Table {
 	t := &Table{
 		ID:      "plan-quality",
 		Title:   "Engine.Query ns/op per planner policy (cache disabled)",
-		Columns: []string{"workload", "storage", "cost ns/op", "df ns/op", "worst ns/op", "cost/df"},
+		Columns: []string{"workload", "storage", "cost ns/op", "df ns/op", "worst ns/op", "cost/df", "bitseg plans"},
 		Notes: []string{
 			"cost = calibrated cost model (order + kernels); df = pre-planner baseline (ascending df, Auto-rule kernels); worst = descending df",
 			"cost/df <= 1.0 means cost-based planning is no slower than the baseline it replaced",
+			"bitseg plans = sampled queries whose cost-based plan selected the word-parallel bitmap kernel (the baseline never does)",
 		},
 	}
 	for _, s := range rep.Scenarios {
@@ -168,7 +210,8 @@ func runPlanBench(cfg Config) []*Table {
 			fmt.Sprintf("%d", row["cost"].NsPerOp),
 			fmt.Sprintf("%d", row["df"].NsPerOp),
 			fmt.Sprintf("%d", row["worst"].NsPerOp),
-			fmt.Sprintf("%.2f", ratio))
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%d", row["cost"].BitsegPlans))
 	}
 	return []*Table{t}
 }

@@ -53,14 +53,15 @@ type CompressReport struct {
 }
 
 // storageWorkloads spans the density regimes of the encoding heuristic:
-// tiny lists stay raw, small dense lists take γ, small sparse lists take δ,
+// tiny lists stay raw, dense lists (≳1/16 of their span) take bitseg's
+// word-parallel chunks, mid-density lists take γ, sparse lists take δ,
 // and long lists take Lowbits once its space estimate is within
-// LowbitsSpaceFactor of the best gap code (dense long lists still take γ —
-// their gaps are too short for Lowbits' trade to pay).
+// LowbitsSpaceFactor of the best gap code.
 func storageWorkloads(cfg Config) []StorageWorkload {
 	ws := []StorageWorkload{
 		{Name: "tiny", N: 32, Universe: 1 << 16},
 		{Name: "small-dense", N: 2048, Universe: 1 << 13},
+		{Name: "mid-dense", N: 2048, Universe: 40 * 1024},
 		{Name: "small-sparse", N: 2048, Universe: 1 << 26},
 		{Name: "large-dense", N: 1 << 16, Universe: 1 << 18},
 		{Name: "large-mid", N: 1 << 16, Universe: 1 << 26},
@@ -127,7 +128,7 @@ func runStorageSweep(cfg Config) []*Table {
 		Title:   "Stored bytes/posting per encoding (pair of equal lists, r = 1%)",
 		Columns: append([]string{"workload", "n", "universe", "chosen"}, encNames...),
 		Notes: []string{
-			"chosen = ChooseEncoding's pick: Raw for tiny lists, Gamma for dense, Delta for sparse, Lowbits for long mid-density lists",
+			"chosen = ChooseEncoding's pick: Raw for tiny lists, Bitseg for dense, Gamma for moderately dense, Delta for sparse, Lowbits for long mid-density lists",
 		},
 	}
 	tTime := &Table{

@@ -177,8 +177,8 @@ func TestSortedKeys(t *testing.T) {
 
 // TestCompressBenchSweep pins the storage sweep's guarantees: every
 // encoding's intersection is byte-identical to the reference, and the
-// adaptive heuristic selects each of Raw, Gamma, Delta and Lowbits for at
-// least one density regime.
+// adaptive heuristic selects each of Raw, Gamma, Delta, Lowbits and
+// Bitseg for at least one density regime.
 func TestCompressBenchSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is not -short friendly")
@@ -189,7 +189,7 @@ func TestCompressBenchSweep(t *testing.T) {
 	}
 	chosen := map[string]bool{}
 	for _, w := range rep.Workloads {
-		if len(w.Encodings) != 4 {
+		if len(w.Encodings) != 5 {
 			t.Fatalf("%s: %d encodings measured", w.Name, len(w.Encodings))
 		}
 		chosen[w.Chosen] = true
@@ -205,7 +205,7 @@ func TestCompressBenchSweep(t *testing.T) {
 			}
 		}
 	}
-	for _, enc := range []string{"Raw", "Gamma", "Delta", "Lowbits"} {
+	for _, enc := range []string{"Raw", "Gamma", "Delta", "Lowbits", "Bitseg"} {
 		if !chosen[enc] {
 			t.Fatalf("no workload selects %s (chosen set: %v)", enc, chosen)
 		}

@@ -1,0 +1,217 @@
+package kerneltest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fastintersect"
+	"fastintersect/internal/compress"
+	"fastintersect/internal/core"
+	"fastintersect/internal/engine"
+	"fastintersect/internal/invindex"
+	"fastintersect/internal/plan"
+	"fastintersect/internal/sets"
+)
+
+const corpusSeed = 0x517E57
+
+// TestListKernelParity runs every public algorithm — including Auto, whose
+// pick rides the calibrated cost model — over the whole corpus against the
+// scalar reference. Algorithms with a set-count limit must reject wider
+// inputs rather than miscompute.
+func TestListKernelParity(t *testing.T) {
+	for _, c := range Cases(corpusSeed) {
+		want := sets.IntersectReference(c.Sets...)
+		lists := make([]*fastintersect.List, len(c.Sets))
+		for i, s := range c.Sets {
+			l, err := fastintersect.Preprocess(s)
+			if err != nil {
+				t.Fatalf("%s: set %d: %v", c.Name, i, err)
+			}
+			lists[i] = l
+		}
+		for _, algo := range append([]fastintersect.Algorithm{fastintersect.Auto}, fastintersect.Algorithms()...) {
+			if mx := algo.MaxSets(); mx > 0 && len(lists) > mx {
+				if _, err := fastintersect.IntersectWith(algo, lists...); err == nil {
+					t.Errorf("%s/%v: accepted %d sets (limit %d)", c.Name, algo, len(lists), mx)
+				}
+				continue
+			}
+			got, err := fastintersect.IntersectWith(algo, lists...)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", c.Name, algo, err)
+			}
+			if !algo.Sorted() {
+				sets.SortU32(got)
+			}
+			if !sets.Equal(got, want) {
+				t.Errorf("%s/%v: %d results, want %d", c.Name, algo, len(got), len(want))
+			}
+		}
+	}
+}
+
+// storedStrategies are every stored-intersection strategy the planner can
+// emit; forcing each over every encoding combination also exercises the
+// downgrade path (a strategy the shapes cannot satisfy must fall back to
+// the filter chain, not miscompute).
+var storedStrategies = []plan.Kernel{
+	plan.KernelBitsegAnd,
+	plan.KernelRGSPair,
+	plan.KernelLookupProbe,
+	plan.KernelFilterChain,
+	plan.KernelDecodeAll,
+}
+
+// TestStoredKernelParity covers the compressed tier: every encoding
+// uniformly, rotated mixed encodings, the adaptive chooser, and every
+// forced strategy over both the adaptive and the uniform-bitseg layouts.
+func TestStoredKernelParity(t *testing.T) {
+	fam := core.NewFamily(0x517E, compress.StoredHashImages)
+	mk := func(name string, set []uint32, enc compress.Encoding) *compress.Stored {
+		t.Helper()
+		s, err := compress.NewStored(fam, set, enc)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", name, enc, err)
+		}
+		return s
+	}
+	for _, c := range Cases(corpusSeed) {
+		want := sets.IntersectReference(c.Sets...)
+		encs := compress.Encodings()
+		// Uniform: all operands under the same encoding.
+		for _, enc := range encs {
+			ss := make([]*compress.Stored, len(c.Sets))
+			for i, set := range c.Sets {
+				ss[i] = mk(c.Name, set, enc)
+			}
+			if got := compress.IntersectStored(ss...); !sets.Equal(got, want) {
+				t.Errorf("%s/uniform-%v: %d results, want %d", c.Name, enc, len(got), len(want))
+			}
+		}
+		// Mixed: rotate encodings across operands.
+		for rot := 0; rot < len(encs); rot++ {
+			ss := make([]*compress.Stored, len(c.Sets))
+			for i, set := range c.Sets {
+				ss[i] = mk(c.Name, set, encs[(i+rot)%len(encs)])
+			}
+			if got := compress.IntersectStored(ss...); !sets.Equal(got, want) {
+				t.Errorf("%s/mixed-rot%d: %d results, want %d", c.Name, rot, len(got), len(want))
+			}
+		}
+		// Adaptive layout plus every forced strategy over it; then the
+		// uniform bitseg layout under the same forcing (the word-parallel
+		// kernel on-path, the others downgrading).
+		adaptive := make([]*compress.Stored, len(c.Sets))
+		allBitseg := make([]*compress.Stored, len(c.Sets))
+		for i, set := range c.Sets {
+			s, err := compress.NewStoredAdaptive(fam, set)
+			if err != nil {
+				t.Fatalf("%s: adaptive: %v", c.Name, err)
+			}
+			adaptive[i] = s
+			allBitseg[i] = mk(c.Name, set, compress.EncBitseg)
+		}
+		if got := compress.IntersectStored(adaptive...); !sets.Equal(got, want) {
+			t.Errorf("%s/adaptive: %d results, want %d", c.Name, len(got), len(want))
+		}
+		for _, strat := range storedStrategies {
+			for layout, ss := range map[string][]*compress.Stored{"adaptive": adaptive, "bitseg": allBitseg} {
+				if len(ss) < 2 {
+					continue
+				}
+				if got := compress.IntersectStoredStrategy(nil, strat, ss...); !sets.Equal(got, want) {
+					t.Errorf("%s/%s forced %v: %d results, want %d", c.Name, layout, strat, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParity drives the corpus through the full serving path: each
+// case's sets become posting lists, the conjunction of all terms is planned
+// and executed across two shards, and the merged result must equal the
+// reference — for both storages crossed with both kernel policies, so the
+// cost-based plans (which may pick the bitmap kernels) and the heuristic
+// baseline (which never does) are held to the same answers.
+func TestEngineParity(t *testing.T) {
+	policies := []struct {
+		name string
+		pol  plan.Policy
+	}{
+		{"cost", plan.Policy{}},
+		{"heuristic", plan.Policy{Order: plan.OrderDF, Kernels: plan.KernelsHeuristic}},
+	}
+	for _, storage := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		for _, pc := range policies {
+			t.Run(fmt.Sprintf("%v-%s", storage, pc.name), func(t *testing.T) {
+				for _, c := range Cases(corpusSeed) {
+					e := engine.New(engine.Config{Shards: 2, Storage: storage, PlanPolicy: pc.pol, NoMetrics: true})
+					b := e.NewBuilder()
+					terms := make([]string, len(c.Sets))
+					for i, set := range c.Sets {
+						terms[i] = fmt.Sprintf("t%d", i)
+						if len(set) == 0 {
+							continue
+						}
+						if err := b.AddPosting(terms[i], set); err != nil {
+							t.Fatalf("%s: %v", c.Name, err)
+						}
+					}
+					if err := e.Install(b); err != nil {
+						t.Fatalf("%s: %v", c.Name, err)
+					}
+					res, err := e.Query(strings.Join(terms, " AND "))
+					if err != nil {
+						t.Fatalf("%s: %v", c.Name, err)
+					}
+					want := sets.IntersectReference(c.Sets...)
+					if !sets.Equal(res.Docs, want) {
+						t.Errorf("%s: %d results, want %d", c.Name, len(res.Docs), len(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusWellFormed pins the generator's contract: stable under a seed,
+// sorted duplicate-free sets, and the boundary families present.
+func TestCorpusWellFormed(t *testing.T) {
+	cases := Cases(corpusSeed)
+	if len(cases) < 15 {
+		t.Fatalf("corpus has only %d cases", len(cases))
+	}
+	names := map[string]bool{}
+	for _, c := range cases {
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if len(c.Sets) < 2 {
+			t.Errorf("%s: %d sets, want ≥ 2", c.Name, len(c.Sets))
+		}
+		for i, s := range c.Sets {
+			if err := sets.Validate(s); err != nil {
+				t.Errorf("%s: set %d: %v", c.Name, i, err)
+			}
+		}
+	}
+	for _, want := range []string{"partition-threshold", "near-max", "chunk-edge-straddle", "wide-kway"} {
+		if !names[want] {
+			t.Errorf("missing boundary family %q", want)
+		}
+	}
+	again := Cases(corpusSeed)
+	for i := range cases {
+		if cases[i].Name != again[i].Name || len(cases[i].Sets) != len(again[i].Sets) {
+			t.Fatalf("corpus not deterministic at case %d", i)
+		}
+		for j := range cases[i].Sets {
+			if !sets.Equal(cases[i].Sets[j], again[i].Sets[j]) {
+				t.Fatalf("corpus not deterministic: %s set %d", cases[i].Name, j)
+			}
+		}
+	}
+}

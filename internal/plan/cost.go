@@ -5,13 +5,14 @@ import (
 	"sync"
 	"time"
 
+	"fastintersect/internal/bitseg"
 	"fastintersect/internal/core"
 	"fastintersect/internal/sets"
 )
 
 // Costs are the calibrated coefficients of the cost model, in nanoseconds.
 //
-// The four kernel anchors are measured against the REAL kernels at a
+// The five kernel anchors are measured against the REAL kernels at a
 // reference shape (4096-element lists, reference skew ratio 16), so machine
 // idiosyncrasies — a slow hash unit, a vectorized merge, cache behavior —
 // move the crossovers exactly as they move the kernels. The physical
@@ -21,6 +22,7 @@ import (
 //	Gallop (SvS)   GallopProbe · n₀ · Σ max(1, log₂(2+nᵢ/n₀)/refDepth)
 //	HashBin §3.4   HashProbe  · n₀ · Σ max(1, log₂(2+nᵢ/n₀)/refDepth)
 //	GroupScan §3.3 GroupElem · Σnᵢ
+//	BitsegAnd      BitsegWord · 64 words · E[aligned chunks] · (k−1) + Scan · E[|out|]
 //
 // The primitive coefficients price the compressed tier's decode-vs-probe
 // decisions (see storedCost). All coefficients are measured once per
@@ -36,6 +38,9 @@ type Costs struct {
 	HashProbe float64
 	// GroupElem is the ns per element of RanGroupScan on balanced lists.
 	GroupElem float64
+	// BitsegWord is the ns per 64-bit word ANDed by the bitseg kernel at
+	// the reference density (including its share of result enumeration).
+	BitsegWord float64
 
 	// Scan is the ns per element of a sequential scan (decode copy,
 	// union merge step).
@@ -57,7 +62,8 @@ type Costs struct {
 func DefaultCosts() *Costs {
 	return &Costs{
 		MergeElem: 4.0, GallopProbe: 15.0, HashProbe: 40.0, GroupElem: 1.5,
-		Scan: 0.6, Probe: 2.0, Hash: 2.0, Filter: 0.8, GapDecode: 2.5,
+		BitsegWord: 4.0,
+		Scan:       0.6, Probe: 2.0, Hash: 2.0, Filter: 0.8, GapDecode: 2.5,
 	}
 }
 
@@ -129,10 +135,24 @@ func Calibrate() *Costs {
 			}, len(small))
 		}
 	}
+	if bsA, err1 := bitseg.FromSorted(a); err1 == nil {
+		if bsB, err2 := bitseg.FromSorted(b); err2 == nil {
+			words := bsA.Chunks()
+			if bsB.Chunks() < words {
+				words = bsB.Chunks()
+			}
+			words *= bitseg.ChunkWords
+			c.BitsegWord = timePerOp(func() {
+				buf = bitseg.IntersectInto(buf[:0], bsA, bsB)
+				calibrationSink += uint64(len(buf))
+			}, words)
+		}
+	}
 	sanitize(&c.MergeElem, def.MergeElem)
 	sanitize(&c.GallopProbe, def.GallopProbe)
 	sanitize(&c.HashProbe, def.HashProbe)
 	sanitize(&c.GroupElem, def.GroupElem)
+	sanitize(&c.BitsegWord, def.BitsegWord)
 	sanitize(&c.Scan, def.Scan)
 	sanitize(&c.Probe, def.Probe)
 	sanitize(&c.Hash, def.Hash)
@@ -198,6 +218,9 @@ const (
 	KernelHashBin
 	// KernelGroupScan is Algorithm 5 (§3.3), the word-image grouped scan.
 	KernelGroupScan
+	// KernelBitsegAnd is the word-parallel bitmap tier: density-partitioned
+	// lists intersected 64 docIDs per AND over their dense ranges.
+	KernelBitsegAnd
 	// KernelRGSPair runs Algorithm 5 directly over two stored Lowbits lists.
 	KernelRGSPair
 	// KernelLookupProbe intersects γ/δ lists through their bucket
@@ -212,7 +235,7 @@ const (
 )
 
 var kernelNames = [...]string{
-	"None", "Merge", "Gallop", "HashBin", "GroupScan",
+	"None", "Merge", "Gallop", "HashBin", "GroupScan", "BitsegAnd",
 	"RGSPair", "LookupProbe", "FilterChain", "DecodeAll",
 }
 
@@ -291,9 +314,13 @@ func probeDepth(n, n0 int) float64 {
 
 // ChooseListKernel picks the intersection kernel for k ≥ 2 preprocessed
 // lists with the given sizes (ascending order not required; only the
-// multiset of sizes matters). Under KernelsHeuristic it reproduces the Auto
-// rule: HashBin past the skew threshold, GroupScan otherwise.
-func ChooseListKernel(c *Costs, pol KernelPolicy, sizes []int) Kernel {
+// multiset of sizes matters). span is one past the largest docID across
+// the operands' shared universe (0 when unknown), which prices the bitmap
+// tier; with span 0 the bitseg candidate is skipped. Under KernelsHeuristic
+// it reproduces the Auto rule: HashBin past the skew threshold, GroupScan
+// otherwise — the bitmap tier is a cost-model-only candidate, keeping the
+// baseline policy byte-for-byte what shipped before it.
+func ChooseListKernel(c *Costs, pol KernelPolicy, sizes []int, span int) Kernel {
 	minN, maxN, total := sizes[0], sizes[0], 0
 	for _, n := range sizes {
 		if n < minN {
@@ -313,17 +340,40 @@ func ChooseListKernel(c *Costs, pol KernelPolicy, sizes []int) Kernel {
 	if minN == 0 {
 		return KernelMerge // trivially empty; avoid touching structures
 	}
-	best, k := listKernelCost(c, KernelMerge, sizes), KernelMerge
-	for _, cand := range [...]Kernel{KernelGallop, KernelHashBin, KernelGroupScan} {
-		if cost := listKernelCost(c, cand, sizes); cost < best {
+	best, k := listKernelCost(c, KernelMerge, sizes, span), KernelMerge
+	cands := [...]Kernel{KernelGallop, KernelHashBin, KernelGroupScan, KernelBitsegAnd}
+	for _, cand := range cands {
+		if cand == KernelBitsegAnd && span <= 0 {
+			continue
+		}
+		if cost := listKernelCost(c, cand, sizes, span); cost < best {
 			best, k = cost, cand
 		}
 	}
 	return k
 }
 
-// listKernelCost prices one list kernel on the given operand sizes.
-func listKernelCost(c *Costs, k Kernel, sizes []int) float64 {
+// bitsegCost prices the bitmap kernel: the chunk directories advance in
+// lockstep, so word ANDs are paid only on chunks every operand occupies —
+// chunks·Π min(1, nᵢ/chunks) in expectation under independence — and the
+// enumeration pays Scan per expected output element.
+func bitsegCost(c *Costs, sizes []int, span int) float64 {
+	chunks := float64(span/bitseg.ChunkWidth + 1)
+	aligned := chunks
+	out := float64(span)
+	for _, n := range sizes {
+		if f := float64(n) / chunks; f < 1 {
+			aligned *= f
+		}
+		out *= float64(n) / float64(span)
+	}
+	words := c.BitsegWord * bitseg.ChunkWords * aligned * float64(len(sizes)-1)
+	return words + c.Scan*out
+}
+
+// listKernelCost prices one list kernel on the given operand sizes; span
+// (universe extent) feeds only the bitseg candidate.
+func listKernelCost(c *Costs, k Kernel, sizes []int, span int) float64 {
 	minN, total := sizes[0], 0
 	for _, n := range sizes {
 		if n < minN {
@@ -350,6 +400,11 @@ func listKernelCost(c *Costs, k Kernel, sizes []int) float64 {
 		}
 	case KernelGroupScan:
 		cost = c.GroupElem * float64(total)
+	case KernelBitsegAnd:
+		if span <= 0 {
+			return math.Inf(1)
+		}
+		cost = bitsegCost(c, sizes, span)
 	}
 	return cost
 }
@@ -368,9 +423,11 @@ const (
 	ShapeDelta
 	// ShapeLowbits is the grouped Appendix-B structure.
 	ShapeLowbits
+	// ShapeBitseg is the density-partitioned bitmap/run hybrid.
+	ShapeBitseg
 )
 
-var shapeNames = [...]string{"list", "raw", "gamma", "delta", "lowbits"}
+var shapeNames = [...]string{"list", "raw", "gamma", "delta", "lowbits", "bitseg"}
 
 func (s Shape) String() string {
 	if int(s) < len(shapeNames) {
@@ -380,9 +437,12 @@ func (s Shape) String() string {
 }
 
 // Operand describes one intersection operand to the stored-strategy chooser.
+// Span is one past the operand's largest docID (0 when unknown); only the
+// bitseg strategy consults it.
 type Operand struct {
 	Len   int
 	Shape Shape
+	Span  int
 }
 
 // decodeCost prices materializing one stored operand as sorted []uint32.
@@ -394,6 +454,9 @@ func decodeCost(c *Costs, op Operand) float64 {
 	case ShapeLowbits:
 		// Group concat + inverse permutation per element, then the sort.
 		return (c.Hash + c.Scan) * n * (1 + logRatio(op.Len, 4)/8)
+	case ShapeBitseg:
+		// Word enumeration via TrailingZeros plus the run copies.
+		return 2 * c.Scan * n
 	default:
 		return c.Scan * n // copy
 	}
@@ -413,6 +476,10 @@ func probeCost(c *Costs, op Operand, p int) float64 {
 		// Per probe: permutation + image filter, plus the occasional
 		// surviving group decode (≈ √w elements for a vanishing fraction).
 		return (c.Hash + c.Filter + 2*c.Scan) * pf
+	case ShapeBitseg:
+		// O(1) bit test per probe on dense chunks, short run walk on sparse,
+		// plus the chunk-cursor advance.
+		return (c.Filter + c.Scan) * pf
 	default:
 		return c.MergeElem * (pf + float64(op.Len)) // linear merge
 	}
@@ -422,11 +489,17 @@ func probeCost(c *Costs, op Operand, p int) float64 {
 // given in ascending length order (ops[0] is the probe side). Under
 // KernelsHeuristic it reproduces the pre-planner shape dispatch.
 func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
-	allLookup := true
+	allLookup, allBitseg := true, true
+	span := 0
 	for _, op := range ops {
 		if op.Shape != ShapeGamma && op.Shape != ShapeDelta {
 			allLookup = false
-			break
+		}
+		if op.Shape != ShapeBitseg {
+			allBitseg = false
+		}
+		if op.Span > 0 && (span == 0 || op.Span < span) {
+			span = op.Span
 		}
 	}
 	pairRGS := len(ops) == 2 && ops[0].Shape == ShapeLowbits && ops[1].Shape == ShapeLowbits
@@ -456,6 +529,13 @@ func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
 		// bucket decodes; prefer it on ties.
 		best, k = chain, KernelLookupProbe
 	}
+	if allBitseg && span > 0 {
+		// The lists already carry the hybrid representation: run the k-way
+		// word kernel directly, no decode at all.
+		if bc := storedBitsegCost(c, ops, span); bc < best {
+			best, k = bc, KernelBitsegAnd
+		}
+	}
 	if pairRGS {
 		// The stored RGS kernel is the calibrated group scan plus the final
 		// result sort (the groups emit permutation order).
@@ -468,6 +548,23 @@ func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
 	return k
 }
 
+// storedBitsegCost prices the direct k-way bitmap intersection of stored
+// bitseg operands — bitsegCost's formula, restated over Operands so the
+// per-query path stays allocation-free.
+func storedBitsegCost(c *Costs, ops []Operand, span int) float64 {
+	chunks := float64(span/bitseg.ChunkWidth + 1)
+	aligned := chunks
+	out := float64(span)
+	for _, op := range ops {
+		if f := float64(op.Len) / chunks; f < 1 {
+			aligned *= f
+		}
+		out *= float64(op.Len) / float64(span)
+	}
+	words := c.BitsegWord * bitseg.ChunkWords * aligned * float64(len(ops)-1)
+	return words + c.Scan*out
+}
+
 // storedCost prices the chosen strategy for Explain.
 func storedCost(c *Costs, k Kernel, ops []Operand) float64 {
 	if len(ops) == 0 {
@@ -478,6 +575,17 @@ func storedCost(c *Costs, k Kernel, ops []Operand) float64 {
 	case KernelRGSPair:
 		total := float64(ops[0].Len + ops[1].Len)
 		return c.GroupElem*total + c.Probe*float64(n0)
+	case KernelBitsegAnd:
+		span := 0
+		for _, op := range ops {
+			if op.Span > 0 && (span == 0 || op.Span < span) {
+				span = op.Span
+			}
+		}
+		if span == 0 {
+			span = 1
+		}
+		return storedBitsegCost(c, ops, span)
 	case KernelDecodeAll:
 		cost := decodeCost(c, ops[0])
 		for _, op := range ops[1:] {

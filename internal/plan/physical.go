@@ -232,7 +232,10 @@ func (b *builder) buildAnd(n And) int32 {
 		for _, ti := range p.TermOps(&op) {
 			to := &p.Ops[ti]
 			p.buf = append(p.buf, to.Rows)
-			p.ops = append(p.ops, Operand{Len: to.Rows, Shape: to.Shape})
+			// The planner knows no per-term extent, so the universe stands in
+			// as every operand's span; the engine re-prices per shard with the
+			// real spans.
+			p.ops = append(p.ops, Operand{Len: to.Rows, Shape: to.Shape, Span: u})
 		}
 		if terms.n >= 2 {
 			if b.stored {
@@ -252,8 +255,8 @@ func (b *builder) buildAnd(n And) int32 {
 					}
 				}
 			} else {
-				op.Kernel = ChooseListKernel(b.c, b.pol.Kernels, p.buf)
-				op.Cost = listKernelCost(b.c, op.Kernel, p.buf)
+				op.Kernel = ChooseListKernel(b.c, b.pol.Kernels, p.buf, u)
+				op.Cost = listKernelCost(b.c, op.Kernel, p.buf, u)
 			}
 		}
 		rows, haveRows = estAnd(p.buf, u), true

@@ -35,42 +35,70 @@ func TestChooseListKernel(t *testing.T) {
 	cases := []struct {
 		name  string
 		sizes []int
+		span  int
 		want  Kernel
 	}{
-		{"balanced", []int{50_000, 60_000}, KernelGroupScan},
-		{"heavy-skew", []int{10, 100_000}, KernelGallop},
-		{"empty-operand", []int{0, 5_000}, KernelMerge},
+		{"balanced", []int{50_000, 60_000}, 0, KernelGroupScan},
+		{"heavy-skew", []int{10, 100_000}, 0, KernelGallop},
+		{"empty-operand", []int{0, 5_000}, 0, KernelMerge},
+		// Dense over a known universe: the word-parallel tier wins.
+		{"dense-span", []int{50_000, 60_000}, 100_000, KernelBitsegAnd},
+		// Sparse lists over the same universe still pay full chunk ANDs —
+		// the scalar group scan stays cheaper.
+		{"sparse-span", []int{1_000, 1_200}, 100_000, KernelGroupScan},
+		// Heavy skew: galloping beats even the bitmap walk.
+		{"skew-span", []int{10, 100_000}, 100_000, KernelGallop},
 	}
 	for _, tc := range cases {
-		if got := ChooseListKernel(c, KernelsCost, tc.sizes); got != tc.want {
-			t.Errorf("%s: ChooseListKernel(%v) = %v, want %v", tc.name, tc.sizes, got, tc.want)
+		if got := ChooseListKernel(c, KernelsCost, tc.sizes, tc.span); got != tc.want {
+			t.Errorf("%s: ChooseListKernel(%v, span=%d) = %v, want %v", tc.name, tc.sizes, tc.span, got, tc.want)
 		}
 	}
-	// The heuristic policy reproduces the Auto skew rule exactly.
-	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100 * heuristicSkew}); got != KernelHashBin {
+	// The heuristic policy reproduces the Auto skew rule exactly — and never
+	// picks the bitmap tier, keeping the baseline policy pre-bitseg.
+	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100 * heuristicSkew}, 100_000); got != KernelHashBin {
 		t.Errorf("heuristic at threshold = %v, want HashBin", got)
 	}
-	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100*heuristicSkew - 1}); got != KernelGroupScan {
+	if got := ChooseListKernel(c, KernelsHeuristic, []int{100, 100*heuristicSkew - 1}, 100_000); got != KernelGroupScan {
 		t.Errorf("heuristic below threshold = %v, want GroupScan", got)
+	}
+	if got := ChooseListKernel(c, KernelsHeuristic, []int{50_000, 60_000}, 100_000); got != KernelGroupScan {
+		t.Errorf("heuristic dense = %v, want GroupScan (bitseg is cost-model-only)", got)
 	}
 }
 
 func TestChooseStored(t *testing.T) {
 	c := DefaultCosts()
-	lowPair := []Operand{{1000, ShapeLowbits}, {1200, ShapeLowbits}}
+	lowPair := []Operand{{Len: 1000, Shape: ShapeLowbits}, {Len: 1200, Shape: ShapeLowbits}}
 	if got := ChooseStored(c, KernelsCost, lowPair); got != KernelRGSPair {
 		t.Errorf("lowbits pair = %v, want RGSPair", got)
 	}
-	gammas := []Operand{{500, ShapeGamma}, {5000, ShapeDelta}, {9000, ShapeGamma}}
+	gammas := []Operand{{Len: 500, Shape: ShapeGamma}, {Len: 5000, Shape: ShapeDelta}, {Len: 9000, Shape: ShapeGamma}}
 	if got := ChooseStored(c, KernelsCost, gammas); got != KernelLookupProbe {
 		t.Errorf("all-γ/δ = %v, want LookupProbe", got)
 	}
-	mixed := []Operand{{500, ShapeRawStored}, {5000, ShapeGamma}}
+	mixed := []Operand{{Len: 500, Shape: ShapeRawStored}, {Len: 5000, Shape: ShapeGamma}}
 	if got := ChooseStored(c, KernelsHeuristic, mixed); got != KernelFilterChain {
 		t.Errorf("heuristic mixed = %v, want FilterChain", got)
 	}
 	if got := ChooseStored(c, KernelsCost, mixed); got != KernelFilterChain && got != KernelDecodeAll {
 		t.Errorf("cost mixed = %v, want a chain/decode strategy", got)
+	}
+	// All-bitseg dense operands run the k-way word kernel in place.
+	bsegs := []Operand{
+		{Len: 50_000, Shape: ShapeBitseg, Span: 100_000},
+		{Len: 60_000, Shape: ShapeBitseg, Span: 100_000},
+	}
+	if got := ChooseStored(c, KernelsCost, bsegs); got != KernelBitsegAnd {
+		t.Errorf("dense bitseg pair = %v, want BitsegAnd", got)
+	}
+	if got := ChooseStored(c, KernelsHeuristic, bsegs); got != KernelFilterChain {
+		t.Errorf("heuristic bitseg pair = %v, want FilterChain (bitseg is cost-model-only)", got)
+	}
+	// Without a span the bitmap strategy is never considered.
+	noSpan := []Operand{{Len: 50_000, Shape: ShapeBitseg}, {Len: 60_000, Shape: ShapeBitseg}}
+	if got := ChooseStored(c, KernelsCost, noSpan); got == KernelBitsegAnd {
+		t.Error("span-less bitseg operands chose BitsegAnd")
 	}
 }
 
