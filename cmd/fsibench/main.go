@@ -12,6 +12,7 @@
 //	fsibench -churn-json BENCH_churn.json # machine-readable live-update churn experiment
 //	fsibench -plan-json BENCH_plan.json # machine-readable plan-quality experiment
 //	fsibench -obs-json BENCH_obs.json  # machine-readable observability experiment (scraped vs measured percentiles)
+//	fsibench -overload-json BENCH_overload.json # machine-readable saturation sweep (shedding vs unbounded queue)
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		churnOut = flag.String("churn-json", "", "run the live-update churn experiment (interleaved add/delete/query) and write it as JSON to this file (latency vs delta size per storage × compaction threshold), then exit")
 		planOut  = flag.String("plan-json", "", "run the plan-quality experiment (cost-based plans vs df-ordered baseline vs worst-order) and write it as JSON to this file (ns/op per workload shape × storage × policy), then exit")
 		obsOut   = flag.String("obs-json", "", "run the observability experiment (replay with /metrics scrapes between phases) and write it as JSON to this file (measured vs histogram-scraped latency percentiles per phase), then exit")
+		overOut  = flag.String("overload-json", "", "run the saturation experiment (open-loop offered load at multiples of capacity, shedding vs unbounded queue) and write it as JSON to this file (accepted p50/p99 and goodput per point), then exit")
 	)
 	flag.Parse()
 
@@ -103,6 +105,12 @@ func main() {
 		rep := harness.ObsBench(cfg)
 		writeJSON(*obsOut, rep)
 		fmt.Printf("wrote %s (%d phases)\n", *obsOut, len(rep.Phases))
+		return
+	}
+	if *overOut != "" {
+		rep := harness.OverloadBench(cfg)
+		writeJSON(*overOut, rep)
+		fmt.Printf("wrote %s (%d points, capacity %.0f qps)\n", *overOut, len(rep.Points), rep.CapacityQPS)
 		return
 	}
 	run := func(e harness.Experiment) {

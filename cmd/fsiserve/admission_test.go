@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fastintersect/internal/admission"
+	"fastintersect/internal/engine"
+	"fastintersect/internal/obs"
+)
+
+// slowTestServer builds a server whose engine has a large injected
+// per-shard delay, a tiny admission gate, and a slowlog — the overload
+// surface in miniature.
+func slowTestServer(t testing.TB, delay time.Duration, acfg admission.Config, deadline time.Duration) (*httptest.Server, *server) {
+	t.Helper()
+	eng := engine.New(engine.Config{
+		Shards:    1,
+		CacheSize: 0,
+		Faults:    &engine.FaultPlan{Shard: -1, Delay: delay},
+	})
+	if err := loadCorpus(eng, testCorpus(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, serverOptions{
+		slow:            obs.NewSlowLog(time.Hour, 64), // reason entries bypass the threshold
+		admission:       acfg,
+		defaultDeadline: deadline,
+	})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func get(t *testing.T, rawURL string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestDeadlineExceededIs503 exercises end-to-end deadline propagation: the
+// handler's context expires inside shard evaluation and the response is a
+// 503 with Retry-After, recorded in the slowlog with a reason.
+func TestDeadlineExceededIs503(t *testing.T) {
+	ts, srv := slowTestServer(t, 200*time.Millisecond, admission.Config{MaxInflight: 4}, 0)
+	q := url.Values{"q": {"t0 AND t1"}, "deadline_ms": {"20"}}.Encode()
+	code, hdr, body := get(t, ts.URL+"/query?"+q)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	entries := srv.slow.Snapshot()
+	if len(entries) == 0 || entries[0].Reason != "deadline" {
+		t.Fatalf("slowlog entries = %+v, want a reason=deadline entry", entries)
+	}
+}
+
+// TestQueueFullIs503: with a saturated gate and no queue, excess requests
+// shed immediately with 503.
+func TestQueueFullIs503(t *testing.T) {
+	ts, srv := slowTestServer(t, 300*time.Millisecond,
+		admission.Config{MaxInflight: 1, QueueDepth: -1}, 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupy the single slot
+		defer wg.Done()
+		get(t, ts.URL+"/query?"+url.Values{"q": {"t0 AND t1"}}.Encode())
+	}()
+	time.Sleep(50 * time.Millisecond) // let the occupier reach the engine
+	// A different canonical query (coalescing must not absorb it).
+	code, hdr, body := get(t, ts.URL+"/query?"+url.Values{"q": {"t2 AND t3"}}.Encode())
+	wg.Wait()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response without Retry-After")
+	}
+	found := false
+	for _, e := range srv.slow.Snapshot() {
+		if e.Reason == "shed_queue_full" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slowlog has no shed_queue_full entry: %+v", srv.slow.Snapshot())
+	}
+}
+
+// TestQuotaIs429: an over-quota client gets 429 + Retry-After; other
+// clients are unaffected.
+func TestQuotaIs429(t *testing.T) {
+	ts, _ := slowTestServer(t, 0,
+		admission.Config{MaxInflight: 8, ClientQPS: 0.001, ClientBurst: 2}, 0)
+	q := func(client string) (int, http.Header) {
+		code, hdr, _ := get(t, ts.URL+"/query?"+url.Values{"q": {"t0"}, "client": {client}}.Encode())
+		return code, hdr
+	}
+	var last int
+	var lastHdr http.Header
+	for i := 0; i < 3; i++ {
+		last, lastHdr = q("alice")
+	}
+	if last != http.StatusTooManyRequests {
+		t.Fatalf("third request status = %d, want 429", last)
+	}
+	if lastHdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if code, _ := q("bob"); code != http.StatusOK {
+		t.Fatalf("other client status = %d, want 200", code)
+	}
+}
+
+// TestCoalescing: concurrent duplicates of one canonical query share one
+// execution — observable via the coalesced flag in responses and the
+// fsi_coalesced_queries_total counter.
+func TestCoalescing(t *testing.T) {
+	ts, srv := slowTestServer(t, 100*time.Millisecond, admission.Config{MaxInflight: 8}, 0)
+	const dup = 6
+	var wg sync.WaitGroup
+	codes := make([]int, dup)
+	coalesced := make([]bool, dup)
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Syntactic variants of one canonical form: coalescing keys on
+			// the normalized query, not the raw text.
+			raw := "t0 AND t1"
+			if i%2 == 1 {
+				raw = "t1 AND t0"
+			}
+			code, _, body := get(t, ts.URL+"/query?"+url.Values{"q": {raw}}.Encode())
+			codes[i] = code
+			var qr queryResponse
+			if code == http.StatusOK {
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Errorf("decode: %v", err)
+					return
+				}
+				coalesced[i] = qr.Coalesced
+			}
+		}(i)
+	}
+	wg.Wait()
+	nCoalesced := 0
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, code)
+		}
+		if coalesced[i] {
+			nCoalesced++
+		}
+	}
+	if nCoalesced == 0 {
+		t.Fatal("no request reported coalesced=true")
+	}
+	var sb strings.Builder
+	if err := srv.eng.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fsi_coalesced_queries_total") {
+		t.Fatal("fsi_coalesced_queries_total not in /metrics scrape")
+	}
+	var total int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "fsi_coalesced_queries_total "); ok {
+			fmt.Sscanf(rest, "%d", &total)
+		}
+	}
+	if total != nCoalesced {
+		t.Fatalf("fsi_coalesced_queries_total = %d, responses flagged coalesced = %d", total, nCoalesced)
+	}
+}
+
+// TestAdmissionMetricsExposed: the gate's series appear in one /metrics
+// scrape alongside the engine's.
+func TestAdmissionMetricsExposed(t *testing.T) {
+	ts, _ := slowTestServer(t, 0, admission.Config{MaxInflight: 2}, time.Second)
+	get(t, ts.URL+"/query?"+url.Values{"q": {"t0"}}.Encode())
+	_, _, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"fsi_admission_accepted_total",
+		`fsi_admission_rejected_total{reason="quota"}`,
+		`fsi_admission_shed_total{reason="queue_full"}`,
+		"fsi_inflight",
+		"fsi_queue_wait_seconds",
+		"fsi_coalesced_queries_total",
+		`fsi_overload_responses_total{reason="deadline"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestBadDeadlineParam: malformed deadline_ms is a 400, before admission.
+func TestBadDeadlineParam(t *testing.T) {
+	ts, _ := slowTestServer(t, 0, admission.Config{MaxInflight: 2}, 0)
+	for _, bad := range []string{"-5", "abc"} {
+		code, _, _ := get(t, ts.URL+"/query?"+url.Values{"q": {"t0"}, "deadline_ms": {bad}}.Encode())
+		if code != http.StatusBadRequest {
+			t.Errorf("deadline_ms=%q status = %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestBatchDeadline: a batch whose body deadline expires mid-run reports
+// per-query context errors (the batch call itself stays 200 — per-query
+// failures are per-slot, like parse errors).
+func TestBatchDeadline(t *testing.T) {
+	ts, _ := slowTestServer(t, 100*time.Millisecond, admission.Config{MaxInflight: 2}, 0)
+	dl := 20
+	body, _ := json.Marshal(batchRequest{
+		Queries:    []string{"t0 AND t1", "t2 AND t3"},
+		DeadlineMS: &dl,
+	})
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d (%s), want 200", resp.StatusCode, b)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for _, item := range br.Results {
+		if item.Error != "" {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatalf("no per-query deadline errors in %+v", br.Results)
+	}
+}
+
+// TestChurnServeAdmission drives the HTTP surface concurrently — queries
+// with tight deadlines, mutations, scrapes — under the race step's Churn
+// name filter.
+func TestChurnServeAdmission(t *testing.T) {
+	ts, _ := slowTestServer(t, time.Millisecond,
+		admission.Config{MaxInflight: 2, QueueDepth: 2}, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch w % 3 {
+				case 0:
+					code, _, _ := get(t, ts.URL+"/query?"+url.Values{"q": {"t0 AND t1"}}.Encode())
+					if code != http.StatusOK && code != http.StatusServiceUnavailable {
+						t.Errorf("query status %d", code)
+						return
+					}
+				case 1:
+					body, _ := json.Marshal(addDocRequest{DocID: uint32(100_000 + w*1000 + i), Terms: []string{"t0"}})
+					resp, err := http.Post(ts.URL+"/index/doc", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Errorf("add: %v", err)
+						return
+					}
+					resp.Body.Close()
+				case 2:
+					get(t, ts.URL+"/metrics")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

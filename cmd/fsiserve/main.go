@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"fastintersect"
+	"fastintersect/internal/admission"
 	"fastintersect/internal/engine"
 	"fastintersect/internal/invindex"
 	"fastintersect/internal/obs"
@@ -71,6 +73,12 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowlogMS   = flag.Int("slowlog-ms", 250, "slow-query log threshold in milliseconds (0 disables /debug/slowlog)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1 in N queries with stage/operator timing (0 = engine default of 64)")
+
+		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 2×GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission: max requests queued for a slot (0 = 4×max-inflight, negative = no queue)")
+		deadlineMS  = flag.Int("default-deadline-ms", 2000, "default per-request deadline in milliseconds (0 = none); requests override with ?deadline_ms=")
+		clientQPS   = flag.Float64("client-qps", 0, "admission: per-client token-bucket refill rate (0 = no quotas)")
+		clientBurst = flag.Float64("client-burst", 0, "admission: per-client token-bucket capacity (0 = 2×client-qps)")
 	)
 	flag.Parse()
 
@@ -128,7 +136,16 @@ func main() {
 		})
 		return
 	}
-	opts := serverOptions{pprof: *pprofOn}
+	opts := serverOptions{
+		pprof: *pprofOn,
+		admission: admission.Config{
+			MaxInflight: *maxInflight,
+			QueueDepth:  *queueDepth,
+			ClientQPS:   *clientQPS,
+			ClientBurst: *clientBurst,
+		},
+		defaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+	}
 	if *slowlogMS > 0 {
 		opts.slow = obs.NewSlowLog(time.Duration(*slowlogMS)*time.Millisecond, 128)
 	}
@@ -148,11 +165,14 @@ func loadCorpus(eng *engine.Engine, corpus *workload.Real) error {
 	return eng.Install(b)
 }
 
-// serve runs the HTTP API until SIGINT/SIGTERM, then drains connections.
+// serve runs the HTTP API until SIGINT/SIGTERM, then drains: the admission
+// gate stops admitting (queued work is shed, inflight work finishes), then
+// the HTTP server closes its connections.
 func serve(eng *engine.Engine, addr string, opts serverOptions) {
+	s := newServer(eng, opts)
 	srv := &http.Server{
 		Addr:         addr,
-		Handler:      newServer(eng, opts).handler(),
+		Handler:      s.handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
@@ -170,24 +190,49 @@ func serve(eng *engine.Engine, addr string, opts serverOptions) {
 	fmt.Fprintln(os.Stderr, "fsiserve: shutting down...")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if err := s.gate.Drain(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "fsiserve: drain: %v\n", err)
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// serverOptions configures the optional observability surfaces.
+// serverOptions configures the optional observability surfaces and the
+// admission layer.
 type serverOptions struct {
 	slow  *obs.SlowLog // nil disables slow-query recording
 	pprof bool         // mount net/http/pprof under /debug/pprof/
+
+	// admission sizes the gate; the zero value takes the package defaults
+	// (2×GOMAXPROCS inflight, 4× that queued, no quotas).
+	admission admission.Config
+	// defaultDeadline bounds requests that do not pass deadline_ms
+	// (0 = unbounded).
+	defaultDeadline time.Duration
+}
+
+// overloadReasons enumerates the reason labels of
+// fsi_overload_responses_total and /debug/slowlog's reason field: admission
+// outcomes, plus requests that were admitted but ran out of deadline during
+// execution.
+var overloadReasons = []string{
+	"rejected_quota", "rejected_deadline",
+	"shed_queue_full", "shed_queue_timeout", "shed_draining",
+	"deadline", "canceled",
 }
 
 // server wires the engine to HTTP.
 type server struct {
-	eng     *engine.Engine
-	slow    *obs.SlowLog
-	pprof   bool
-	started time.Time
+	eng             *engine.Engine
+	slow            *obs.SlowLog
+	pprof           bool
+	started         time.Time
+	gate            *admission.Gate
+	coal            *admission.Coalescer[*engine.Result]
+	defaultDeadline time.Duration
+	overload        map[string]*obs.Counter // 429/503 responses by reason
 }
 
 func newServer(eng *engine.Engine, opts ...serverOptions) *server {
@@ -195,8 +240,23 @@ func newServer(eng *engine.Engine, opts ...serverOptions) *server {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	s := &server{eng: eng, slow: o.slow, pprof: o.pprof, started: time.Now()}
-	s.eng.Metrics().GaugeFunc("fsi_uptime_seconds",
+	reg := eng.Metrics()
+	s := &server{
+		eng:             eng,
+		slow:            o.slow,
+		pprof:           o.pprof,
+		started:         time.Now(),
+		gate:            admission.NewGate(o.admission, reg),
+		coal:            admission.NewCoalescer[*engine.Result](reg),
+		defaultDeadline: o.defaultDeadline,
+		overload:        make(map[string]*obs.Counter, len(overloadReasons)),
+	}
+	for _, reason := range overloadReasons {
+		s.overload[reason] = reg.Counter(
+			`fsi_overload_responses_total{reason="`+reason+`"}`,
+			"Requests answered 429/503 under overload control, by reason.")
+	}
+	reg.GaugeFunc("fsi_uptime_seconds",
 		"Seconds since the serving process started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	return s
@@ -293,7 +353,10 @@ type queryResponse struct {
 	Docs       []uint32 `json:"docs"`
 	Truncated  bool     `json:"truncated"`
 	Cached     bool     `json:"cached"`
-	ElapsedUS  int64    `json:"elapsed_us"`
+	// Coalesced marks a response served by attaching to an identical
+	// in-flight query's execution rather than running its own.
+	Coalesced bool  `json:"coalesced,omitempty"`
+	ElapsedUS int64 `json:"elapsed_us"`
 	// Plan is the physical plan (operator tree with kernels and cost
 	// estimates), present when the request asked for explain=1; with
 	// explain=analyze it additionally carries measured rows and time per
@@ -311,6 +374,91 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// requestContext derives the request's execution context: ?deadline_ms=
+// overrides the server default (0 = explicitly unbounded). The returned
+// context is always rooted at r.Context(), so a client disconnect cancels
+// execution even without a deadline.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.defaultDeadline
+	if ds := r.URL.Query().Get("deadline_ms"); ds != "" {
+		v, err := strconv.Atoi(ds)
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("bad deadline_ms %q (want 0 for none or a positive millisecond budget)", ds)
+		}
+		d = time.Duration(v) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// clientKey identifies the requester for per-client quotas: the explicit
+// ?client= tag when present (load balancers forward the originating
+// principal this way), otherwise the peer address without its port.
+func clientKey(r *http.Request) string {
+	if c := r.URL.Query().Get("client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// overloadReason classifies an error as an overload outcome (one of
+// overloadReasons) or "" for ordinary failures.
+func overloadReason(err error) string {
+	switch {
+	case errors.Is(err, admission.ErrQuotaExceeded):
+		return "rejected_quota"
+	case errors.Is(err, admission.ErrDeadlineInfeasible):
+		return "rejected_deadline"
+	case errors.Is(err, admission.ErrQueueFull):
+		return "shed_queue_full"
+	case errors.Is(err, admission.ErrQueueTimeout):
+		return "shed_queue_timeout"
+	case errors.Is(err, admission.ErrDraining):
+		return "shed_draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return ""
+}
+
+// writeQueryError maps a query-path failure to its status code, records it
+// in the slowlog (overload outcomes carry a reason and bypass the slowness
+// threshold) and counts it. Overload responses advertise Retry-After: quota
+// rejections are the client's budget (429), everything else is server
+// pressure (503).
+func (s *server) writeQueryError(w http.ResponseWriter, q string, start time.Time, err error) {
+	reason := overloadReason(err)
+	s.slow.Record(obs.SlowEntry{
+		Time: start, Query: q,
+		DurationUS: time.Since(start).Microseconds(),
+		Error:      err.Error(),
+		Reason:     reason,
+	})
+	code := http.StatusBadRequest
+	switch {
+	case reason == "rejected_quota":
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case reason != "":
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, engine.ErrNotBuilt):
+		code = http.StatusServiceUnavailable
+	}
+	if reason != "" {
+		s.overload[reason].Inc()
+	}
+	writeJSON(w, code, errorResponse{err.Error()})
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	limit := 100
@@ -324,37 +472,67 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	defer cancel()
+	client := clientKey(r)
 	start := time.Now()
 	var (
-		res     *engine.Result
-		planStr string
-		err     error
+		res       *engine.Result
+		planStr   string
+		coalesced bool
 	)
 	switch explain := r.URL.Query().Get("explain"); explain {
 	case "", "0":
-		res, err = s.eng.Query(q)
-	case "1":
-		res, planStr, err = s.eng.Explain(q)
-	case "analyze":
-		res, planStr, err = s.eng.ExplainAnalyze(q)
+		// Plain queries coalesce: concurrent duplicates of one canonical
+		// form at one index generation share a single execution. The leader
+		// acquires admission inside the coalesced function — followers ride
+		// its slot, so a hot-key burst costs one inflight slot and one
+		// quota token (the leader's), not one per duplicate. Parse errors
+		// are caught by canonicalization, before admission: malformed
+		// queries never consume gate capacity.
+		var canon string
+		canon, err = s.eng.Canonicalize(q)
+		if err != nil {
+			break
+		}
+		res, coalesced, err = s.coal.Do(ctx,
+			admission.Key{Canon: canon, Gen: s.eng.Generation()},
+			func() (*engine.Result, error) {
+				tk, aerr := s.gate.Acquire(ctx, client)
+				if aerr != nil {
+					return nil, aerr
+				}
+				defer s.gate.Release(tk)
+				return s.eng.QueryContext(ctx, q)
+			})
+	case "1", "analyze":
+		// Explain output is per-request diagnostics (analyze re-executes
+		// with tracing), so it is admitted but never coalesced.
+		var tk admission.Ticket
+		tk, err = s.gate.Acquire(ctx, client)
+		if err != nil {
+			break
+		}
+		if explain == "1" {
+			res, planStr, err = s.eng.ExplainContext(ctx, q)
+		} else {
+			res, planStr, err = s.eng.ExplainAnalyzeContext(ctx, q)
+		}
+		s.gate.Release(tk)
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad explain %q (want 1 for the estimated plan or analyze for measured execution)", explain)})
 		return
 	}
 	if err != nil {
-		s.slow.Record(obs.SlowEntry{
-			Time: start, Query: q,
-			DurationUS: time.Since(start).Microseconds(),
-			Error:      err.Error(),
-		})
 		// Syntax errors carry the byte offset of the offending token in the
 		// message ("syntax error at offset N: ..."), so 400 bodies point at
-		// the position in the submitted query.
-		code := http.StatusBadRequest
-		if errors.Is(err, engine.ErrNotBuilt) {
-			code = http.StatusServiceUnavailable
-		}
-		writeJSON(w, code, errorResponse{err.Error()})
+		// the position in the submitted query; admission and deadline
+		// failures map to 429/503 with Retry-After.
+		s.writeQueryError(w, q, start, err)
 		return
 	}
 	s.slow.Record(obs.SlowEntry{
@@ -379,6 +557,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Docs:       docs,
 		Truncated:  truncated,
 		Cached:     res.Cached,
+		Coalesced:  coalesced,
 		ElapsedUS:  time.Since(start).Microseconds(),
 		Plan:       planStr,
 	})
@@ -390,6 +569,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 type batchRequest struct {
 	Queries []string `json:"queries"`
 	Limit   *int     `json:"limit,omitempty"`
+	// DeadlineMS overrides the server's default deadline for the whole
+	// batch (0 = explicitly none).
+	DeadlineMS *int `json:"deadline_ms,omitempty"`
 }
 
 // batchItem is one query's slot in the batch response. Error is set instead
@@ -434,8 +616,31 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = *req.Limit
 	}
+	d := s.defaultDeadline
+	if req.DeadlineMS != nil {
+		if *req.DeadlineMS < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad deadline_ms %d (want 0 for none or a positive millisecond budget)", *req.DeadlineMS)})
+			return
+		}
+		d = time.Duration(*req.DeadlineMS) * time.Millisecond
+	}
+	ctx := r.Context()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	start := time.Now()
-	batch := s.eng.QueryBatch(req.Queries)
+	// One admission slot covers the whole batch: the engine already
+	// serializes its shard work through the bounded worker pool, so a batch
+	// is one unit of inflight load, not len(Queries) units.
+	tk, err := s.gate.Acquire(ctx, clientKey(r))
+	if err != nil {
+		s.writeQueryError(w, fmt.Sprintf("<batch of %d>", len(req.Queries)), start, err)
+		return
+	}
+	batch := s.eng.QueryBatchContext(ctx, req.Queries)
+	s.gate.Release(tk)
 	resp := batchResponse{Results: make([]batchItem, len(batch))}
 	for i, br := range batch {
 		item := batchItem{Query: req.Queries[i]}

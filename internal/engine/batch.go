@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"fastintersect/internal/invindex"
@@ -33,6 +34,19 @@ type BatchResult struct {
 // that canonical form. Like Query, every returned Docs slice is fresh or
 // cache-shared and safe to retain.
 func (e *Engine) QueryBatch(queries []string) []BatchResult {
+	return e.QueryBatchContext(context.Background(), queries)
+}
+
+// QueryBatchContext is QueryBatch under a request context: a cancelled or
+// expired ctx aborts the remaining evaluations, and every query that did not
+// complete before the abort reports ctx's error. Shard workers observe the
+// context between queries and inside the exec loops (the same polling Query
+// uses), so a batch never outlives its deadline by more than one poll
+// interval per worker.
+func (e *Engine) QueryBatchContext(ctx context.Context, queries []string) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -78,7 +92,7 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 				u.err = ErrNotBuilt
 			}
 		} else {
-			e.runBatch(shards, pending, gen)
+			e.runBatch(ctx, shards, pending, gen)
 		}
 	}
 
@@ -104,7 +118,7 @@ type batchPending struct {
 // runBatch plans every pending canonical form once and evaluates all plans
 // shard by shard: one execution context per shard runs the whole batch, so
 // its decoded-term memo and buffers are shared across queries.
-func (e *Engine) runBatch(shards []*shard, pending []*batchPending, gen uint64) {
+func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batchPending, gen uint64) {
 	stored := e.cfg.Storage == invindex.StorageCompressed
 	var stats *planStats
 	for _, u := range pending {
@@ -126,13 +140,23 @@ func (e *Engine) runBatch(shards []*shard, pending []*batchPending, gen uint64) 
 		wg.Add(1)
 		go func(i int, s *shard) {
 			defer wg.Done()
-			e.workers <- struct{}{} // one bounded worker slot per shard, for the whole batch
-			defer func() { <-e.workers }()
+			// One bounded worker slot per shard, for the whole batch. A
+			// cancelled context skips the shard entirely; evalShard's entry
+			// check then fails each query with the context error below.
+			acquireErr := e.acquireWorker(ctx)
+			if acquireErr == nil {
+				defer func() { <-e.workers }()
+			}
 			c := getExecCtx()
+			c.attachCtx(ctx)
 			ctxs[i] = c
 			for j, u := range pending {
 				cell := j*nS + i
-				docsM[cell], ownedM[cell], errsM[cell] = e.evalSegments(c, s, &u.pc.plan)
+				if acquireErr != nil {
+					errsM[cell] = acquireErr
+					continue
+				}
+				docsM[cell], ownedM[cell], errsM[cell] = e.evalShard(c, s, i, &u.pc.plan)
 			}
 		}(i, s)
 	}

@@ -34,6 +34,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -93,6 +94,12 @@ type Config struct {
 	// add each). Exists for the CI overhead guard and for embedders that
 	// bring their own instrumentation.
 	NoMetrics bool
+	// Faults, when non-nil, enables deterministic fault injection on the
+	// shard-evaluation path (added latency, forced errors, forced panics)
+	// for the overload experiments and the cancellation/panic-barrier
+	// tests. Nil — the production default — costs one pointer check per
+	// shard evaluation. See faults.go.
+	Faults *FaultPlan
 }
 
 // Engine serves queries against a sharded inverted index. All methods are
@@ -129,6 +136,10 @@ type Engine struct {
 	// stage histograms, per-kernel counters and the trace sampler, all on a
 	// per-engine obs.Registry (see metrics.go and Metrics).
 	met *engineMetrics
+
+	// faultCtr sequences Config.Faults.{ErrEvery,PanicEvery} injections so
+	// "every Nth evaluation" is exact across concurrent shard workers.
+	faultCtr atomic.Uint64
 }
 
 // ErrNotBuilt is returned by Query and the mutation methods before any index
@@ -304,7 +315,19 @@ type Result struct {
 // or a pooled buffer — so it is safe to cache and to hand to the caller
 // while the contexts are recycled into concurrent queries.
 func (e *Engine) Query(q string) (*Result, error) {
-	res, _, err := e.execute(q, modeQuery)
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query bounded by a context: when ctx carries a deadline
+// or is cancelled, the evaluation aborts mid-shard (the exec loops poll the
+// context between operators) and the context's error is returned. The
+// abort is clean — bounded worker slots are released, pooled execution
+// contexts are recycled, and nothing partial lands in the result cache. A
+// non-cancellable context (context.Background) costs one nil check per
+// operator, keeping the uncontended fast path allocation-identical to
+// Query.
+func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
+	res, _, err := e.execute(ctx, q, modeQuery)
 	return res, err
 }
 
@@ -313,7 +336,12 @@ func (e *Engine) Query(q string) (*Result, error) {
 // and cost estimates). The plan is rebuilt even on a cache hit, so the
 // rendering always reflects current index statistics.
 func (e *Engine) Explain(q string) (*Result, string, error) {
-	return e.execute(q, modeExplain)
+	return e.execute(context.Background(), q, modeExplain)
+}
+
+// ExplainContext is Explain bounded by a context (see QueryContext).
+func (e *Engine) ExplainContext(ctx context.Context, q string) (*Result, string, error) {
+	return e.execute(ctx, q, modeExplain)
 }
 
 // ExplainAnalyze executes the query with a full per-operator trace —
@@ -325,7 +353,26 @@ func (e *Engine) Explain(q string) (*Result, string, error) {
 // result is still written to the cache, so an analyzed query warms it like
 // any other.
 func (e *Engine) ExplainAnalyze(q string) (*Result, string, error) {
-	return e.execute(q, modeAnalyze)
+	return e.execute(context.Background(), q, modeAnalyze)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze bounded by a context (see
+// QueryContext).
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q string) (*Result, string, error) {
+	return e.execute(ctx, q, modeAnalyze)
+}
+
+// Canonicalize parses q and returns its canonical (normalized) form — the
+// key the result cache and the admission tier's request coalescer share.
+// Two spellings with the same canonical form are the same query: they hit
+// the same cache entry, and an admission layer may safely have them share
+// one in-flight execution.
+func (e *Engine) Canonicalize(q string) (string, error) {
+	ast, err := plan.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return ast.String(), nil
 }
 
 // execMode selects what execute returns beyond the result.
@@ -341,7 +388,10 @@ const (
 // counter, the latency histogram, the sampling decision and the trace
 // lifecycle. Timing is skipped entirely when neither the histograms nor a
 // trace want it.
-func (e *Engine) execute(q string, mode execMode) (*Result, string, error) {
+func (e *Engine) execute(ctx context.Context, q string, mode execMode) (*Result, string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := e.met
 	m.queries.Inc()
 	var tr *obs.Trace
@@ -354,7 +404,7 @@ func (e *Engine) execute(q string, mode execMode) (*Result, string, error) {
 	if timed {
 		start = time.Now()
 	}
-	res, expl, err := e.executeQuery(q, mode, tr)
+	res, expl, err := e.executeQuery(ctx, q, mode, tr)
 	if err != nil {
 		m.queryErrors.Inc()
 	}
@@ -390,7 +440,14 @@ func stamp(tr *obs.Trace, s obs.Stage, t0 *time.Time) {
 	*t0 = now
 }
 
-func (e *Engine) executeQuery(q string, mode execMode, tr *obs.Trace) (*Result, string, error) {
+func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *obs.Trace) (*Result, string, error) {
+	if ctx.Done() != nil {
+		// One up-front check so a request whose deadline expired while it
+		// queued upstream never starts planning at all.
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+	}
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
@@ -465,7 +522,7 @@ func (e *Engine) executeQuery(q string, mode execMode, tr *obs.Trace) (*Result, 
 	if tr != nil {
 		agg = getTraceRec(len(pp.Ops))
 	}
-	merged, err := e.executePlan(shards, pp, tr, agg)
+	merged, err := e.executePlan(ctx, shards, pp, tr, agg)
 	if err != nil {
 		putTraceRec(agg)
 		putPlanCtx(pc)
@@ -532,26 +589,55 @@ func fmtNs(ns int64) string {
 	}
 }
 
+// acquireWorker takes one bounded worker slot, or gives up when ctx is
+// cancelled first — a query whose deadline expires while it waits for a
+// slot must not start evaluating. The caller releases the slot with
+// <-e.workers only after a nil return. Non-cancellable contexts take the
+// plain channel send (no select overhead).
+func (e *Engine) acquireWorker(ctx context.Context) error {
+	done := ctx.Done()
+	if done == nil {
+		e.workers <- struct{}{}
+		return nil
+	}
+	select {
+	case e.workers <- struct{}{}:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
 // executePlan runs one physical plan over the shard set and merges the
 // per-shard sorted results into a fresh slice. When the query is traced
 // (tr and agg non-nil, always together), each shard evaluation records its
 // per-operator actuals into a context-local traceRec, and the recordings
 // are merged into agg — the per-shard spans and the exec/merge stage
 // timings land on tr.
-func (e *Engine) executePlan(shards []*shard, pp *plan.Plan, tr *obs.Trace, agg *traceRec) ([]uint32, error) {
+//
+// Abort discipline: a cancelled context or a failing/panicking shard never
+// leaks resources. Worker slots are released by deferred receives, every
+// execCtx drawn here is returned through putQueryCtx/putExecCtx on all
+// paths, and the fan-out always rejoins (wg.Wait) before returning — a
+// worker observing the cancellation aborts at its next poll, so no
+// goroutine outlives the call.
+func (e *Engine) executePlan(ctx context.Context, shards []*shard, pp *plan.Plan, tr *obs.Trace, agg *traceRec) ([]uint32, error) {
 	if len(shards) == 1 {
 		// Single shard: evaluate inline, skipping the fan-out goroutine but
 		// still holding a bounded worker slot — Config.Workers caps shard
 		// evaluations across ALL in-flight queries regardless of shape.
-		e.workers <- struct{}{}
+		if err := e.acquireWorker(ctx); err != nil {
+			return nil, err
+		}
 		defer func() { <-e.workers }()
 		var t0 time.Time
 		if tr != nil {
 			t0 = time.Now()
 		}
 		c := getExecCtx()
+		c.attachCtx(ctx)
 		c.rec = agg // nil for untraced queries
-		docs, owned, err := e.evalSegments(c, shards[0], pp)
+		docs, owned, err := e.evalShard(c, shards[0], 0, pp)
 		// agg is owned by the caller: detach it before the context returns
 		// to the pool on every path, or putExecCtx would recycle it.
 		c.rec = nil
@@ -582,18 +668,22 @@ func (e *Engine) executePlan(shards []*shard, pp *plan.Plan, tr *obs.Trace, agg 
 		wg.Add(1)
 		go func(i int, s *shard) {
 			defer wg.Done()
-			e.workers <- struct{}{} // acquire a bounded worker slot
+			if err := e.acquireWorker(ctx); err != nil {
+				qc.errs[i] = err // no slot held, no context drawn
+				return
+			}
 			defer func() { <-e.workers }()
 			c := getExecCtx()
+			c.attachCtx(ctx)
 			qc.ctxs[i] = c
 			if agg != nil {
 				c.rec = getTraceRec(len(pp.Ops))
 				shardStart := time.Now()
-				qc.results[i], qc.owned[i], qc.errs[i] = e.evalSegments(c, s, pp)
+				qc.results[i], qc.owned[i], qc.errs[i] = e.evalShard(c, s, i, pp)
 				c.rec.shardNs = time.Since(shardStart).Nanoseconds()
 				return
 			}
-			qc.results[i], qc.owned[i], qc.errs[i] = e.evalSegments(c, s, pp)
+			qc.results[i], qc.owned[i], qc.errs[i] = e.evalShard(c, s, i, pp)
 		}(i, s)
 	}
 	wg.Wait()

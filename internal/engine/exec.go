@@ -66,7 +66,15 @@ func (e *Engine) intersectPair(c *execCtx, pol plan.KernelPolicy, a, b []uint32)
 // the operator's execution count, output rows and inclusive wall time;
 // ExplainAnalyze derives exclusive times by subtracting children at render
 // time. Untraced queries take the first branch — a nil check per operator.
+//
+// Each evaluation also polls the request context (pollCancel): operators
+// are the engine's unit of work between kernel/decode runs, so a deadline
+// that expires mid-shard aborts before the next kernel starts rather than
+// after the whole shard finishes.
 func (e *Engine) evalOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32) ([]uint32, bool, error) {
+	if err := c.pollCancel(); err != nil {
+		return nil, false, err
+	}
 	if c.rec == nil {
 		return e.evalOpInner(c, ix, p, i)
 	}
@@ -141,6 +149,12 @@ func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32
 	f := c.frame()
 	compressed := ix.Storage() == invindex.StorageCompressed
 	for _, ti := range p.TermOps(op) {
+		// A wide conjunction fetches (and under compressed storage decodes)
+		// many operands inside one operator — poll between them too.
+		if err := c.pollCancel(); err != nil {
+			c.releaseFrame(f)
+			return nil, false, err
+		}
 		term := p.Ops[ti].Term
 		var n int
 		if compressed {

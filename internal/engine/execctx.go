@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"fastintersect"
@@ -42,6 +43,48 @@ type execCtx struct {
 	// indexed parallel to the executing plan's Ops. Untraced queries pay
 	// one nil check per operator.
 	rec *traceRec
+
+	// ctx, when non-nil, is a cancellable request context: the exec loops
+	// poll it (pollCancel) so an expired deadline aborts the evaluation
+	// mid-shard. attachCtx leaves it nil for non-cancellable contexts, so
+	// the fast path pays a single nil check per operator. Cleared by
+	// putExecCtx — a pooled context must never pin a request's ctx tree.
+	ctx   context.Context
+	polls uint32 // pollCancel call counter (amortizes ctx.Err)
+}
+
+// attachCtx arms cancellation polling for one evaluation. Non-cancellable
+// contexts (context.Background — the Query fast path) are dropped so every
+// later poll is a nil check.
+func (c *execCtx) attachCtx(ctx context.Context) {
+	if ctx != nil && ctx.Done() != nil {
+		c.ctx = ctx
+	}
+}
+
+// pollCancel is the periodic cancellation check of the exec loops: called
+// once per operator evaluation, it consults ctx.Err() only every 8th poll
+// so deep plans pay almost nothing for cancellability. evalShard checks the
+// context directly at shard entry, so every shard observes an expired
+// deadline at least once regardless of plan size.
+func (c *execCtx) pollCancel() error {
+	if c.ctx == nil {
+		return nil
+	}
+	c.polls++
+	if c.polls&7 != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// cancelled reports the context error immediately (unamortized) — the
+// per-shard entry check.
+func (c *execCtx) cancelled() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // evalFrame holds one AND/OR operator's operand collections, recycled
@@ -70,6 +113,8 @@ func putExecCtx(c *execCtx) {
 	c.memoK = c.memoK[:0]
 	c.memoV = c.memoV[:0]
 	c.fi.Reset()
+	c.ctx = nil
+	c.polls = 0
 	if c.rec != nil {
 		// Error-path cleanup: executePlan harvests (and detaches) recordings
 		// on success, so one still attached here was abandoned mid-query.

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "ratio", "sizes", "fig7", "fig8",
 		"real-compressed", "fig9", "fig10", "fig11", "fig12", "intro-stats",
 		"ablation-width", "ablation-m", "ablation-parallel", "storage-sweep",
-		"serve-bench", "obs-bench",
+		"serve-bench", "obs-bench", "overload",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -312,3 +312,16 @@ func TestSlowLogPartial(t *testing.T) {
 		t.Fatalf("partial snapshot wrong: %+v", snap)
 	}
 }
+
+// TestSlowLogReasonBypassesThreshold: shed/rejected/timed-out requests are
+// recorded no matter how fast they failed — a request shed in microseconds
+// is the overload diagnostic, not noise.
+func TestSlowLogReasonBypassesThreshold(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	l.Record(SlowEntry{Query: "fast-ok", DurationUS: 5}) // under threshold, no reason: dropped
+	l.Record(SlowEntry{Query: "shed", DurationUS: 5, Reason: "shed_queue_full"})
+	snap := l.Snapshot()
+	if len(snap) != 1 || snap[0].Query != "shed" || snap[0].Reason != "shed_queue_full" {
+		t.Fatalf("snapshot = %+v, want only the reasoned entry", snap)
+	}
+}

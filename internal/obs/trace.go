@@ -105,6 +105,11 @@ type SlowEntry struct {
 	Rows       int       `json:"rows"`
 	Cached     bool      `json:"cached"`
 	Error      string    `json:"error,omitempty"`
+	// Reason classifies admission/overload outcomes ("rejected_quota",
+	// "shed_queue_full", "deadline", ...). A non-empty Reason makes the
+	// entry threshold-exempt: a request shed in microseconds is exactly the
+	// diagnostic signal the slowlog exists to surface under overload.
+	Reason string `json:"reason,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of queries slower than a
@@ -138,9 +143,13 @@ func (l *SlowLog) Threshold() time.Duration {
 	return l.threshold
 }
 
-// Record adds e if it is at or over the threshold. Nil-safe.
+// Record adds e if it is at or over the threshold; entries with a Reason
+// bypass the threshold (see SlowEntry.Reason). Nil-safe.
 func (l *SlowLog) Record(e SlowEntry) {
-	if l == nil || time.Duration(e.DurationUS)*time.Microsecond < l.threshold {
+	if l == nil {
+		return
+	}
+	if e.Reason == "" && time.Duration(e.DurationUS)*time.Microsecond < l.threshold {
 		return
 	}
 	l.mu.Lock()

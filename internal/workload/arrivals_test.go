@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalsRate(t *testing.T) {
+	const n, qps = 10_000, 500.0
+	a := Arrivals(n, qps, 42)
+	if len(a) != n {
+		t.Fatalf("len = %d, want %d", len(a), n)
+	}
+	for i := 1; i < n; i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	// The n-th arrival of a Poisson process at rate qps lands near n/qps;
+	// with n=10k the relative error should be well inside 10%.
+	want := time.Duration(float64(n) / qps * float64(time.Second))
+	got := a[n-1]
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("last arrival %v, want %v ±10%%", got, want)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	a := Arrivals(100, 1000, 7)
+	b := Arrivals(100, 1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Arrivals(100, 1000, 8)
+	if a[0] == c[0] && a[50] == c[50] && a[99] == c[99] {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+func TestArrivalsEmpty(t *testing.T) {
+	if Arrivals(0, 100, 1) != nil || Arrivals(10, 0, 1) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+}
