@@ -13,6 +13,7 @@
 //	fsibench -plan-json BENCH_plan.json # machine-readable plan-quality experiment
 //	fsibench -obs-json BENCH_obs.json  # machine-readable observability experiment (scraped vs measured percentiles)
 //	fsibench -overload-json BENCH_overload.json # machine-readable saturation sweep (shedding vs unbounded queue)
+//	fsibench -segments-json BENCH_segments.json # machine-readable segment-lifecycle comparison (tiered vs full-rebuild compaction)
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		planOut  = flag.String("plan-json", "", "run the plan-quality experiment (cost-based plans vs df-ordered baseline vs worst-order) and write it as JSON to this file (ns/op per workload shape × storage × policy), then exit")
 		obsOut   = flag.String("obs-json", "", "run the observability experiment (replay with /metrics scrapes between phases) and write it as JSON to this file (measured vs histogram-scraped latency percentiles per phase), then exit")
 		overOut  = flag.String("overload-json", "", "run the saturation experiment (open-loop offered load at multiples of capacity, shedding vs unbounded queue) and write it as JSON to this file (accepted p50/p99 and goodput per point), then exit")
+		segsOut  = flag.String("segments-json", "", "run the segment-lifecycle experiment (same churn stream under tiered vs full-rebuild compaction) and write it as JSON to this file (write amplification, pause proxy, latency percentiles, cross-policy parity), then exit")
 	)
 	flag.Parse()
 
@@ -105,6 +107,12 @@ func main() {
 		rep := harness.ObsBench(cfg)
 		writeJSON(*obsOut, rep)
 		fmt.Printf("wrote %s (%d phases)\n", *obsOut, len(rep.Phases))
+		return
+	}
+	if *segsOut != "" {
+		rep := harness.SegmentsBench(cfg)
+		writeJSON(*segsOut, rep)
+		fmt.Printf("wrote %s (%d scenarios, %d parity checks)\n", *segsOut, len(rep.Scenarios), len(rep.Parity))
 		return
 	}
 	if *overOut != "" {

@@ -21,10 +21,16 @@
 //
 // With -load N it instead replays N queries from the synthetic query
 // stream through the engine at -concurrency workers and reports QPS and
-// latency percentiles:
+// latency percentiles; -batch M submits the replay through the batch path
+// (QueryBatch) in chunks of M:
 //
 //	fsiserve -shards 8 -load 50000 -concurrency 16
+//	fsiserve -load 50000 -batch 64  # batched replay (shared planning per chunk)
 //	fsiserve -addr :8466            # then: curl 'localhost:8466/query?q=t0+AND+t17'
+//
+// With -snapshot-dir D the whole segment tier is restored from D at startup
+// when a snapshot exists there (skipping the index build) and saved back to
+// D on graceful shutdown.
 package main
 
 import (
@@ -68,6 +74,8 @@ func main() {
 		compactAt   = flag.Int("compact", 50_000, "delta postings per shard that trigger a background compaction (0 = never compact automatically)")
 		load        = flag.Int("load", 0, "load-generator mode: replay N queries and exit (0 = serve)")
 		concurrency = flag.Int("concurrency", 8, "load-generator worker goroutines")
+		batchN      = flag.Int("batch", 0, "load-generator: submit queries through the batch path (QueryBatch) in chunks of this size (0 or 1 = one Query call per query)")
+		snapDir     = flag.String("snapshot-dir", "", "segment-snapshot directory: restore the whole tier from it at startup when a snapshot exists (skipping the index build), and save the tier into it on graceful shutdown")
 		orFrac      = flag.Float64("or", 0.10, "load-generator fraction of queries with an OR branch")
 		notFrac     = flag.Float64("not", 0.05, "load-generator fraction of queries with a NOT term")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -121,7 +129,16 @@ func main() {
 		CompactThreshold: *compactAt,
 		TraceSample:      *traceSample,
 	})
-	if err := loadCorpus(eng, corpus); err != nil {
+	if *snapDir != "" && engine.SnapshotExists(*snapDir) {
+		// Restart path: the serialized tier (base, frozen segments, active
+		// segment, tombstones) replaces the corpus index build. Only the base
+		// pays a parallel re-build; segments load as-is.
+		if err := eng.LoadSnapshot(*snapDir); err != nil {
+			fmt.Fprintf(os.Stderr, "fsiserve: restoring snapshot from %s: %v\n", *snapDir, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fsiserve: restored segment snapshot from %s\n", *snapDir)
+	} else if err := loadCorpus(eng, corpus); err != nil {
 		fmt.Fprintf(os.Stderr, "fsiserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -131,13 +148,14 @@ func main() {
 		time.Since(genStart).Round(time.Millisecond))
 
 	if *load > 0 {
-		runLoad(eng, corpus, *load, *concurrency, workload.StreamConfig{
+		runLoad(eng, corpus, *load, *concurrency, *batchN, workload.StreamConfig{
 			OrFrac: *orFrac, NotFrac: *notFrac, Seed: *seed + 1,
 		})
 		return
 	}
 	opts := serverOptions{
-		pprof: *pprofOn,
+		snapshotDir: *snapDir,
+		pprof:       *pprofOn,
 		admission: admission.Config{
 			MaxInflight: *maxInflight,
 			QueueDepth:  *queueDepth,
@@ -197,6 +215,15 @@ func serve(eng *engine.Engine, addr string, opts serverOptions) {
 		fmt.Fprintf(os.Stderr, "fsiserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+	if opts.snapshotDir != "" {
+		// The gate has drained, so the tier is quiescent: the snapshot is the
+		// exact state the next -snapshot-dir start will serve.
+		if err := eng.SaveSnapshot(opts.snapshotDir); err != nil {
+			fmt.Fprintf(os.Stderr, "fsiserve: saving snapshot to %s: %v\n", opts.snapshotDir, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fsiserve: saved segment snapshot to %s\n", opts.snapshotDir)
+	}
 }
 
 // serverOptions configures the optional observability surfaces and the
@@ -204,6 +231,9 @@ func serve(eng *engine.Engine, addr string, opts serverOptions) {
 type serverOptions struct {
 	slow  *obs.SlowLog // nil disables slow-query recording
 	pprof bool         // mount net/http/pprof under /debug/pprof/
+	// snapshotDir, when set, receives a segment snapshot of the whole tier
+	// after the graceful-shutdown drain completes.
+	snapshotDir string
 
 	// admission sizes the gate; the zero value takes the package defaults
 	// (2×GOMAXPROCS inflight, 4× that queued, no quotas).
@@ -757,10 +787,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // runLoad replays a synthetic query stream through the engine and reports
-// throughput and latency percentiles.
-func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency int, scfg workload.StreamConfig) {
+// throughput and latency percentiles. With batch > 1 the stream is submitted
+// through the engine's batch path (QueryBatch) in chunks of that size —
+// duplicate canonical forms in a chunk are planned once and misses share
+// execution contexts — and each query is charged its chunk's amortized
+// latency.
+func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency, batch int, scfg workload.StreamConfig) {
 	if concurrency < 1 {
 		concurrency = 1
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	stream := corpus.QueryStream(n, scfg)
 	if len(stream) == 0 {
@@ -768,7 +805,11 @@ func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency int, scfg
 		os.Exit(2)
 	}
 	n = len(stream)
-	fmt.Fprintf(os.Stderr, "fsiserve: replaying %d queries at concurrency %d...\n", n, concurrency)
+	if batch > 1 {
+		fmt.Fprintf(os.Stderr, "fsiserve: replaying %d queries at concurrency %d in batches of %d...\n", n, concurrency, batch)
+	} else {
+		fmt.Fprintf(os.Stderr, "fsiserve: replaying %d queries at concurrency %d...\n", n, concurrency)
+	}
 	latencies := make([]time.Duration, n)
 	var queryErrs uint64
 	var next int64
@@ -782,17 +823,33 @@ func runLoad(eng *engine.Engine, corpus *workload.Real, n, concurrency int, scfg
 			for {
 				mu.Lock()
 				i := int(next)
-				next++
+				next += int64(batch)
 				mu.Unlock()
 				if i >= n {
 					return
 				}
+				chunk := stream[i:min(i+batch, n)]
 				qs := time.Now()
-				_, err := eng.Query(stream[i])
-				latencies[i] = time.Since(qs)
-				if err != nil {
+				var errs uint64
+				if batch == 1 {
+					if _, err := eng.Query(chunk[0]); err != nil {
+						errs++
+					}
+					latencies[i] = time.Since(qs)
+				} else {
+					for _, br := range eng.QueryBatch(chunk) {
+						if br.Err != nil {
+							errs++
+						}
+					}
+					per := time.Since(qs) / time.Duration(len(chunk))
+					for j := range chunk {
+						latencies[i+j] = per
+					}
+				}
+				if errs > 0 {
 					mu.Lock()
-					queryErrs++
+					queryErrs += errs
 					mu.Unlock()
 				}
 			}

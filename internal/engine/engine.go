@@ -2,16 +2,20 @@
 // fastintersect library: the layer between the paper's intersection
 // algorithms and a search service.
 //
-// Documents are hash-partitioned across S shards. Each shard is a segmented
-// index: a frozen base segment (an invindex.Index, raw or compressed) plus a
-// small sorted in-memory delta segment and a docID tombstone set, so the
+// Documents are hash-partitioned across S shards. Each shard is a tiered
+// segmented index: a frozen base segment (an invindex.Index, raw or
+// compressed), k frozen in-memory segments and one active mutable segment
+// (internal/segment), each segment carrying its own tombstone filter, so the
 // corpus stays mutable (AddDocument / DeleteDocument) without giving up the
-// preprocessed read path — each shard evaluates a query f as
-// (f(base) − tombstones) ∪ f(delta), the delta winning over the tombstones
-// so updated and re-added documents stay visible, with conjunctions still
-// pushed down to the fastintersect / compressed kernels on the base. A
-// background compaction (see mutable.go) folds the delta and tombstones
-// into a fresh base via the same parallel build path Install uses.
+// preprocessed read path — every document is visible in exactly one segment,
+// so each shard evaluates a query f as the k-way union of
+// (f(segment) − segment tombstones) across its tier, with conjunctions
+// still pushed down to the fastintersect / compressed kernels on the base.
+// Background compaction (see mutable.go) is incremental: the active segment
+// freezes into the tier by a map move, a size-tiered merge coalesces only
+// the smallest frozen segments, and a full rebuild through the parallel
+// build path Install uses runs only on demand (Compact) or when base
+// tombstones accumulate.
 //
 // A query is parsed and normalized by internal/plan (the canonical form is
 // the cache key), looked up in an LRU result cache, and on a miss lowered
@@ -70,9 +74,23 @@ type Config struct {
 	// Stats then reports the per-encoding footprint.
 	Storage invindex.Storage
 	// CompactThreshold triggers a background compaction of a shard once its
-	// delta segment holds that many postings or its tombstone set that many
-	// docIDs (0 disables automatic compaction; Compact remains available).
+	// active segment holds that many postings — or, under CompactRebuild,
+	// its base tombstone filter that many docIDs (under the default tiered
+	// policy base tombstones escalate to a rebuild at a multiple of the
+	// threshold; see mutable.go). 0 disables automatic compaction; Compact,
+	// FreezeActive and MergeSegments remain available.
 	CompactThreshold int
+	// MaxSegments bounds the frozen in-memory segments a shard's tier may
+	// hold before a background size-tiered merge coalesces the smallest
+	// ones (0 = default of 4). Smaller values favor query latency (fewer
+	// segments per query), larger values favor write amplification.
+	MaxSegments int
+	// CompactPolicy selects what a background compaction does when the
+	// threshold is crossed: CompactTiered (default) freezes the active
+	// segment and size-tiered-merges the frozen tier; CompactRebuild folds
+	// the whole tier into a fresh base every time — the pre-tier behavior,
+	// kept for the harness's write-amplification comparison.
+	CompactPolicy CompactPolicy
 	// PlanCosts overrides the cost-model coefficients the query planner
 	// prices kernels with. Nil runs the startup micro-calibration
 	// (plan.Calibrated) once per process.
@@ -100,6 +118,26 @@ type Config struct {
 	// tests. Nil — the production default — costs one pointer check per
 	// shard evaluation. See faults.go.
 	Faults *FaultPlan
+}
+
+// CompactPolicy selects the background compaction strategy (Config).
+type CompactPolicy uint8
+
+const (
+	// CompactTiered freezes the active segment into the frozen tier and
+	// coalesces only the smallest frozen segments (size-tiered merge),
+	// escalating to a full rebuild only when base tombstones accumulate.
+	CompactTiered CompactPolicy = iota
+	// CompactRebuild folds the whole tier into a fresh base on every
+	// trigger — maximal write amplification, minimal segment count.
+	CompactRebuild
+)
+
+func (p CompactPolicy) String() string {
+	if p == CompactRebuild {
+		return "rebuild"
+	}
+	return "tiered"
 }
 
 // Engine serves queries against a sharded inverted index. All methods are
@@ -744,16 +782,20 @@ type PostingStats struct {
 }
 
 // DeltaStats is the point-in-time accounting of the mutable tier across all
-// shards: the in-memory delta segments (active plus any mid-compaction
-// frozen ones) and the tombstone sets.
+// shards: the in-memory segments above the base (frozen tier plus the
+// active segment) and the tombstone filters.
 type DeltaStats struct {
-	// Docs is the number of documents currently held by delta segments.
+	// Docs is the number of documents currently held by in-memory segments
+	// (frozen tier + active, including tombstoned frozen documents).
 	Docs int `json:"docs"`
-	// Postings is the total posting count across delta segments.
+	// Postings is the total posting count across in-memory segments.
 	Postings int `json:"postings"`
-	// Tombstones is the total tombstoned docID count (including the
-	// suppression tombstones that shadow base copies of delta documents).
+	// Tombstones is the total tombstoned docID count across every segment's
+	// filter (including the suppression tombstones that shadow older copies
+	// of rewritten documents).
 	Tombstones int `json:"tombstones"`
+	// Segments is the total frozen in-memory segment count across shards.
+	Segments int `json:"segments"`
 	// CompactingShards is the number of shards with a claimed (possibly not
 	// yet started) background compaction.
 	CompactingShards int `json:"compacting_shards"`
@@ -777,7 +819,16 @@ type Stats struct {
 	Rebuilds    uint64       `json:"rebuilds"`
 	Mutations   uint64       `json:"mutations"`
 	Compactions uint64       `json:"compactions"`
-	Generation  uint64       `json:"generation"`
+	// SegmentFreezes / SegmentMerges / CompactionBytes are the tiered
+	// lifecycle counters: active-segment freezes, size-tiered merges, and
+	// the bytes written by merges and rebuilds (the write-amplification
+	// numerator; 4 bytes per posting written).
+	SegmentFreezes  uint64 `json:"segment_freezes"`
+	SegmentMerges   uint64 `json:"segment_merges"`
+	CompactionBytes uint64 `json:"compaction_bytes"`
+	// ShardSegments is the per-shard segment count (1 base + frozen tier).
+	ShardSegments []int  `json:"shard_segments,omitempty"`
+	Generation    uint64 `json:"generation"`
 	// StatsEpoch counts representation changes (installs + compaction
 	// swaps); PlanCacheEntries is the number of physical plans memoized
 	// against the current epoch's statistics.
@@ -795,34 +846,40 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	shards := e.snapshot()
 	st := Stats{
-		Shards:      e.cfg.Shards,
-		Storage:     e.cfg.Storage.String(),
-		Postings:    PostingStats{Encodings: map[string]EncodingStat{}},
-		Queries:     e.met.queries.Value(),
-		QueryErrors: e.met.queryErrors.Value(),
-		Rebuilds:    e.met.rebuilds.Value(),
-		Mutations:   e.met.mutations.Value(),
-		Compactions: e.met.compactions.Value(),
-		Generation:  e.gen.Load(),
-		StatsEpoch:  e.statsEpoch.Load(),
-		Workers:     e.cfg.Workers,
-		Cache:       e.cache.stats(),
+		Shards:          e.cfg.Shards,
+		Storage:         e.cfg.Storage.String(),
+		Postings:        PostingStats{Encodings: map[string]EncodingStat{}},
+		Queries:         e.met.queries.Value(),
+		QueryErrors:     e.met.queryErrors.Value(),
+		Rebuilds:        e.met.rebuilds.Value(),
+		Mutations:       e.met.mutations.Value(),
+		Compactions:     e.met.compactions.Value(),
+		SegmentFreezes:  e.met.segmentFreezes.Value(),
+		SegmentMerges:   e.met.segmentMerges.Value(),
+		CompactionBytes: e.met.compactionBytes.Value(),
+		Generation:      e.gen.Load(),
+		StatsEpoch:      e.statsEpoch.Load(),
+		Workers:         e.cfg.Workers,
+		Cache:           e.cache.stats(),
 	}
 	st.PlanCacheEntries = e.plans.entries()
 	for _, s := range shards {
 		s.mu.RLock()
 		ix := s.base
-		st.Docs += uint64(s.live)
-		st.Delta.Docs += len(s.delta.docs)
-		st.Delta.Postings += s.delta.postings
-		if s.frozen != nil {
-			st.Delta.Docs += len(s.frozen.docs)
-			st.Delta.Postings += s.frozen.postings
+		st.Docs += uint64(s.liveLocked())
+		st.Delta.Docs += s.active.NumDocs()
+		st.Delta.Postings += s.active.NumPostings()
+		for _, f := range s.frozen {
+			st.Delta.Docs += f.NumDocs()
+			st.Delta.Postings += f.NumPostings()
+			st.Delta.Tombstones += len(f.Tombs())
 		}
+		st.Delta.Segments += len(s.frozen)
+		st.ShardSegments = append(st.ShardSegments, 1+len(s.frozen))
 		if s.compacting {
 			st.Delta.CompactingShards++
 		}
-		st.Delta.Tombstones += len(s.tombs)
+		st.Delta.Tombstones += len(s.baseTombs)
 		s.mu.RUnlock()
 		st.Terms += ix.TermCount()
 		st.ShardTerms = append(st.ShardTerms, ix.TermCount())

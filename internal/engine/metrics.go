@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strconv"
 	"sync"
 
 	"fastintersect/internal/obs"
@@ -21,14 +22,17 @@ type engineMetrics struct {
 	enabled bool
 	sampler *obs.Sampler
 
-	queries     *obs.Counter
-	queryErrors *obs.Counter
-	batches     *obs.Counter
-	mutations   *obs.Counter
-	compactions *obs.Counter
-	rebuilds    *obs.Counter
-	planHits    *obs.Counter
-	planMisses  *obs.Counter
+	queries         *obs.Counter
+	queryErrors     *obs.Counter
+	batches         *obs.Counter
+	mutations       *obs.Counter
+	compactions     *obs.Counter
+	rebuilds        *obs.Counter
+	segmentFreezes  *obs.Counter
+	segmentMerges   *obs.Counter
+	compactionBytes *obs.Counter
+	planHits        *obs.Counter
+	planMisses      *obs.Counter
 
 	latency *obs.Histogram
 	stages  [obs.NumStages]*obs.Histogram
@@ -59,9 +63,15 @@ func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
 		mutations:   r.Counter("fsi_mutations_total", "Effective AddDocument/DeleteDocument mutations."),
 		compactions: r.Counter("fsi_compactions_total", "Completed shard compactions."),
 		rebuilds:    r.Counter("fsi_rebuilds_total", "Index installs."),
-		planHits:    r.Counter("fsi_plan_cache_hits_total", "Queries served a memoized physical plan."),
-		planMisses:  r.Counter("fsi_plan_cache_misses_total", "Queries that built a plan (cold key or stale stats epoch)."),
-		latency:     r.Histogram("fsi_query_latency_seconds", "End-to-end Query latency."),
+		segmentFreezes: r.Counter("fsi_segment_freezes_total",
+			"Active segments frozen into the tier (map move, no postings copied)."),
+		segmentMerges: r.Counter("fsi_segment_merges_total",
+			"Size-tiered merges of frozen segments."),
+		compactionBytes: r.Counter("fsi_compaction_bytes_total",
+			"Posting bytes written by segment merges and base rebuilds (the write-amplification numerator)."),
+		planHits:   r.Counter("fsi_plan_cache_hits_total", "Queries served a memoized physical plan."),
+		planMisses: r.Counter("fsi_plan_cache_misses_total", "Queries that built a plan (cold key or stale stats epoch)."),
+		latency:    r.Histogram("fsi_query_latency_seconds", "End-to-end Query latency."),
 	}
 	for s := obs.Stage(0); s < obs.NumStages; s++ {
 		m.stages[s] = r.Histogram(`fsi_query_stage_seconds{stage="`+s.String()+`"}`,
@@ -94,6 +104,26 @@ func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
 		func() float64 { return float64(e.statsEpoch.Load()) })
 	r.GaugeFunc("fsi_plan_cache_entries", "Plan-cache resident entries.",
 		func() float64 { return float64(e.plans.entries()) })
+	shardCount := cfg.Shards
+	if shardCount <= 0 {
+		shardCount = 1
+	}
+	for i := 0; i < shardCount; i++ {
+		i := i
+		r.GaugeFunc(`fsi_segments{shard="`+strconv.Itoa(i)+`"}`,
+			"Segments in the shard's tier (1 base + frozen in-memory segments).",
+			func() float64 {
+				shards := e.snapshot()
+				if i >= len(shards) {
+					return 0
+				}
+				s := shards[i]
+				s.mu.RLock()
+				n := 1 + len(s.frozen)
+				s.mu.RUnlock()
+				return float64(n)
+			})
+	}
 	return m
 }
 

@@ -3,58 +3,68 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"fastintersect/internal/invindex"
 	"fastintersect/internal/plan"
+	"fastintersect/internal/segment"
 	"fastintersect/internal/sets"
 )
 
-// The mutable tier. Each shard is a segmented index:
+// The mutable tier. Each shard is a tiered segmented index:
 //
 //   - base: a frozen invindex.Index (raw or compressed), exactly the
 //     structure Install produces — every preprocessed/compressed kernel of
-//     the read path keeps running against it unchanged.
-//   - delta: a small in-memory segment (term → sorted docIDs plus a
-//     docID → terms reverse map) absorbing AddDocument calls.
-//   - tombs: a sorted docID tombstone set suppressing base postings.
+//     the read path keeps running against it unchanged — plus baseTombs,
+//     its tombstone filter.
+//   - frozen: zero or more immutable segment.Frozen segments, each with its
+//     own tombstone filter and per-term document frequencies. Produced by
+//     freezing the active segment (a map move, no copying) and coalesced by
+//     size-tiered merges.
+//   - active: one segment.Mutable write head absorbing AddDocument calls.
 //
 // The invariant that makes boolean evaluation decomposable is that every
-// document lives entirely in ONE segment: AddDocument always tombstones the
-// docID (suppressing any copy the base may hold) while writing the new
-// version into the delta. Deleted-then-re-added documents are therefore
-// visible again (the delta wins over the tombstone), and updated documents
-// never match on stale terms. Since the per-segment universes are disjoint,
-// any AND/OR/NOT expression f satisfies
+// document is VISIBLE in exactly one segment: a mutation tombstones the
+// docID in every older segment that holds a copy while writing the new
+// version into the active segment. Deleted-then-re-added documents are
+// therefore visible again, updated documents never match on stale terms, and
+// since the per-segment visible universes are disjoint, any AND/OR/NOT
+// expression f satisfies
 //
-//	f(shard) = (f(base) − tombs) ∪ f(delta)
+//	f(shard) = ∪ over segments s of (f(s) − s.tombs)
 //
-// — the base half runs the paper's kernels, the delta half a linear-merge
-// evaluator over the small sorted delta lists (see evalDelta), and the union
-// is one sets.UnionInto. All scratch comes from the pooled execCtx, so the
-// zero-allocation discipline of the read path survives; with an empty delta
-// and no tombstones the only added cost is one RLock.
+// — the base runs the paper's kernels, each in-memory segment a linear-merge
+// evaluator over its small sorted lists (see evalSeg), and the results
+// combine with one sets.UnionKInto. Order independence is what permits
+// size-tiered merging: any subset of frozen segments coalesces into one
+// without consulting the rest. All scratch comes from the pooled execCtx, so
+// the zero-allocation discipline of the read path survives; with no frozen
+// segments and an empty active segment the only added cost is one RLock.
 //
-// Compaction freezes the active delta, rebuilds a base off-lock from
-// (base − tombs) ∪ frozen via the same BuildParallel path Install uses, and
-// swaps it in. Mutations arriving mid-compaction land in a fresh active
-// delta; their tombstones are recorded twice (tombs for the old base,
-// newTombs for the frozen segment and the next base), so the swap keeps
-// exactly the tombstones the new base has not folded in:
+// Compaction is tiered (Config.CompactPolicy):
 //
-//	f(shard) = (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪ f(delta)
+//   - A freeze moves the active segment into the frozen tier under the shard
+//     lock — O(docs) for the docID set, zero posting copies, no pause for
+//     readers beyond the lock handoff.
+//   - When the tier exceeds Config.MaxSegments, a size-tiered merge
+//     coalesces only the smallest segments, off-lock, against tombstone
+//     snapshots; tombstones added mid-merge are re-applied at swap time.
+//     Write amplification is bounded by merge fan-in instead of corpus size.
+//   - A full rebuild (Compact, or the background escalation once baseTombs
+//     crosses rebuildTombFactor × CompactThreshold) folds everything into a
+//     fresh base via the same BuildParallel path Install uses. Only this
+//     step re-encodes lists, so only it (and Install) bumps the stats epoch.
 //
-// The visible document set is unchanged by a swap, which is why compaction
-// does not bump the cache generation.
+// The visible document set is unchanged by freezes, merges and rebuilds,
+// which is why none of them bump the cache generation.
 type shard struct {
-	mu       sync.RWMutex
-	base     *invindex.Index
-	baseDocs []uint32  // sorted distinct docIDs of base (= base.DocIDs())
-	delta    *deltaSeg // active delta segment
-	frozen   *deltaSeg // delta being compacted; nil when idle
-	tombs    []uint32  // sorted; suppresses base postings
-	newTombs []uint32  // sorted; tombstones since the freeze; nil when idle
-	live     int       // distinct visible documents
+	mu        sync.RWMutex
+	base      *invindex.Index
+	baseDocs  []uint32 // sorted distinct docIDs of base (= base.DocIDs())
+	baseTombs []uint32 // sorted, ⊆ baseDocs; suppresses base postings
+	frozen    []*segment.Frozen
+	active    *segment.Mutable
 
 	compacting bool // claimed by at most one compaction goroutine
 	retired    bool // set (before the swap) by Install replacing this shard
@@ -64,79 +74,44 @@ func newShard(ix *invindex.Index) *shard {
 	return &shard{
 		base:     ix,
 		baseDocs: ix.DocIDs(),
-		delta:    newDeltaSeg(),
-		live:     len(ix.DocIDs()),
+		active:   segment.NewMutable(),
 	}
 }
 
-// deltaSeg is the small mutable in-memory segment of one shard. All access
-// is guarded by the owning shard's mutex (a frozen segment is read-only and
-// additionally readable by the compaction goroutine off-lock).
-type deltaSeg struct {
-	terms    map[string][]uint32 // term → sorted docIDs
-	docs     map[uint32][]string // docID → its distinct terms
-	postings int                 // total postings across terms
-}
-
-func newDeltaSeg() *deltaSeg {
-	return &deltaSeg{terms: map[string][]uint32{}, docs: map[uint32][]string{}}
-}
-
-// addDoc records terms (already deduplicated, no empties) for docID,
-// replacing any previous delta version of the document.
-func (d *deltaSeg) addDoc(docID uint32, terms []string) {
-	d.removeDoc(docID)
-	d.docs[docID] = terms
-	for _, t := range terms {
-		s, inserted := sets.InsertSorted(d.terms[t], docID)
-		d.terms[t] = s
-		if inserted {
-			d.postings++
-		}
+// liveLocked counts the distinct visible documents of the shard. The
+// one-visible-segment invariant makes this exact arithmetic: every segment's
+// tombstone filter is a subset of its own document set. Caller holds s.mu.
+func (s *shard) liveLocked() int {
+	live := len(s.baseDocs) - len(s.baseTombs) + s.active.NumDocs()
+	for _, f := range s.frozen {
+		live += f.LiveDocs()
 	}
-}
-
-// removeDoc drops docID from the segment, returning whether it was present.
-func (d *deltaSeg) removeDoc(docID uint32) bool {
-	terms, ok := d.docs[docID]
-	if !ok {
-		return false
-	}
-	for _, t := range terms {
-		s, removed := sets.RemoveSorted(d.terms[t], docID)
-		if removed {
-			d.postings--
-		}
-		if len(s) == 0 {
-			delete(d.terms, t)
-		} else {
-			d.terms[t] = s
-		}
-	}
-	delete(d.docs, docID)
-	return true
+	return live
 }
 
 // visibleLocked reports whether docID is currently visible in this shard.
 // Caller holds s.mu (read or write).
 func (s *shard) visibleLocked(docID uint32) bool {
-	if _, ok := s.delta.docs[docID]; ok {
+	if s.active.HasDoc(docID) {
 		return true
 	}
-	if s.frozen != nil {
-		if _, ok := s.frozen.docs[docID]; ok && !sets.Contains(s.newTombs, docID) {
+	for _, f := range s.frozen {
+		if f.Visible(docID) {
 			return true
 		}
 	}
-	return sets.Contains(s.baseDocs, docID) && !sets.Contains(s.tombs, docID)
+	return sets.Contains(s.baseDocs, docID) && !sets.Contains(s.baseTombs, docID)
 }
 
-// addTombLocked tombstones docID against the base (and, mid-compaction,
-// against the frozen segment and the next base). Caller holds s.mu.
+// addTombLocked tombstones docID in every segment below the active one that
+// holds a copy, preserving the one-visible-segment invariant. Caller holds
+// s.mu.
 func (s *shard) addTombLocked(docID uint32) {
-	s.tombs, _ = sets.InsertSorted(s.tombs, docID)
-	if s.newTombs != nil {
-		s.newTombs, _ = sets.InsertSorted(s.newTombs, docID)
+	for _, f := range s.frozen {
+		f.AddTomb(docID)
+	}
+	if sets.Contains(s.baseDocs, docID) {
+		s.baseTombs, _ = sets.InsertSorted(s.baseTombs, docID)
 	}
 }
 
@@ -161,11 +136,11 @@ func dedupTerms(terms []string) []string {
 var ErrNoTerms = errors.New("engine: AddDocument requires at least one non-empty term")
 
 // AddDocument makes a document queryable without a rebuild: its terms are
-// written to the home shard's delta segment and any previously indexed
-// version (base or delta) is superseded. Duplicate and empty terms are
-// ignored; a list with no usable term at all returns ErrNoTerms. The index
-// generation is bumped, so stale cached results are never served. Returns
-// ErrNotBuilt before the first Install.
+// written to the home shard's active segment and any previously indexed
+// version (base, frozen or active) is superseded. Duplicate and empty terms
+// are ignored; a list with no usable term at all returns ErrNoTerms. The
+// index generation is bumped, so stale cached results are never served.
+// Returns ErrNotBuilt before the first Install.
 func (e *Engine) AddDocument(docID uint32, terms []string) error {
 	terms = dedupTerms(terms)
 	if len(terms) == 0 {
@@ -175,46 +150,41 @@ func (e *Engine) AddDocument(docID uint32, terms []string) error {
 	if err != nil {
 		return err
 	}
-	was := s.visibleLocked(docID)
-	s.delta.addDoc(docID, terms)
-	// Suppress any base/frozen copy; the delta version wins. This keeps the
-	// one-segment-per-document invariant evalSegments relies on.
+	s.active.AddDoc(docID, terms)
+	// Suppress every older copy; the active version wins. This keeps the
+	// one-visible-segment invariant evalSegments relies on.
 	s.addTombLocked(docID)
-	if !was {
-		s.live++
-	}
 	spawn := e.wantsCompactLocked(s)
 	s.mu.Unlock()
 	e.met.mutations.Inc()
 	e.gen.Add(1)
 	if spawn {
-		go e.compactShard(s) //nolint:errcheck // failure restores the delta; retried on the next trigger
+		go e.compactShard(s) //nolint:errcheck // state is untouched on failure; retried on the next trigger
 	}
 	return nil
 }
 
 // DeleteDocument removes a document from query results immediately: the
-// delta version (if any) is dropped and the docID is tombstoned against the
-// base. It reports whether the document was visible before the call. The
-// index generation is bumped, so cached results containing the document are
-// never served again. Returns ErrNotBuilt before the first Install.
+// active version (if any) is dropped and the docID is tombstoned in every
+// segment holding a copy. It reports whether the document was visible before
+// the call. The index generation is bumped, so cached results containing the
+// document are never served again. Returns ErrNotBuilt before the first
+// Install.
 func (e *Engine) DeleteDocument(docID uint32) (bool, error) {
 	s, err := e.lockShard(docID)
 	if err != nil {
 		return false, err
 	}
-	was := s.visibleLocked(docID)
-	if !was {
+	if !s.visibleLocked(docID) {
 		// Nothing is visible to suppress: any base/frozen copy is already
 		// tombstoned. Skipping the tombstone and the generation bump keeps
 		// no-op deletes (retries, probes of unknown IDs) from invalidating
-		// the result cache and growing the tombstone set.
+		// the result cache and growing the tombstone sets.
 		s.mu.Unlock()
 		return false, nil
 	}
-	s.delta.removeDoc(docID)
+	s.active.RemoveDoc(docID)
 	s.addTombLocked(docID)
-	s.live--
 	spawn := e.wantsCompactLocked(s)
 	s.mu.Unlock()
 	e.met.mutations.Inc()
@@ -247,6 +217,35 @@ func (e *Engine) lockShard(docID uint32) (*shard, error) {
 	}
 }
 
+// rebuildTombFactor escalates a tiered compaction to a full rebuild once the
+// base tombstone filter reaches this multiple of the compaction threshold:
+// base tombstones are only purged by a rebuild, and past this point the
+// per-query subtraction outweighs the rebuild's amortized cost.
+const rebuildTombFactor = 4
+
+// defaultMaxSegments bounds the frozen tier when Config.MaxSegments is 0.
+const defaultMaxSegments = 4
+
+func (e *Engine) maxSegments() int {
+	if e.cfg.MaxSegments > 0 {
+		return e.cfg.MaxSegments
+	}
+	return defaultMaxSegments
+}
+
+// tombTrigger is the base-tombstone count that triggers a background
+// compaction. Under the rebuild policy any threshold crossing warrants the
+// rebuild that purges them; under the tiered policy a rebuild is the only
+// step that purges base tombstones, so the trigger sits at the escalation
+// point — triggering earlier would just spawn freeze-only no-ops on every
+// mutation.
+func (e *Engine) tombTrigger() int {
+	if e.cfg.CompactPolicy == CompactRebuild {
+		return e.cfg.CompactThreshold
+	}
+	return rebuildTombFactor * e.cfg.CompactThreshold
+}
+
 // wantsCompactLocked claims a background compaction for s when the
 // configured threshold is crossed. Caller holds s.mu; when it returns true
 // the caller must spawn compactShard(s) after unlocking.
@@ -254,19 +253,23 @@ func (e *Engine) wantsCompactLocked(s *shard) bool {
 	if e.cfg.CompactThreshold <= 0 || s.compacting || s.retired {
 		return false
 	}
-	if s.delta.postings < e.cfg.CompactThreshold && len(s.tombs) < e.cfg.CompactThreshold {
+	if s.active.NumPostings() < e.cfg.CompactThreshold &&
+		len(s.baseTombs) < e.tombTrigger() &&
+		len(s.frozen) <= e.maxSegments() {
 		return false
 	}
 	s.compacting = true
 	return true
 }
 
-// Compact synchronously folds every shard's delta segment and tombstones
-// into a fresh frozen base (the same parallel build path Install uses) and
-// swaps it in per shard. Queries keep running throughout — they see the
-// frozen delta until the swap — and the visible document set is unchanged,
-// so the result cache stays valid. Shards already being compacted in the
-// background are skipped. Returns ErrNotBuilt before the first Install.
+// Compact synchronously folds every shard's whole tier (frozen segments,
+// active segment, tombstones) into a fresh frozen base — the same parallel
+// build path Install uses — and swaps it in per shard. Queries keep running
+// throughout and the visible document set is unchanged, so the result cache
+// stays valid. Shards already being compacted in the background, and shards
+// whose tier is already empty (no frozen segments, empty active segment, no
+// tombstones — a no-op rebuild), are skipped. Returns ErrNotBuilt before the
+// first Install.
 func (e *Engine) Compact() error {
 	shards := e.snapshot()
 	if shards == nil {
@@ -276,26 +279,208 @@ func (e *Engine) Compact() error {
 	for _, s := range shards {
 		s.mu.Lock()
 		if s.compacting || s.retired ||
-			(s.delta.postings == 0 && len(s.delta.docs) == 0 && len(s.tombs) == 0) {
+			(s.active.NumDocs() == 0 && len(s.frozen) == 0 && len(s.baseTombs) == 0) {
 			s.mu.Unlock()
 			continue
 		}
 		s.compacting = true
 		s.mu.Unlock()
-		if err := e.compactShard(s); err != nil && firstErr == nil {
+		if err := e.rebuildShard(s); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// compactShard rebuilds s's base from (base − tombs) ∪ delta and swaps it
-// in. The caller must have claimed s.compacting under s.mu. The shard lock
-// is held only to freeze the delta and to swap — the rebuild itself runs
-// off-lock against the immutable old base and the frozen segment. On build
-// failure the frozen documents are folded back into the active delta (newer
-// versions win) so no mutation is lost and a later compaction can retry.
+// FreezeActive moves every shard's non-empty active segment into its frozen
+// tier — a map move under the shard lock, no postings copied. Exposed so
+// tests and operational tooling can force multi-segment tiers
+// deterministically; the background compaction path freezes on its own.
+// Returns ErrNotBuilt before the first Install.
+func (e *Engine) FreezeActive() error {
+	shards := e.snapshot()
+	if shards == nil {
+		return ErrNotBuilt
+	}
+	for _, s := range shards {
+		s.mu.Lock()
+		if !s.retired {
+			e.freezeActiveLocked(s)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// freezeActiveLocked freezes s's active segment if non-empty. Caller holds
+// s.mu.
+func (e *Engine) freezeActiveLocked(s *shard) {
+	if s.active.NumDocs() == 0 {
+		return
+	}
+	s.frozen = append(s.frozen, s.active.Freeze())
+	s.active = segment.NewMutable()
+	e.met.segmentFreezes.Inc()
+}
+
+// MergeSegments synchronously runs size-tiered merge passes on every shard
+// until its frozen tier is within Config.MaxSegments (shards with a claimed
+// background compaction are skipped). Exposed for tests and tooling; the
+// background compaction path merges on its own. Returns ErrNotBuilt before
+// the first Install.
+func (e *Engine) MergeSegments() error {
+	shards := e.snapshot()
+	if shards == nil {
+		return ErrNotBuilt
+	}
+	for _, s := range shards {
+		for {
+			s.mu.Lock()
+			if s.compacting || s.retired || len(s.frozen) <= e.maxSegments() {
+				s.mu.Unlock()
+				break
+			}
+			s.compacting = true
+			victims, snaps := s.pickMergeLocked(e.maxSegments())
+			s.mu.Unlock()
+			e.mergeSegments(s, victims, snaps)
+		}
+	}
+	return nil
+}
+
+// compactShard is the background compaction job: it freezes the active
+// segment, then either runs a size-tiered merge (tier over MaxSegments), a
+// full rebuild (tombstone escalation, or Config.CompactPolicy ==
+// CompactRebuild), or stops after the freeze. The caller must have claimed
+// s.compacting under s.mu; the claim is released on every path.
 func (e *Engine) compactShard(s *shard) error {
+	if e.cfg.CompactPolicy == CompactRebuild {
+		return e.rebuildShard(s)
+	}
+	s.mu.Lock()
+	if s.retired {
+		s.compacting = false
+		s.mu.Unlock()
+		return nil
+	}
+	e.freezeActiveLocked(s)
+	if e.cfg.CompactThreshold > 0 && len(s.baseTombs) >= e.tombTrigger() {
+		s.mu.Unlock()
+		return e.rebuildShard(s) // claim carries over
+	}
+	var victims []*segment.Frozen
+	var snaps [][]uint32
+	if len(s.frozen) > e.maxSegments() {
+		victims, snaps = s.pickMergeLocked(e.maxSegments())
+	}
+	s.mu.Unlock()
+	if victims == nil {
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		e.met.compactions.Inc()
+		return nil
+	}
+	e.mergeSegments(s, victims, snaps)
+	e.met.compactions.Inc()
+	return nil
+}
+
+// pickMergeLocked selects the merge victims of one size-tiered pass: the
+// smallest segments first — enough to bring the tier back under maxSegs —
+// extended while the next-larger segment is no bigger than twice the
+// payload merged so far. Merging small-into-small is what bounds write
+// amplification: a large segment is only rewritten when its peers have
+// grown to its scale. Returns the victims plus a snapshot of each one's
+// tombstone filter (the merge runs off-lock against the snapshots).
+// Caller holds s.mu and has claimed s.compacting.
+func (s *shard) pickMergeLocked(maxSegs int) ([]*segment.Frozen, [][]uint32) {
+	bySize := make([]*segment.Frozen, len(s.frozen))
+	copy(bySize, s.frozen)
+	sort.Slice(bySize, func(i, j int) bool { return bySize[i].NumPostings() < bySize[j].NumPostings() })
+	need := len(s.frozen) - maxSegs + 1
+	if need < 2 {
+		need = 2
+	}
+	if need > len(bySize) {
+		need = len(bySize)
+	}
+	cum := 0
+	n := 0
+	for ; n < len(bySize); n++ {
+		if n >= need && bySize[n].NumPostings() > 2*cum {
+			break
+		}
+		cum += bySize[n].NumPostings()
+	}
+	victims := bySize[:n]
+	snaps := make([][]uint32, len(victims))
+	for i, v := range victims {
+		snaps[i] = sets.Clone(v.Tombs())
+	}
+	return victims, snaps
+}
+
+// mergeSegments coalesces victims into one segment off-lock and swaps it
+// into s's tier, re-applying tombstones recorded after the snapshots and
+// releasing the compaction claim. Victims keep serving queries until the
+// swap; their postings are immutable, so the off-lock merge reads them
+// safely against the tombstone snapshots.
+func (e *Engine) mergeSegments(s *shard, victims []*segment.Frozen, snaps [][]uint32) {
+	merged := segment.Merge(victims, snaps)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compacting = false
+	if s.retired {
+		return // replaced mid-merge: the shard will never serve again
+	}
+	isVictim := func(f *segment.Frozen) bool {
+		for _, v := range victims {
+			if v == f {
+				return true
+			}
+		}
+		return false
+	}
+	kept := s.frozen[:0]
+	for _, f := range s.frozen {
+		if !isVictim(f) {
+			kept = append(kept, f)
+		}
+	}
+	// Deletes that landed between snapshot and swap tombstoned the victims;
+	// re-apply them to the merged segment (AddTomb skips documents the merge
+	// already dropped).
+	for i, v := range victims {
+		for _, id := range sets.Difference(v.Tombs(), snaps[i]) {
+			merged.AddTomb(id)
+		}
+	}
+	if merged.NumDocs() > 0 {
+		kept = append(kept, merged)
+	}
+	for i := len(kept); i < len(s.frozen); i++ {
+		s.frozen[i] = nil // drop trailing refs so filtered-out segments free
+	}
+	s.frozen = kept
+	e.met.segmentMerges.Inc()
+	e.met.compactionBytes.Add(4 * uint64(merged.NumPostings()))
+	// No stats-epoch bump: a merge moves postings between in-memory segments
+	// without touching the base encodings, so every memoized plan stays
+	// correctly priced. Only rebuilds and installs re-encode lists.
+}
+
+// rebuildShard folds s's entire tier — (base − baseTombs) and every frozen
+// segment minus its tombstones — into a fresh base index and swaps it in.
+// The caller must have claimed s.compacting under s.mu. The shard lock is
+// held only to freeze the active segment and to swap — the rebuild itself
+// runs off-lock against the immutable base and frozen segments, with
+// tombstones recorded mid-build re-applied at swap time. On build failure
+// the tier is untouched (frozen segments are only dropped at a successful
+// swap), so no mutation is lost and a later compaction retries.
+func (e *Engine) rebuildShard(s *shard) error {
 	s.mu.Lock()
 	if s.retired {
 		// An Install replaced this shard between the claim and now; a
@@ -304,86 +489,88 @@ func (e *Engine) compactShard(s *shard) error {
 		s.mu.Unlock()
 		return nil
 	}
-	frozen := s.delta
-	s.delta = newDeltaSeg()
-	s.frozen = frozen
-	s.newTombs = make([]uint32, 0, 8)
-	frozenTombs := sets.Clone(s.tombs)
+	e.freezeActiveLocked(s)
 	base := s.base
+	baseTombsSnap := sets.Clone(s.baseTombs)
+	inputs := make([]*segment.Frozen, len(s.frozen))
+	copy(inputs, s.frozen)
+	snaps := make([][]uint32, len(inputs))
+	for i, f := range inputs {
+		snaps[i] = sets.Clone(f.Tombs())
+	}
 	s.mu.Unlock()
 
 	perShard := e.cfg.Workers / e.cfg.Shards
 	if perShard < 1 {
 		perShard = 1
 	}
-	nb, err := e.rebuildBase(base, frozen, frozenTombs, perShard)
+	nb, err := e.rebuildBase(base, inputs, baseTombsSnap, snaps, perShard)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.frozen = nil
 	s.compacting = false
 	if s.retired {
-		// Replaced mid-build: the shard will never serve again, so neither
-		// the new base nor a rollback matters. Just drop the frozen state.
-		s.newTombs = nil
-		return nil
+		return nil // replaced mid-build: neither the new base nor the old tier matters
 	}
 	if err != nil {
-		s.rollbackFrozenLocked(frozen)
 		return fmt.Errorf("engine: compaction: %w", err)
+	}
+	// Tombstones recorded during the build apply to documents the new base
+	// has folded in; carry exactly those forward.
+	newTombs := sets.Difference(s.baseTombs, baseTombsSnap)
+	for i, f := range inputs {
+		newTombs = sets.Union(newTombs, sets.Difference(f.Tombs(), snaps[i]))
 	}
 	s.base = nb
 	s.baseDocs = nb.DocIDs()
-	// Tombstones recorded before the freeze are folded into the new base;
-	// only the ones since the freeze still apply.
-	s.tombs = s.newTombs
-	s.newTombs = nil
-	// Recount live documents: base documents not tombstoned since the
-	// freeze, plus the active delta (whose documents are all tombstoned, so
-	// there is no double count).
-	live := len(s.delta.docs)
-	for _, id := range s.baseDocs {
-		if !sets.Contains(s.tombs, id) {
-			live++
+	s.baseTombs = newTombs
+	// Segments frozen after the snapshot (e.g. by a concurrent FreezeActive)
+	// were not folded in; keep them.
+	kept := s.frozen[:0]
+	for _, f := range s.frozen {
+		folded := false
+		for _, in := range inputs {
+			if in == f {
+				folded = true
+				break
+			}
+		}
+		if !folded {
+			kept = append(kept, f)
 		}
 	}
-	s.live = live
-	// The swap can re-encode any list in this shard (a dense delta folding
+	for i := len(kept); i < len(s.frozen); i++ {
+		s.frozen[i] = nil
+	}
+	s.frozen = kept
+	// The swap can re-encode any list in this shard (a dense segment folding
 	// into the base may flip a term from Gamma to Bitseg, say), so plans
 	// priced against the old shapes must be rebuilt: bump the stats epoch,
 	// invalidating every plan-cache entry (see plancache.go).
 	e.statsEpoch.Add(1)
 	e.met.compactions.Inc()
+	e.met.compactionBytes.Add(4 * uint64(nb.MemStats().Postings))
 	return nil
 }
 
-// rollbackFrozenLocked restores a frozen delta after a failed compaction
-// build: its documents fold back into the active delta so no mutation is
-// lost and a later compaction can retry. Documents re-added during the
-// failed build are newer, so they win, and documents deleted during it
-// (tombstoned in newTombs) must stay dead — the delta would otherwise
-// override their tombstone and resurrect them. Their tombstones are still
-// in s.tombs (compaction never removes any before the swap), so base
-// suppression stays correct. Caller holds s.mu.
-func (s *shard) rollbackFrozenLocked(frozen *deltaSeg) {
-	for id, terms := range frozen.docs {
-		if _, ok := s.delta.docs[id]; ok {
-			continue
-		}
-		if sets.Contains(s.newTombs, id) {
-			continue
-		}
-		s.delta.addDoc(id, terms)
-	}
-	s.newTombs = nil
-}
-
-// rebuildBase materializes (base − tombs) ∪ delta term by term into a fresh
-// index and builds it. base is immutable and delta is frozen, so no lock is
-// needed.
-func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint32, workers int) (*invindex.Index, error) {
+// rebuildBase materializes (base − baseTombs) ∪ (segments − their tombstone
+// snapshots) term by term into a fresh index and builds it. base and the
+// frozen segments' postings are immutable, so no lock is needed.
+func (e *Engine) rebuildBase(base *invindex.Index, segs []*segment.Frozen, baseTombs []uint32, snaps [][]uint32, workers int) (*invindex.Index, error) {
 	nb := invindex.NewWithStorage(e.cfg.Storage, e.cfg.IndexOptions...)
-	var scratch []uint32
+	var scratch, scratch2 []uint32
+	segTerm := func(term string) []uint32 {
+		var merged []uint32
+		for i, f := range segs {
+			ps := f.Postings(term)
+			if len(ps) == 0 {
+				continue
+			}
+			scratch2 = sets.DifferenceInto(scratch2[:0], ps, snaps[i])
+			merged = sets.Union(merged, scratch2)
+		}
+		return merged
+	}
 	for _, term := range base.Terms() {
 		var postings []uint32
 		if base.Storage() == invindex.StorageCompressed {
@@ -391,9 +578,9 @@ func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint
 		} else {
 			postings = base.Postings(term).Set()
 		}
-		scratch = sets.DifferenceInto(scratch[:0], postings, tombs)
+		scratch = sets.DifferenceInto(scratch[:0], postings, baseTombs)
 		merged := scratch
-		if add := delta.terms[term]; len(add) > 0 {
+		if add := segTerm(term); len(add) > 0 {
 			merged = sets.Union(scratch, add)
 		}
 		if len(merged) == 0 {
@@ -403,12 +590,18 @@ func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint
 			return nil, err
 		}
 	}
-	for term, add := range delta.terms {
-		if base.DocFreq(term) > 0 || len(add) == 0 {
-			continue // already merged above
-		}
-		if err := nb.AddPosting(term, add); err != nil {
-			return nil, err
+	seen := map[string]bool{}
+	for _, f := range segs {
+		for _, term := range f.Terms() {
+			if seen[term] || base.DocFreq(term) > 0 {
+				continue // already merged above
+			}
+			seen[term] = true
+			if add := segTerm(term); len(add) > 0 {
+				if err := nb.AddPosting(term, add); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	if err := nb.BuildParallel(workers); err != nil {
@@ -417,17 +610,18 @@ func (e *Engine) rebuildBase(base *invindex.Index, delta *deltaSeg, tombs []uint
 	return nb, nil
 }
 
-// evalSegments evaluates a physical plan against one shard's segmented
-// index: the base through the preprocessed/compressed kernels (evalOp), the
-// delta segments through the plan-driven pairwise-merge delta evaluator,
-// composed as (f(base) − tombs) ∪ (f(frozen) − newTombs) ∪ f(delta).
-// Ownership rules match evalOp: the returned slice either aliases
-// index/delta memory (owned = false, read-only) or is backed by a context
+// evalSegments evaluates a physical plan against one shard's tier: the base
+// through the preprocessed/compressed kernels (evalOp), each in-memory
+// segment through the plan-driven pairwise-merge evaluator (evalSeg), each
+// result minus its segment's tombstone filter, all combined with one k-way
+// union. Ownership rules match evalOp: the returned slice either aliases
+// index/segment memory (owned = false, read-only) or is backed by a context
 // buffer (owned = true).
 //
-// The shard read lock is held for the whole evaluation; mutations and
-// compaction swaps therefore see shard state atomically, and the immutable
-// base plus frozen delta make the off-lock compaction rebuild safe.
+// The shard read lock is held for the whole evaluation; mutations, freezes
+// and merge/rebuild swaps therefore see shard state atomically. Frozen
+// postings are immutable, so per-segment results may alias them even after
+// the lock is released; active-segment results are copied under the lock.
 func (e *Engine) evalSegments(c *execCtx, s *shard, p *plan.Plan) ([]uint32, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -438,81 +632,86 @@ func (e *Engine) evalSegments(c *execCtx, s *shard, p *plan.Plan) ([]uint32, boo
 		}
 		return nil, false, err
 	}
-	if len(s.tombs) > 0 && len(docs) > 0 {
-		out := sets.DifferenceInto(c.getBuf(), docs, s.tombs)
+	if len(s.baseTombs) > 0 && len(docs) > 0 {
+		out := sets.DifferenceInto(c.getBuf(), docs, s.baseTombs)
 		if owned {
 			c.putBuf(docs)
 		}
 		docs, owned = out, true
 	}
-	if s.frozen != nil && len(s.frozen.docs) > 0 {
-		docs, owned = e.unionDeltaEval(c, docs, owned, s.frozen, s.newTombs, p)
+	if len(s.frozen) == 0 && s.active.NumDocs() == 0 {
+		// Single-segment tier: the base result is the shard result. This is
+		// the steady-state fast path that keeps pure-base queries
+		// allocation-free.
+		return docs, owned, nil
 	}
-	if len(s.delta.docs) > 0 {
-		docs, owned = e.unionDeltaEval(c, docs, owned, s.delta, nil, p)
+	f := c.frame()
+	push := func(res []uint32, resOwned bool) {
+		if len(res) == 0 {
+			if resOwned {
+				c.putBuf(res)
+			}
+			return
+		}
+		f.kids = append(f.kids, res)
+		f.kidsOwned = append(f.kidsOwned, resOwned)
 	}
-	return docs, owned, nil
+	push(docs, owned)
+	for _, fz := range s.frozen {
+		res, resOwned := e.evalSeg(c, fz, p, p.Root())
+		if tombs := fz.Tombs(); len(tombs) > 0 && len(res) > 0 {
+			out := sets.DifferenceInto(c.getBuf(), res, tombs)
+			if resOwned {
+				c.putBuf(res)
+			}
+			res, resOwned = out, true
+		}
+		push(res, resOwned)
+	}
+	if s.active.NumDocs() > 0 {
+		res, resOwned := e.evalSeg(c, s.active, p, p.Root())
+		if !resOwned && len(res) > 0 {
+			// An unowned active-segment result aliases a live list, which a
+			// mutation may shift in place the moment the shard lock is
+			// released — unlike base and frozen postings, which stay
+			// immutable. Copy into a context buffer while still under the
+			// lock.
+			res, resOwned = append(c.getBuf(), res...), true
+		}
+		push(res, resOwned)
+	}
+	switch len(f.kids) {
+	case 0:
+		c.releaseFrame(f)
+		return nil, false, nil
+	case 1:
+		res, resOwned := f.kids[0], f.kidsOwned[0]
+		f.kidsOwned[0] = false // detach: ownership moves to the caller
+		c.releaseFrame(f)
+		return res, resOwned, nil
+	}
+	out := sets.UnionKInto(c.getBuf(), f.kids...)
+	c.releaseFrame(f)
+	return out, true, nil
 }
 
-// unionDeltaEval evaluates the plan over one delta segment, subtracts tombs
-// (the post-freeze tombstones, for a frozen segment), and unions the outcome
-// into docs under the execCtx ownership protocol.
-func (e *Engine) unionDeltaEval(c *execCtx, docs []uint32, owned bool, d *deltaSeg, tombs []uint32, p *plan.Plan) ([]uint32, bool) {
-	res, resOwned := e.evalDelta(c, d, p, p.Root())
-	if !resOwned && len(res) > 0 {
-		// An unowned result aliases a live delta list, which a mutation may
-		// shift in place the moment the shard lock is released — unlike base
-		// postings, which stay immutable even after a compaction swap. Copy
-		// into a context buffer while still under the lock.
-		res, resOwned = append(c.getBuf(), res...), true
-	}
-	if len(tombs) > 0 && len(res) > 0 {
-		out := sets.DifferenceInto(c.getBuf(), res, tombs)
-		if resOwned {
-			c.putBuf(res)
-		}
-		res, resOwned = out, true
-	}
-	if len(res) == 0 {
-		if resOwned {
-			c.putBuf(res)
-		}
-		return docs, owned
-	}
-	if len(docs) == 0 {
-		if owned {
-			c.putBuf(docs)
-		}
-		return res, resOwned
-	}
-	out := sets.UnionInto(c.getBuf(), docs, res)
-	if owned {
-		c.putBuf(docs)
-	}
-	if resOwned {
-		c.putBuf(res)
-	}
-	return out, true
-}
-
-// evalDelta evaluates physical operator i against one delta segment with
-// pairwise sorted-set kernels — delta lists are small by construction, so
+// evalSeg evaluates physical operator i against one in-memory segment with
+// pairwise sorted-set kernels — segment lists are small by construction, so
 // the preprocessed structures would not pay for themselves here, but the
 // merge-vs-gallop choice still goes through the planner's cost model
-// (plan.ChoosePair) on the actual delta list sizes. Ownership rules match
-// evalOp: owned = false aliases a delta list and is read-only. The
-// expression cannot fail against a map of sorted lists, so no error is
-// returned.
-func (e *Engine) evalDelta(c *execCtx, d *deltaSeg, p *plan.Plan, i int32) ([]uint32, bool) {
+// (plan.ChoosePair) on the actual list sizes. Ownership rules match evalOp:
+// owned = false aliases a segment list and is read-only. The expression
+// cannot fail against a map of sorted lists, so no error is returned.
+func (e *Engine) evalSeg(c *execCtx, src segment.TermSource, p *plan.Plan, i int32) ([]uint32, bool) {
 	op := &p.Ops[i]
 	switch op.Kind {
 	case plan.OpTerm:
-		return d.terms[op.Term], false
+		return src.Postings(op.Term), false
 
 	case plan.OpOr:
 		f := c.frame()
 		for _, ki := range p.KidOps(op) {
-			s, kidOwned := e.evalDelta(c, d, p, ki)
+			s, kidOwned := e.evalSeg(c, src, p, ki)
 			f.kids = append(f.kids, s)
 			f.kidsOwned = append(f.kidsOwned, kidOwned)
 		}
@@ -554,12 +753,12 @@ func (e *Engine) evalDelta(c *execCtx, d *deltaSeg, p *plan.Plan, i int32) ([]ui
 			return true
 		}
 		for _, ti := range p.TermOps(op) {
-			if !step(d.terms[p.Ops[ti].Term], false) {
+			if !step(src.Postings(p.Ops[ti].Term), false) {
 				return nil, false
 			}
 		}
 		for _, ki := range p.KidOps(op) {
-			s, owned := e.evalDelta(c, d, p, ki)
+			s, owned := e.evalSeg(c, src, p, ki)
 			if !step(s, owned) {
 				return nil, false
 			}
@@ -569,7 +768,7 @@ func (e *Engine) evalDelta(c *execCtx, d *deltaSeg, p *plan.Plan, i int32) ([]ui
 			if len(cur) == 0 {
 				break
 			}
-			s, owned := e.evalDelta(c, d, p, ni)
+			s, owned := e.evalSeg(c, src, p, ni)
 			if len(s) > 0 {
 				out := sets.DifferenceInto(c.getBuf(), cur, s)
 				if curOwned {

@@ -465,36 +465,104 @@ func TestDeltaTermConcurrentWithAdds(t *testing.T) {
 	wg.Wait()
 }
 
-// TestRollbackFrozenKeepsDeletesDead pins the failed-compaction rollback: a
-// document deleted while its frozen segment was being (unsuccessfully)
-// compacted must not be resurrected when the frozen docs fold back into the
-// active delta, while untouched and re-added frozen documents survive.
-func TestRollbackFrozenKeepsDeletesDead(t *testing.T) {
-	s := &shard{delta: newDeltaSeg()}
-	frozen := newDeltaSeg()
-	frozen.addDoc(1, []string{"a"})      // untouched: must fold back
-	frozen.addDoc(2, []string{"a", "b"}) // deleted mid-compaction: must stay dead
-	frozen.addDoc(3, []string{"b"})      // re-added mid-compaction: newer version wins
-	s.tombs = []uint32{1, 2, 3}          // every delta doc is tombstoned (add invariant)
-	s.newTombs = []uint32{2, 3}          // post-freeze tombstones (delete of 2, re-add of 3)
-	s.delta.addDoc(3, []string{"c"})     // the re-added version
+// TestMergeKeepsMidMergeMutationsExact pins the merge-swap tombstone
+// handoff: the merge reads its victims off-lock against tombstone SNAPSHOTS,
+// so a delete or overwrite landing between the snapshot and the swap only
+// tombstones the victim — the swap must re-apply exactly those post-snapshot
+// tombstones to the merged segment, or the merge would resurrect the
+// documents.
+func TestMergeKeepsMidMergeMutationsExact(t *testing.T) {
+	e := New(Config{Shards: 1})
+	b := e.NewBuilder()
+	if err := b.Add(0, []string{"base"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(b); err != nil {
+		t.Fatal(err)
+	}
+	// Two frozen segments holding docs 1 and 2.
+	for _, id := range []uint32{1, 2} {
+		if err := e.AddDocument(id, []string{"a"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.FreezeActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.snapshot()[0]
+	s.mu.Lock()
+	s.compacting = true
+	victims, snaps := s.pickMergeLocked(1)
+	s.mu.Unlock()
+	if len(victims) != 2 {
+		t.Fatalf("pickMergeLocked chose %d victims, want 2", len(victims))
+	}
+	// Mid-merge: delete doc 1 and overwrite doc 2 (both live in victims).
+	if ok, err := e.DeleteDocument(1); err != nil || !ok {
+		t.Fatalf("DeleteDocument(1) = %v, %v", ok, err)
+	}
+	if err := e.AddDocument(2, []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	e.mergeSegments(s, victims, snaps)
 
-	s.rollbackFrozenLocked(frozen)
-	if s.newTombs != nil {
-		t.Fatalf("newTombs = %v, want nil after rollback", s.newTombs)
+	s.mu.RLock()
+	frozen, live := len(s.frozen), s.liveLocked()
+	s.mu.RUnlock()
+	if frozen != 1 {
+		t.Fatalf("frozen tier has %d segments after merge, want 1", frozen)
 	}
-	if got := s.delta.terms["a"]; !sets.Equal(got, []uint32{1}) {
-		t.Fatalf(`delta["a"] = %v, want [1] (doc 2 deleted mid-compaction)`, got)
+	if live != 2 { // base doc 0 + rewritten doc 2
+		t.Fatalf("live = %d after merge, want 2", live)
 	}
-	if got := s.delta.terms["b"]; len(got) != 0 {
-		t.Fatalf(`delta["b"] = %v, want empty (2 deleted, 3 superseded)`, got)
+	res, err := e.Query("a")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := s.delta.terms["c"]; !sets.Equal(got, []uint32{3}) {
-		t.Fatalf(`delta["c"] = %v, want [3] (re-added version wins)`, got)
+	if len(res.Docs) != 0 {
+		t.Fatalf(`Query("a") = %v, want empty (1 deleted, 2 rewritten mid-merge)`, res.Docs)
 	}
-	if !s.visibleLocked(1) || s.visibleLocked(2) || !s.visibleLocked(3) {
-		t.Fatalf("visibility after rollback: 1=%v 2=%v 3=%v, want true/false/true",
-			s.visibleLocked(1), s.visibleLocked(2), s.visibleLocked(3))
+	res, err = e.Query("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets.Equal(res.Docs, []uint32{2}) {
+		t.Fatalf(`Query("c") = %v, want [2]`, res.Docs)
+	}
+}
+
+// TestCompactSkipsNoopShards pins the no-op compaction guard: with an empty
+// active segment, an empty frozen tier and no tombstones, Compact must not
+// rebuild anything (no compaction counted, no stats-epoch bump — a bump
+// would needlessly invalidate every memoized plan).
+func TestCompactSkipsNoopShards(t *testing.T) {
+	e := buildTestEngine(t, Config{Shards: 2}, 500)
+	before := e.Stats()
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.Compactions != before.Compactions {
+		t.Fatalf("Compact on a clean engine ran %d compactions, want 0",
+			after.Compactions-before.Compactions)
+	}
+	if after.StatsEpoch != before.StatsEpoch {
+		t.Fatalf("Compact on a clean engine bumped the stats epoch %d → %d",
+			before.StatsEpoch, after.StatsEpoch)
+	}
+	if after.CompactionBytes != before.CompactionBytes {
+		t.Fatalf("Compact on a clean engine wrote %d bytes, want 0",
+			after.CompactionBytes-before.CompactionBytes)
+	}
+	// And once there is real work, Compact does run.
+	if err := e.AddDocument(1_000_000, []string{"fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Compactions; got != before.Compactions+1 {
+		t.Fatalf("Compactions = %d after one real compaction, want %d", got, before.Compactions+1)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fastintersect/internal/compress"
 	"fastintersect/internal/invindex"
 	"fastintersect/internal/plan"
+	"fastintersect/internal/segment"
 )
 
 // planStats aggregates a shard snapshot into the statistics the physical
@@ -17,30 +18,43 @@ import (
 // actual sizes (see exec.go).
 type planStats struct {
 	bases []*invindex.Index
+	segs  []*segment.Frozen
 	docs  int
 }
 
-// fill snapshots each shard's frozen base segment and live-document count.
-// Base indexes are immutable, so they stay safe to read after the per-shard
-// locks are dropped. Delta segments are deliberately excluded: they are
-// small by construction and would need the shard lock per term lookup.
+// fill snapshots each shard's base segment, frozen in-memory tier and
+// live-document count. Bases and frozen segments are immutable (only their
+// tombstone filters grow), so they stay safe to read after the per-shard
+// locks are dropped — which is what lets TermLen fold frozen-segment df into
+// the estimates without re-locking per term. The active segments are
+// deliberately excluded: they are bounded by the compaction threshold and
+// would need the shard lock per term lookup.
 func (ps *planStats) fill(shards []*shard) {
 	ps.bases = ps.bases[:0]
+	ps.segs = ps.segs[:0]
 	ps.docs = 0
 	for _, s := range shards {
 		s.mu.RLock()
 		ps.bases = append(ps.bases, s.base)
-		ps.docs += s.live
+		ps.segs = append(ps.segs, s.frozen...)
+		ps.docs += s.liveLocked()
 		s.mu.RUnlock()
 	}
 }
 
 func (ps *planStats) NumDocs() int { return ps.docs }
 
+// TermLen is the planner's cardinality estimate for one term: base df plus
+// frozen-segment df, so cost-based operand ordering stays honest under churn
+// between merges. (Tombstoned postings are still counted — they are
+// suppressed at query time, not purged, so they still cost kernel work.)
 func (ps *planStats) TermLen(term string) int {
 	total := 0
 	for _, ix := range ps.bases {
 		total += ix.DocFreq(term)
+	}
+	for _, f := range ps.segs {
+		total += f.DocFreq(term)
 	}
 	return total
 }
@@ -99,6 +113,8 @@ func putPlanCtx(pc *planCtx) {
 	}
 	clear(pc.stats.bases)
 	pc.stats.bases = pc.stats.bases[:0]
+	clear(pc.stats.segs)
+	pc.stats.segs = pc.stats.segs[:0]
 	pc.stats.docs = 0
 	planCtxPool.Put(pc)
 }

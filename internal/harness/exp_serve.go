@@ -18,18 +18,26 @@ func init() {
 	})
 }
 
-// ServeScenario is one (storage mode) measurement of the serving path.
+// ServeScenario is one (storage mode × batch size) measurement of the
+// serving path. All numbers are per query: for Batch > 1 the benchmark op is
+// one QueryBatch call of Batch queries and the measured cost is divided out,
+// so rows compare directly against the single-query baseline.
 type ServeScenario struct {
-	Name        string  `json:"name"`
-	Storage     string  `json:"storage"`
-	Shards      int     `json:"shards"`
-	Docs        uint64  `json:"docs"`
-	Terms       int     `json:"terms"`
-	Queries     int     `json:"queries"`
+	Name    string `json:"name"`
+	Storage string `json:"storage"`
+	Shards  int    `json:"shards"`
+	Docs    uint64 `json:"docs"`
+	Terms   int    `json:"terms"`
+	Queries int    `json:"queries"`
+	// Batch is the QueryBatch size (1 = the plain Engine.Query path).
+	Batch       int     `json:"batch"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	QPS         float64 `json:"qps"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsSingle is the single-query ns/op divided by this scenario's
+	// per-query ns/op — the batching delta (1.0 for the baseline itself).
+	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
 }
 
 // ServeReport is the machine-readable result of the serving benchmark: the
@@ -90,24 +98,63 @@ func ServeBench(cfg Config) *ServeReport {
 				}
 			}
 		})
-		ns := r.NsPerOp()
-		qps := 0.0
-		if ns > 0 {
-			qps = 1e9 / float64(ns)
-		}
 		stats := e.Stats()
-		rep.Scenarios = append(rep.Scenarios, ServeScenario{
+		base := ServeScenario{
 			Name:        "mixed-" + stats.Storage,
 			Storage:     stats.Storage,
 			Shards:      stats.Shards,
 			Docs:        stats.Docs,
 			Terms:       stats.Terms,
 			Queries:     len(queries),
-			NsPerOp:     ns,
-			QPS:         qps,
+			Batch:       1,
+			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if base.NsPerOp > 0 {
+			base.QPS = 1e9 / float64(base.NsPerOp)
+		}
+		rep.Scenarios = append(rep.Scenarios, base)
+		// The batching delta: the same stream submitted through QueryBatch in
+		// fixed-size chunks. Queries normalizing identically are planned once
+		// and all misses in a chunk share execution contexts, so the per-query
+		// cost should only ever drop; SpeedupVsSingle quantifies by how much.
+		for _, n := range []int{16, 64} {
+			if n > len(queries) {
+				continue
+			}
+			var chunks [][]string
+			for at := 0; at+n <= len(queries); at += n {
+				chunks = append(chunks, queries[at:at+n])
+			}
+			rb := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, br := range e.QueryBatch(chunks[i%len(chunks)]) {
+						if br.Err != nil {
+							b.Fatal(br.Err)
+						}
+					}
+				}
+			})
+			sc := ServeScenario{
+				Name:        fmt.Sprintf("mixed-%s-batch%d", stats.Storage, n),
+				Storage:     stats.Storage,
+				Shards:      stats.Shards,
+				Docs:        stats.Docs,
+				Terms:       stats.Terms,
+				Queries:     len(queries),
+				Batch:       n,
+				NsPerOp:     rb.NsPerOp() / int64(n),
+				BytesPerOp:  rb.AllocedBytesPerOp() / int64(n),
+				AllocsPerOp: rb.AllocsPerOp() / int64(n),
+			}
+			if sc.NsPerOp > 0 {
+				sc.QPS = 1e9 / float64(sc.NsPerOp)
+				sc.SpeedupVsSingle = float64(base.NsPerOp) / float64(sc.NsPerOp)
+			}
+			rep.Scenarios = append(rep.Scenarios, sc)
+		}
 	}
 	return rep
 }
@@ -117,16 +164,21 @@ func runServeBench(cfg Config) []*Table {
 	t := &Table{
 		ID:      "serve-bench",
 		Title:   "Engine.Query on a mixed AND/OR workload (cache disabled)",
-		Columns: []string{"scenario", "shards", "docs", "terms", "ns/op", "qps", "B/op", "allocs/op"},
+		Columns: []string{"scenario", "shards", "docs", "terms", "batch", "ns/op", "qps", "B/op", "allocs/op", "speedup"},
 		Notes: []string{
 			"allocs/op is dominated by the query parser; execution runs in pooled contexts",
+			"batch rows are per query: one op is a QueryBatch of that size, cost divided out",
 		},
 	}
 	for _, s := range rep.Scenarios {
+		speedup := "-"
+		if s.SpeedupVsSingle > 0 {
+			speedup = fmt.Sprintf("%.2fx", s.SpeedupVsSingle)
+		}
 		t.AddRow(s.Name, fmt.Sprintf("%d", s.Shards), fmt.Sprintf("%d", s.Docs),
-			fmt.Sprintf("%d", s.Terms), fmt.Sprintf("%d", s.NsPerOp),
+			fmt.Sprintf("%d", s.Terms), fmt.Sprintf("%d", s.Batch), fmt.Sprintf("%d", s.NsPerOp),
 			fmt.Sprintf("%.0f", s.QPS), fmt.Sprintf("%d", s.BytesPerOp),
-			fmt.Sprintf("%d", s.AllocsPerOp))
+			fmt.Sprintf("%d", s.AllocsPerOp), speedup)
 	}
 	return []*Table{t}
 }

@@ -43,12 +43,14 @@ func TestServeBench(t *testing.T) {
 	if rep.Schema != "fsibench/serve/v1" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Scenarios) != 2 {
-		t.Fatalf("got %d scenarios, want 2 (raw + compressed)", len(rep.Scenarios))
+	if len(rep.Scenarios) != 6 {
+		t.Fatalf("got %d scenarios, want 6 (raw + compressed, each ×{1,16,64} batch)", len(rep.Scenarios))
 	}
 	storages := map[string]bool{}
+	batches := map[int]bool{}
 	for _, s := range rep.Scenarios {
 		storages[s.Storage] = true
+		batches[s.Batch] = true
 		if s.NsPerOp <= 0 || s.QPS <= 0 {
 			t.Fatalf("%s: degenerate timing (ns/op=%d, qps=%f)", s.Name, s.NsPerOp, s.QPS)
 		}
@@ -58,9 +60,15 @@ func TestServeBench(t *testing.T) {
 		if s.Docs == 0 || s.Terms == 0 || s.Queries == 0 {
 			t.Fatalf("%s: empty corpus accounting", s.Name)
 		}
+		if s.Batch > 1 && s.SpeedupVsSingle <= 0 {
+			t.Fatalf("%s: batch scenario missing the batching delta", s.Name)
+		}
 	}
 	if !storages["raw"] || !storages["compressed"] {
 		t.Fatalf("missing storage mode: %v", storages)
+	}
+	if !batches[1] || !batches[16] || !batches[64] {
+		t.Fatalf("missing batch sizes: %v", batches)
 	}
 }
 
@@ -238,6 +246,65 @@ func TestExperimentSmokes(t *testing.T) {
 			if !strings.Contains(sb.String(), tb.ID) {
 				t.Fatalf("%s: print missing ID", id)
 			}
+		}
+	}
+}
+
+// TestSegmentsBench is the acceptance check for the tiered segment
+// lifecycle: replaying the same churn stream, the tiered policy must pay
+// strictly less write amplification than rebuild-on-every-threshold while
+// answering every query identically — and it must actually exercise the
+// tier (freezes, and strictly fewer bytes, not merely fewer compactions).
+func TestSegmentsBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays churn streams through four engines")
+	}
+	rep := SegmentsBench(tinyConfig())
+	if rep.Schema != "fsibench/segments/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4 (2 storages × 2 policies)", len(rep.Scenarios))
+	}
+	byKey := map[string]SegmentsScenario{}
+	for _, s := range rep.Scenarios {
+		byKey[s.Storage+"/"+s.Policy] = s
+		if s.Adds == 0 || s.Deletes == 0 || s.Queries == 0 {
+			t.Fatalf("%s: degenerate replay %+v", s.Name, s)
+		}
+		if s.IngestedBytes == 0 {
+			t.Fatalf("%s: no ingested bytes accounted", s.Name)
+		}
+	}
+	for _, storage := range []string{"raw", "compressed"} {
+		tiered, ok := byKey[storage+"/tiered"]
+		if !ok {
+			t.Fatalf("missing tiered scenario for %s", storage)
+		}
+		rebuild, ok := byKey[storage+"/rebuild"]
+		if !ok {
+			t.Fatalf("missing rebuild scenario for %s", storage)
+		}
+		if tiered.Freezes == 0 {
+			t.Errorf("%s: tiered policy never froze a segment", storage)
+		}
+		if rebuild.Compactions == 0 {
+			t.Errorf("%s: rebuild policy never compacted; the comparison is vacuous", storage)
+		}
+		if tiered.WriteAmp >= rebuild.WriteAmp {
+			t.Errorf("%s: tiered write amplification %.2f is not strictly below rebuild's %.2f",
+				storage, tiered.WriteAmp, rebuild.WriteAmp)
+		}
+	}
+	if len(rep.Parity) != 2 {
+		t.Fatalf("got %d parity entries, want 2", len(rep.Parity))
+	}
+	for _, p := range rep.Parity {
+		if p.Queries == 0 {
+			t.Fatalf("%s: parity checked no queries", p.Storage)
+		}
+		if !p.OK {
+			t.Errorf("%s: tiered and rebuild engines disagree on query results", p.Storage)
 		}
 	}
 }

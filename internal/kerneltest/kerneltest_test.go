@@ -2,6 +2,7 @@ package kerneltest
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -212,6 +213,125 @@ func TestCorpusWellFormed(t *testing.T) {
 			if !sets.Equal(cases[i].Sets[j], again[i].Sets[j]) {
 				t.Fatalf("corpus not deterministic: %s set %d", cases[i].Name, j)
 			}
+		}
+	}
+}
+
+// TestEngineParityMultiSegment re-runs the corpus through the serving path
+// with the shard tier forced into its general shape: each case's sets are
+// inverted into documents, most installed as the base, the rest streamed in
+// as three frozen-segment batches, and a slice of documents deleted and
+// re-added so every tombstone filter (base and frozen) is non-empty. The
+// final visible corpus is byte-identical to the original sets, so the same
+// reference intersection must come back (a) from the multi-segment tier,
+// (b) after a size-tiered merge, and (c) from a fresh engine restored from a
+// snapshot of the tier — the serialize→restart→parity round trip over the
+// whole corpus. Runs under -race in CI's multi-segment gate.
+func TestEngineParityMultiSegment(t *testing.T) {
+	policies := []struct {
+		name string
+		pol  plan.Policy
+	}{
+		{"cost", plan.Policy{}},
+		{"heuristic", plan.Policy{Order: plan.OrderDF, Kernels: plan.KernelsHeuristic}},
+	}
+	for _, storage := range []invindex.Storage{invindex.StorageRaw, invindex.StorageCompressed} {
+		for _, pc := range policies {
+			t.Run(fmt.Sprintf("%v-%s", storage, pc.name), func(t *testing.T) {
+				snapRoot := t.TempDir()
+				totalFrozen := 0
+				for ci, c := range Cases(corpusSeed) {
+					// Invert term → postings into doc → terms.
+					docTerms := map[uint32][]string{}
+					terms := make([]string, len(c.Sets))
+					for i, set := range c.Sets {
+						terms[i] = fmt.Sprintf("t%d", i)
+						for _, d := range set {
+							docTerms[d] = append(docTerms[d], terms[i])
+						}
+					}
+					docs := make([]uint32, 0, len(docTerms))
+					for d := range docTerms {
+						docs = append(docs, d)
+					}
+					sets.SortU32(docs)
+					// Every 7th document (capped) arrives late, in three
+					// frozen batches; the rest are the installed base.
+					var late []uint32
+					for i := 0; i < len(docs) && len(late) < 600; i += 7 {
+						late = append(late, docs[i])
+					}
+					isLate := map[uint32]bool{}
+					for _, d := range late {
+						isLate[d] = true
+					}
+					cfg := engine.Config{Shards: 2, Storage: storage, PlanPolicy: pc.pol,
+						MaxSegments: 2, NoMetrics: true}
+					e := engine.New(cfg)
+					b := e.NewBuilder()
+					for _, d := range docs {
+						if !isLate[d] {
+							if err := b.Add(d, docTerms[d]); err != nil {
+								t.Fatalf("%s: %v", c.Name, err)
+							}
+						}
+					}
+					if err := e.Install(b); err != nil {
+						t.Fatalf("%s: %v", c.Name, err)
+					}
+					for bi := 0; bi < 3; bi++ {
+						for j := bi; j < len(late); j += 3 {
+							if err := e.AddDocument(late[j], docTerms[late[j]]); err != nil {
+								t.Fatalf("%s: %v", c.Name, err)
+							}
+						}
+						if err := e.FreezeActive(); err != nil {
+							t.Fatalf("%s: %v", c.Name, err)
+						}
+					}
+					// Delete and re-add every 8th document (capped): base and
+					// frozen tombstone filters go non-empty, the re-added copy
+					// lands in the active segment, and the visible corpus ends
+					// exactly where it started.
+					for i, n := 0, 0; i < len(docs) && n < 400; i, n = i+8, n+1 {
+						if _, err := e.DeleteDocument(docs[i]); err != nil {
+							t.Fatalf("%s: %v", c.Name, err)
+						}
+						if err := e.AddDocument(docs[i], docTerms[docs[i]]); err != nil {
+							t.Fatalf("%s: %v", c.Name, err)
+						}
+					}
+					totalFrozen += e.Stats().Delta.Segments
+					want := sets.IntersectReference(c.Sets...)
+					check := func(tag string, eng *engine.Engine) {
+						t.Helper()
+						res, err := eng.Query(strings.Join(terms, " AND "))
+						if err != nil {
+							t.Fatalf("%s/%s: %v", c.Name, tag, err)
+						}
+						if !sets.Equal(res.Docs, want) {
+							t.Errorf("%s/%s: %d results, want %d", c.Name, tag, len(res.Docs), len(want))
+						}
+					}
+					check("tiered", e)
+					if err := e.MergeSegments(); err != nil {
+						t.Fatalf("%s: merge: %v", c.Name, err)
+					}
+					check("merged", e)
+					dir := filepath.Join(snapRoot, fmt.Sprintf("c%d", ci))
+					if err := e.SaveSnapshot(dir); err != nil {
+						t.Fatalf("%s: save: %v", c.Name, err)
+					}
+					restored := engine.New(cfg)
+					if err := restored.LoadSnapshot(dir); err != nil {
+						t.Fatalf("%s: load: %v", c.Name, err)
+					}
+					check("restored", restored)
+				}
+				if totalFrozen == 0 {
+					t.Fatal("no case produced a frozen segment; the tier was never multi-segment")
+				}
+			})
 		}
 	}
 }

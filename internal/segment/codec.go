@@ -1,0 +1,201 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fastintersect/internal/sets"
+)
+
+// The segment wire format. One "section" serializes one term map plus one
+// tombstone set — the shape shared by a frozen segment, the active segment
+// (empty tombstones) and the base (terms extracted from the index, with the
+// shard's base tombstones riding along):
+//
+//	uvarint termCount
+//	termCount × { uvarint len(term), term bytes,
+//	              uvarint df, df × uvarint docID-delta }
+//	uvarint tombCount, tombCount × uvarint docID-delta
+//
+// Posting lists and tombstone sets are strictly increasing, so they are
+// delta-encoded: the first value raw, then gaps (≥ 1). Terms are written in
+// sorted order, making the encoding deterministic — byte-identical snapshots
+// for identical segments. Framing (magic, version, checksum) is the
+// caller's concern: the engine's snapshot files wrap several sections under
+// one header and a trailing CRC (see engine/snapshot.go).
+
+// WriteSection serializes one (terms, tombs) pair to w. Terms must map to
+// strictly sorted docID lists; tombs must be strictly sorted.
+func WriteSection(w *bufio.Writer, termList []string, postings func(term string) []uint32, tombs []uint32) error {
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	writeSet := func(s []uint32) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		prev := uint32(0)
+		for i, v := range s {
+			gap := uint64(v)
+			if i > 0 {
+				gap = uint64(v - prev)
+			}
+			if err := putUvarint(gap); err != nil {
+				return err
+			}
+			prev = v
+		}
+		return nil
+	}
+	if err := putUvarint(uint64(len(termList))); err != nil {
+		return err
+	}
+	for _, t := range termList {
+		if err := putUvarint(uint64(len(t))); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(t); err != nil {
+			return err
+		}
+		if err := writeSet(postings(t)); err != nil {
+			return err
+		}
+	}
+	return writeSet(tombs)
+}
+
+// maxSectionSet bounds a single decoded list so a corrupt length prefix
+// cannot drive an arbitrarily large allocation before the checksum is even
+// reached.
+const maxSectionSet = 1 << 28
+
+// ReadSection decodes one section written by WriteSection, returning the
+// term map and tombstone set. Every decoded list is validated as a strictly
+// sorted set.
+func ReadSection(r *bufio.Reader) (map[string][]uint32, []uint32, error) {
+	readSet := func() ([]uint32, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSectionSet {
+			return nil, fmt.Errorf("segment: list length %d exceeds limit", n)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]uint32, n)
+		prev := uint64(0)
+		for i := range out {
+			gap, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			v := gap
+			if i > 0 {
+				v = prev + gap
+				if gap == 0 {
+					return nil, fmt.Errorf("segment: zero gap (duplicate docID)")
+				}
+			}
+			if v > 1<<32-1 {
+				return nil, fmt.Errorf("segment: docID %d overflows uint32", v)
+			}
+			out[i] = uint32(v)
+			prev = v
+		}
+		return out, nil
+	}
+	termCount, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if termCount > maxSectionSet {
+		return nil, nil, fmt.Errorf("segment: term count %d exceeds limit", termCount)
+	}
+	terms := make(map[string][]uint32, termCount)
+	nameBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < termCount; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if nameLen > 1<<20 {
+			return nil, nil, fmt.Errorf("segment: term length %d exceeds limit", nameLen)
+		}
+		if uint64(cap(nameBuf)) < nameLen {
+			nameBuf = make([]byte, nameLen)
+		}
+		nameBuf = nameBuf[:nameLen]
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, nil, err
+		}
+		ps, err := readSet()
+		if err != nil {
+			return nil, nil, fmt.Errorf("segment: term %q postings: %w", nameBuf, err)
+		}
+		if len(ps) == 0 {
+			return nil, nil, fmt.Errorf("segment: term %q has no postings", nameBuf)
+		}
+		terms[string(nameBuf)] = ps
+	}
+	tombs, err := readSet()
+	if err != nil {
+		return nil, nil, fmt.Errorf("segment: tombstones: %w", err)
+	}
+	if err := sets.Validate(tombs); err != nil {
+		return nil, nil, fmt.Errorf("segment: tombstones: %w", err)
+	}
+	return terms, tombs, nil
+}
+
+// WriteFrozen serializes f as one section.
+func (f *Frozen) WriteFrozen(w *bufio.Writer) error {
+	return WriteSection(w, f.Terms(), f.Postings, f.tombs)
+}
+
+// ReadFrozen decodes one section into a Frozen segment.
+func ReadFrozen(r *bufio.Reader) (*Frozen, error) {
+	terms, tombs, err := ReadSection(r)
+	if err != nil {
+		return nil, err
+	}
+	return FrozenFromParts(terms, tombs)
+}
+
+// WriteMutable serializes the active segment as one section (with an empty
+// tombstone set — an active segment has none).
+func (m *Mutable) WriteMutable(w *bufio.Writer) error {
+	return WriteSection(w, m.Terms(), m.Postings, nil)
+}
+
+// ReadMutable decodes one section into a Mutable segment, rebuilding the
+// docID → terms reverse map.
+func ReadMutable(r *bufio.Reader) (*Mutable, error) {
+	terms, tombs, err := ReadSection(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(tombs) != 0 {
+		return nil, fmt.Errorf("segment: active segment carries tombstones")
+	}
+	m := NewMutable()
+	postings := 0
+	for t, ps := range terms {
+		if err := sets.Validate(ps); err != nil {
+			return nil, fmt.Errorf("segment: term %q: %w", t, err)
+		}
+		postings += len(ps)
+		for _, id := range ps {
+			m.docs[id] = append(m.docs[id], t)
+		}
+	}
+	m.terms = terms
+	m.postings = postings
+	return m, nil
+}
