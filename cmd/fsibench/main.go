@@ -14,6 +14,7 @@
 //	fsibench -obs-json BENCH_obs.json  # machine-readable observability experiment (scraped vs measured percentiles)
 //	fsibench -overload-json BENCH_overload.json # machine-readable saturation sweep (shedding vs unbounded queue)
 //	fsibench -segments-json BENCH_segments.json # machine-readable segment-lifecycle comparison (tiered vs full-rebuild compaction)
+//	fsibench -feedback-json BENCH_feedback.json # machine-readable cost-model drift experiment (frozen vs feedback-corrected vs oracle)
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		obsOut   = flag.String("obs-json", "", "run the observability experiment (replay with /metrics scrapes between phases) and write it as JSON to this file (measured vs histogram-scraped latency percentiles per phase), then exit")
 		overOut  = flag.String("overload-json", "", "run the saturation experiment (open-loop offered load at multiples of capacity, shedding vs unbounded queue) and write it as JSON to this file (accepted p50/p99 and goodput per point), then exit")
 		segsOut  = flag.String("segments-json", "", "run the segment-lifecycle experiment (same churn stream under tiered vs full-rebuild compaction) and write it as JSON to this file (write amplification, pause proxy, latency percentiles, cross-policy parity), then exit")
+		fbOut    = flag.String("feedback-json", "", "run the cost-model drift experiment (frozen mis-calibrated anchors vs feedback-corrected vs freshly calibrated oracle) and write it as JSON to this file (ns/op, executed-kernel mix and learned corrections per phase × engine), then exit")
 	)
 	flag.Parse()
 
@@ -113,6 +115,13 @@ func main() {
 		rep := harness.SegmentsBench(cfg)
 		writeJSON(*segsOut, rep)
 		fmt.Printf("wrote %s (%d scenarios, %d parity checks)\n", *segsOut, len(rep.Scenarios), len(rep.Parity))
+		return
+	}
+	if *fbOut != "" {
+		rep := harness.FeedbackBench(cfg)
+		writeJSON(*fbOut, rep)
+		fmt.Printf("wrote %s (%d scenarios, post-drift feedback/frozen %.3f)\n",
+			*fbOut, len(rep.Scenarios), rep.PostDriftRatio)
 		return
 	}
 	if *overOut != "" {

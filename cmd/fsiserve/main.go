@@ -81,6 +81,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowlogMS   = flag.Int("slowlog-ms", 250, "slow-query log threshold in milliseconds (0 disables /debug/slowlog)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1 in N queries with stage/operator timing (0 = engine default of 64)")
+		feedback    = flag.Bool("plan-feedback", true, "adaptive planning: harvest sampled per-operator actuals and re-fit per-kernel cost corrections at runtime")
 
 		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0 = 2×GOMAXPROCS)")
 		queueDepth  = flag.Int("queue-depth", 0, "admission: max requests queued for a slot (0 = 4×max-inflight, negative = no queue)")
@@ -128,6 +129,7 @@ func main() {
 		Storage:          storage,
 		CompactThreshold: *compactAt,
 		TraceSample:      *traceSample,
+		PlanFeedback:     *feedback,
 	})
 	if *snapDir != "" && engine.SnapshotExists(*snapDir) {
 		// Restart path: the serialized tier (base, frozen segments, active
@@ -529,15 +531,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			break
 		}
-		res, coalesced, err = s.coal.Do(ctx,
-			admission.Key{Canon: canon, Gen: s.eng.Generation()},
+		// limit=0 takes the engine's count-only fast path (no merged-result
+		// materialization). Count executions coalesce among themselves but
+		// never with materializing duplicates — a count result carries no
+		// docs to hand a materializing follower — so the key is prefixed.
+		key := admission.Key{Canon: canon, Gen: s.eng.Generation()}
+		run := s.eng.QueryContext
+		if limit == 0 {
+			key.Canon = "#count:" + canon
+			run = s.eng.QueryCountContext
+		}
+		res, coalesced, err = s.coal.Do(ctx, key,
 			func() (*engine.Result, error) {
 				tk, aerr := s.gate.Acquire(ctx, client)
 				if aerr != nil {
 					return nil, aerr
 				}
 				defer s.gate.Release(tk)
-				return s.eng.QueryContext(ctx, q)
+				return run(ctx, q)
 			})
 	case "1", "analyze":
 		// Explain output is per-request diagnostics (analyze re-executes
@@ -568,7 +579,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.slow.Record(obs.SlowEntry{
 		Time: start, Query: q, Normalized: res.Normalized,
 		DurationUS: time.Since(start).Microseconds(),
-		Rows:       len(res.Docs),
+		Rows:       res.Count,
 		Cached:     res.Cached,
 	})
 	docs := res.Docs
@@ -580,10 +591,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if docs == nil {
 		docs = []uint32{} // render "docs": [] rather than null
 	}
+	// Count-only responses report matching docs they did not materialize.
+	if limit == 0 && res.Count > 0 {
+		truncated = true
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Query:      q,
 		Normalized: res.Normalized,
-		Count:      len(res.Docs),
+		Count:      res.Count,
 		Docs:       docs,
 		Truncated:  truncated,
 		Cached:     res.Cached,
@@ -669,7 +684,14 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, fmt.Sprintf("<batch of %d>", len(req.Queries)), start, err)
 		return
 	}
-	batch := s.eng.QueryBatchContext(ctx, req.Queries)
+	// limit=0 sends the whole batch down the engine's count-only path: no
+	// merged result is materialized for any cache miss in the batch.
+	var batch []engine.BatchResult
+	if limit == 0 {
+		batch = s.eng.QueryBatchCountContext(ctx, req.Queries)
+	} else {
+		batch = s.eng.QueryBatchContext(ctx, req.Queries)
+	}
 	s.gate.Release(tk)
 	resp := batchResponse{Results: make([]batchItem, len(batch))}
 	for i, br := range batch {
@@ -687,9 +709,12 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				item.Truncated = true
 			}
 			item.Normalized = br.Result.Normalized
-			item.Count = len(br.Result.Docs)
+			item.Count = br.Result.Count
 			item.Docs = docs
 			item.Cached = br.Result.Cached
+			if limit == 0 && item.Count > 0 {
+				item.Truncated = true
+			}
 		}
 		resp.Results[i] = item
 	}

@@ -54,6 +54,21 @@ func BenchmarkIntersectBitseg(b *testing.B) {
 			dst = IntersectInto(dst[:0], la, lb)
 		}
 	})
+	// Selective regime: chunks just past the DenseMin threshold, so both
+	// sides are bitmaps but the AND leaves most words empty. Tracked
+	// alongside the full-density case above so word-loop changes are
+	// measured in both regimes (full density is bounded by result
+	// enumeration, this one by the word loop itself).
+	ssa := genSorted(rand.New(rand.NewSource(1)), 8*2*DenseMin, 8*ChunkWidth)
+	ssb := genSorted(rand.New(rand.NewSource(2)), 8*2*DenseMin, 8*ChunkWidth)
+	sla, _ := FromSorted(ssa)
+	slb, _ := FromSorted(ssb)
+	b.Run("pair/dense-selective", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectInto(dst[:0], sla, slb)
+		}
+	})
 	b.Run("pair/dense-sparse", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -250,9 +250,24 @@ func intersectChunk(dst []uint32, ca, cb *chunk) []uint32 {
 	case ca.words != nil && cb.words != nil:
 		aw, bw := ca.words, cb.words
 		_, _ = aw[ChunkWords-1], bw[ChunkWords-1] // hoist the bounds checks
-		for w := 0; w < ChunkWords; w++ {
+		// Four words per iteration: quarters the loop-counter overhead and
+		// lets the independent AND+test pairs pipeline. (A combined
+		// v0|v1|v2|v3 skip test measured slower here — the per-word branch
+		// is almost always not-taken and predicts near-perfectly, while a
+		// group test at realistic overlap densities does not.)
+		for w := 0; w < ChunkWords; w += 4 {
+			base := ca.base + uint32(w<<6)
 			if v := aw[w] & bw[w]; v != 0 {
-				dst = appendWord(dst, ca.base+uint32(w<<6), v)
+				dst = appendWord(dst, base, v)
+			}
+			if v := aw[w+1] & bw[w+1]; v != 0 {
+				dst = appendWord(dst, base+64, v)
+			}
+			if v := aw[w+2] & bw[w+2]; v != 0 {
+				dst = appendWord(dst, base+128, v)
+			}
+			if v := aw[w+3] & bw[w+3]; v != 0 {
+				dst = appendWord(dst, base+192, v)
 			}
 		}
 		return dst
@@ -358,15 +373,38 @@ func intersectChunkK(dst []uint32, chs []*chunk) []uint32 {
 			sp = c
 		}
 	}
-	if sp == nil { // all dense: k-way word AND
+	if sp == nil { // all dense: k-way word AND, four words per iteration
 		base := chs[0].base
-		for w := 0; w < ChunkWords; w++ {
-			v := chs[0].words[w]
+		w0 := chs[0].words
+		_ = w0[ChunkWords-1] // hoist the bounds check
+		for w := 0; w < ChunkWords; w += 4 {
+			v0, v1, v2, v3 := w0[w], w0[w+1], w0[w+2], w0[w+3]
 			for _, c := range chs[1:] {
-				v &= c.words[w]
+				cw := c.words
+				_ = cw[ChunkWords-1]
+				v0 &= cw[w]
+				v1 &= cw[w+1]
+				v2 &= cw[w+2]
+				v3 &= cw[w+3]
+				if v0|v1|v2|v3 == 0 {
+					break // span already empty; skip the remaining operands
+				}
 			}
-			if v != 0 {
-				dst = appendWord(dst, base+uint32(w<<6), v)
+			if v0|v1|v2|v3 == 0 {
+				continue
+			}
+			b := base + uint32(w<<6)
+			if v0 != 0 {
+				dst = appendWord(dst, b, v0)
+			}
+			if v1 != 0 {
+				dst = appendWord(dst, b+64, v1)
+			}
+			if v2 != 0 {
+				dst = appendWord(dst, b+128, v2)
+			}
+			if v3 != 0 {
+				dst = appendWord(dst, b+192, v3)
 			}
 		}
 		return dst
@@ -473,9 +511,22 @@ func DifferenceInto(dst []uint32, a, b *List) []uint32 {
 func differenceChunk(dst []uint32, ca, cb *chunk) []uint32 {
 	switch {
 	case ca.words != nil && cb.words != nil:
-		for w := 0; w < ChunkWords; w++ {
-			if v := ca.words[w] &^ cb.words[w]; v != 0 {
-				dst = appendWord(dst, ca.base+uint32(w<<6), v)
+		aw, bw := ca.words, cb.words
+		_, _ = aw[ChunkWords-1], bw[ChunkWords-1] // hoist the bounds checks
+		// Mirrors intersectChunk's 4-word unroll, with ANDNOT.
+		for w := 0; w < ChunkWords; w += 4 {
+			base := ca.base + uint32(w<<6)
+			if v := aw[w] &^ bw[w]; v != 0 {
+				dst = appendWord(dst, base, v)
+			}
+			if v := aw[w+1] &^ bw[w+1]; v != 0 {
+				dst = appendWord(dst, base+64, v)
+			}
+			if v := aw[w+2] &^ bw[w+2]; v != 0 {
+				dst = appendWord(dst, base+128, v)
+			}
+			if v := aw[w+3] &^ bw[w+3]; v != 0 {
+				dst = appendWord(dst, base+192, v)
 			}
 		}
 		return dst

@@ -99,18 +99,25 @@ func TestQueryAllocs(t *testing.T) {
 		storage invindex.Storage
 		shards  int
 		query   string
+		count   bool // QueryCount instead of Query
 		max     float64
 	}{
-		{"raw-and-1shard", invindex.StorageRaw, 1, "m2 AND m3", 30},
-		{"raw-mixed-1shard", invindex.StorageRaw, 1, "(m2 AND m3) OR m11 AND NOT m13", 60},
-		{"raw-and-4shard", invindex.StorageRaw, 4, "m2 AND m3", 70},
-		{"compressed-and-1shard", invindex.StorageCompressed, 1, "m2 AND m3", 30},
-		{"compressed-mixed-1shard", invindex.StorageCompressed, 1, "(m2 AND m3) OR m11 AND NOT m13", 60},
-		{"compressed-and-4shard", invindex.StorageCompressed, 4, "m2 AND m3", 70},
+		{"raw-and-1shard", invindex.StorageRaw, 1, "m2 AND m3", false, 30},
+		{"raw-mixed-1shard", invindex.StorageRaw, 1, "(m2 AND m3) OR m11 AND NOT m13", false, 60},
+		{"raw-and-4shard", invindex.StorageRaw, 4, "m2 AND m3", false, 70},
+		{"compressed-and-1shard", invindex.StorageCompressed, 1, "m2 AND m3", false, 30},
+		{"compressed-mixed-1shard", invindex.StorageCompressed, 1, "(m2 AND m3) OR m11 AND NOT m13", false, 60},
+		{"compressed-and-4shard", invindex.StorageCompressed, 4, "m2 AND m3", false, 70},
 		// The m2/m3/m4 lists are dense enough to store as bitseg, so this
 		// pins the word-parallel k-way kernel end to end: stored bitmaps in,
 		// zero kernel-side allocations, same budget as the scalar paths.
-		{"bitseg-kway-1shard", invindex.StorageCompressed, 1, "m2 AND m3 AND m4", 30},
+		{"bitseg-kway-1shard", invindex.StorageCompressed, 1, "m2 AND m3 AND m4", false, 30},
+		// Count-only fast path: skips the merged-result copy entirely, so it
+		// must fit the same budget as (in the multi-shard case: a tighter
+		// budget than) the materializing query.
+		{"count-raw-and-1shard", invindex.StorageRaw, 1, "m2 AND m3", true, 30},
+		{"count-raw-and-4shard", invindex.StorageRaw, 4, "m2 AND m3", true, 60},
+		{"count-compressed-and-1shard", invindex.StorageCompressed, 1, "m2 AND m3", true, 30},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,14 +127,18 @@ func TestQueryAllocs(t *testing.T) {
 					t.Fatalf("m2 encoding = %v, %v; the bitseg case needs bitseg-backed lists", enc, ok)
 				}
 			}
+			run := e.Query
+			if tc.count {
+				run = e.QueryCount
+			}
 			for i := 0; i < 5; i++ { // warm pools
-				if _, err := e.Query(tc.query); err != nil {
+				if _, err := run(tc.query); err != nil {
 					t.Fatal(err)
 				}
 			}
 			var err error
 			n := testing.AllocsPerRun(50, func() {
-				_, err = e.Query(tc.query)
+				_, err = run(tc.query)
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -37,6 +37,22 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 	return e.QueryBatchContext(context.Background(), queries)
 }
 
+// QueryBatchCount is QueryBatch in count-only mode: every result carries
+// only Result.Count (Docs stays nil), and the batch skips result
+// materialization the same way QueryCount does — per-shard result lengths
+// are summed without building merged slices. Deduplication, shared
+// planning and the per-shard execution-context sharing are identical to
+// QueryBatch.
+func (e *Engine) QueryBatchCount(queries []string) []BatchResult {
+	return e.QueryBatchCountContext(context.Background(), queries)
+}
+
+// QueryBatchCountContext is QueryBatchCount under a request context (see
+// QueryBatchContext).
+func (e *Engine) QueryBatchCountContext(ctx context.Context, queries []string) []BatchResult {
+	return e.queryBatch(ctx, queries, true)
+}
+
 // QueryBatchContext is QueryBatch under a request context: a cancelled or
 // expired ctx aborts the remaining evaluations, and every query that did not
 // complete before the abort reports ctx's error. Shard workers observe the
@@ -44,6 +60,10 @@ func (e *Engine) QueryBatch(queries []string) []BatchResult {
 // uses), so a batch never outlives its deadline by more than one poll
 // interval per worker.
 func (e *Engine) QueryBatchContext(ctx context.Context, queries []string) []BatchResult {
+	return e.queryBatch(ctx, queries, false)
+}
+
+func (e *Engine) queryBatch(ctx context.Context, queries []string, countOnly bool) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -78,7 +98,11 @@ func (e *Engine) QueryBatchContext(ctx context.Context, queries []string) []Batc
 	var pending []*batchPending
 	for _, u := range uniq {
 		if docs, ok := e.cache.get(u.key, gen); ok {
-			u.res = &Result{Docs: docs, Normalized: u.key, Cached: true}
+			if countOnly {
+				u.res = &Result{Count: len(docs), Normalized: u.key, Cached: true}
+			} else {
+				u.res = &Result{Docs: docs, Count: len(docs), Normalized: u.key, Cached: true}
+			}
 			continue
 		}
 		pending = append(pending, u)
@@ -92,7 +116,7 @@ func (e *Engine) QueryBatchContext(ctx context.Context, queries []string) []Batc
 				u.err = ErrNotBuilt
 			}
 		} else {
-			e.runBatch(ctx, shards, pending, gen)
+			e.runBatch(ctx, shards, pending, gen, countOnly)
 		}
 	}
 
@@ -118,7 +142,7 @@ type batchPending struct {
 // runBatch plans every pending canonical form once and evaluates all plans
 // shard by shard: one execution context per shard runs the whole batch, so
 // its decoded-term memo and buffers are shared across queries.
-func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batchPending, gen uint64) {
+func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batchPending, gen uint64, countOnly bool) {
 	stored := e.cfg.Storage == invindex.StorageCompressed
 	var stats *planStats
 	for _, u := range pending {
@@ -127,7 +151,7 @@ func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batch
 			u.pc.stats.fill(shards)
 			stats = &u.pc.stats
 		}
-		plan.Build(&u.pc.plan, u.ast, u.key, stats, e.costs, e.cfg.PlanPolicy, stored)
+		plan.Build(&u.pc.plan, u.ast, u.key, stats, e.planCosts(), e.cfg.PlanPolicy, stored)
 	}
 
 	nS := len(shards)
@@ -174,6 +198,15 @@ func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batch
 		if evalErr != nil {
 			e.met.queryErrors.Add(uint64(len(u.idxs)))
 			u.err = evalErr
+		} else if countOnly {
+			// Shards partition the docID space: disjoint results, so the
+			// count is the plain sum and no merged slice is built (or
+			// cached — nothing was materialized).
+			total := 0
+			for _, r := range row {
+				total += len(r)
+			}
+			u.res = &Result{Count: total, Normalized: u.key}
 		} else {
 			total := 0
 			for _, r := range row {
@@ -181,7 +214,7 @@ func (e *Engine) runBatch(ctx context.Context, shards []*shard, pending []*batch
 			}
 			merged := sets.UnionKInto(make([]uint32, 0, total), row...)
 			e.cache.put(u.key, merged, gen)
-			u.res = &Result{Docs: merged, Normalized: u.key}
+			u.res = &Result{Docs: merged, Count: len(merged), Normalized: u.key}
 		}
 	}
 

@@ -99,6 +99,13 @@ type Config struct {
 	// choice. The zero value is the cost-based default; the other
 	// combinations exist for the harness's plan-quality experiment.
 	PlanPolicy plan.Policy
+	// PlanFeedback turns on the adaptive planning loop: sampled per-operator
+	// actuals are harvested into a plan.Feedback store whose periodic re-fit
+	// derives per-kernel correction factors on top of the calibrated
+	// coefficients, re-pricing future plans (and invalidating cached ones
+	// through the feedback epoch). Purely a performance feature — kernel
+	// choice never changes results — and off by default.
+	PlanFeedback bool
 	// IndexOptions are forwarded to fastintersect.Preprocess for every
 	// posting list.
 	IndexOptions []fastintersect.Option
@@ -146,7 +153,8 @@ func (p CompactPolicy) String() string {
 // compaction swaps a shard's base segment.
 type Engine struct {
 	cfg     Config
-	costs   *plan.Costs // cost-model coefficients (configured or calibrated)
+	costs   *plan.Costs    // cost-model coefficients (configured or calibrated)
+	fb      *plan.Feedback // adaptive-planning store, nil unless Config.PlanFeedback
 	workers chan struct{}
 	cache   *cache
 	plans   *planCache
@@ -204,8 +212,23 @@ func New(cfg Config) *Engine {
 		cache:   newCache(cfg.CacheSize),
 		plans:   newPlanCache(),
 	}
+	if cfg.PlanFeedback {
+		e.fb = plan.NewFeedback(costs)
+	}
 	e.met = newEngineMetrics(e, cfg)
 	return e
+}
+
+// planCosts returns the coefficients queries price kernels with: the
+// feedback store's corrected snapshot when the adaptive loop is on, the
+// configured/calibrated base otherwise. The snapshot is immutable; both
+// plan building and per-shard re-pricing read through here so a published
+// correction reaches every chooser.
+func (e *Engine) planCosts() *plan.Costs {
+	if e.fb != nil {
+		return e.fb.Costs()
+	}
+	return e.costs
 }
 
 // Metrics returns the engine's metric registry — operation counters, the
@@ -337,8 +360,12 @@ func (e *Engine) snapshot() []*shard {
 // Result is one query's outcome.
 type Result struct {
 	// Docs are the matching document IDs, ascending. The slice is shared
-	// with the cache; callers must not modify it.
+	// with the cache; callers must not modify it. Nil for count-only
+	// queries (QueryCount), which never materialize the merged result.
 	Docs []uint32
+	// Count is the number of matching documents — len(Docs) for
+	// materializing queries, and the only output of count-only ones.
+	Count int
 	// Normalized is the canonical form of the query (the cache key).
 	Normalized string
 	// Cached reports whether the result came from the LRU.
@@ -400,6 +427,24 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q string) (*Result, 
 	return e.execute(ctx, q, modeAnalyze)
 }
 
+// QueryCount executes q and returns only the number of matching documents:
+// Result.Count is set and Result.Docs stays nil. The count path skips
+// result materialization entirely — per-shard result lengths are summed
+// (shards partition the docID space, so the per-shard results are
+// disjoint) without building or copying a merged slice. Planning, caching
+// of plans, and kernel execution are identical to Query; only the final
+// merge/copy is elided, so a count costs strictly less than the query it
+// counts. A cached materialized result is still served (as its length).
+func (e *Engine) QueryCount(q string) (*Result, error) {
+	return e.QueryCountContext(context.Background(), q)
+}
+
+// QueryCountContext is QueryCount bounded by a context (see QueryContext).
+func (e *Engine) QueryCountContext(ctx context.Context, q string) (*Result, error) {
+	res, _, err := e.execute(ctx, q, modeCount)
+	return res, err
+}
+
 // Canonicalize parses q and returns its canonical (normalized) form — the
 // key the result cache and the admission tier's request coalescer share.
 // Two spellings with the same canonical form are the same query: they hit
@@ -420,6 +465,7 @@ const (
 	modeQuery   execMode = iota // result only
 	modeExplain                 // result + estimated plan (cache may serve the result)
 	modeAnalyze                 // result + executed plan with actuals (cache bypassed)
+	modeCount                   // count only: per-shard counts merged, no result materialized
 )
 
 // execute wraps executeQuery with the per-query observability: the query
@@ -513,8 +559,11 @@ func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *
 	if hit && tr != nil {
 		tr.Cached = true
 	}
+	if hit && mode == modeCount {
+		return &Result{Count: len(docs), Normalized: key, Cached: true}, "", nil
+	}
 	if hit && mode == modeQuery {
-		return &Result{Docs: docs, Normalized: key, Cached: true}, "", nil
+		return &Result{Docs: docs, Count: len(docs), Normalized: key, Cached: true}, "", nil
 	}
 	shards := e.snapshot()
 	if shards == nil {
@@ -523,11 +572,18 @@ func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *
 	// The stats epoch is loaded BEFORE the statistics are read: if an
 	// Install or compaction swaps bases in between, the plan built below is
 	// stamped with the superseded epoch and rebuilt on its next lookup
-	// instead of lingering with stale shapes.
+	// instead of lingering with stale shapes. The feedback epoch is folded
+	// in the same way: both counters only ever increase, so their sum
+	// strictly increases whenever either bumps, and a published correction
+	// snapshot re-prices every cached plan without plancache changes.
 	epoch := e.statsEpoch.Load()
+	if e.fb != nil {
+		epoch += e.fb.Epoch()
+	}
+	cacheablePlan := mode == modeQuery || mode == modeCount
 	var pp *plan.Plan
 	var pc *planCtx
-	if mode == modeQuery {
+	if cacheablePlan {
 		pp = e.plans.get(key, epoch)
 	}
 	if pp != nil {
@@ -536,15 +592,15 @@ func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *
 		pc = getPlanCtx()
 		pc.stats.fill(shards)
 		stored := e.cfg.Storage == invindex.StorageCompressed
-		if mode == modeQuery {
+		if cacheablePlan {
 			// Build into a cache-owned plan (shared read-only by later
 			// queries); Explain/Analyze rebuild into the pooled arena so
 			// their rendering always reflects current statistics.
 			e.met.planMisses.Inc()
-			pp = plan.Build(new(plan.Plan), ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy, stored)
+			pp = plan.Build(new(plan.Plan), ast, key, &pc.stats, e.planCosts(), e.cfg.PlanPolicy, stored)
 			e.plans.put(key, pp, epoch)
 		} else {
-			pp = plan.Build(&pc.plan, ast, key, &pc.stats, e.costs, e.cfg.PlanPolicy, stored)
+			pp = plan.Build(&pc.plan, ast, key, &pc.stats, e.planCosts(), e.cfg.PlanPolicy, stored)
 		}
 	}
 	stamp(tr, obs.StagePlan, &t0)
@@ -554,13 +610,13 @@ func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *
 	}
 	if hit {
 		putPlanCtx(pc)
-		return &Result{Docs: docs, Normalized: key, Cached: true}, expl, nil
+		return &Result{Docs: docs, Count: len(docs), Normalized: key, Cached: true}, expl, nil
 	}
 	var agg *traceRec
 	if tr != nil {
 		agg = getTraceRec(len(pp.Ops))
 	}
-	merged, err := e.executePlan(ctx, shards, pp, tr, agg)
+	merged, count, err := e.executePlan(ctx, shards, pp, tr, agg, mode == modeCount)
 	if err != nil {
 		putTraceRec(agg)
 		putPlanCtx(pc)
@@ -568,14 +624,23 @@ func (e *Engine) executeQuery(ctx context.Context, q string, mode execMode, tr *
 	}
 	if tr != nil {
 		e.met.recordKernels(pp, agg)
+		if e.fb != nil {
+			harvestFeedback(e.fb, pp, agg)
+		}
 	}
 	if mode == modeAnalyze {
 		expl = renderAnalyze(pc, pp, agg, tr) + e.algorithmNote()
 	}
 	putTraceRec(agg)
 	putPlanCtx(pc)
+	if mode == modeCount {
+		// Nothing was materialized, so there is nothing to cache; a later
+		// materializing query for the same canonical form will populate the
+		// LRU and counts will hit it from then on.
+		return &Result{Count: count, Normalized: key}, expl, nil
+	}
 	e.cache.put(key, merged, gen)
-	return &Result{Docs: merged, Normalized: key}, expl, nil
+	return &Result{Docs: merged, Count: count, Normalized: key}, expl, nil
 }
 
 // algorithmNote flags a configured intersection algorithm on explain
@@ -647,7 +712,11 @@ func (e *Engine) acquireWorker(ctx context.Context) error {
 }
 
 // executePlan runs one physical plan over the shard set and merges the
-// per-shard sorted results into a fresh slice. When the query is traced
+// per-shard sorted results into a fresh slice, returning the merged docs
+// and their count. Under countOnly the merge is elided entirely: the
+// per-shard result lengths are summed (shards partition the docID space,
+// so the sorted per-shard results are disjoint) and the docs return is
+// nil — no merged slice is built or copied. When the query is traced
 // (tr and agg non-nil, always together), each shard evaluation records its
 // per-operator actuals into a context-local traceRec, and the recordings
 // are merged into agg — the per-shard spans and the exec/merge stage
@@ -659,13 +728,13 @@ func (e *Engine) acquireWorker(ctx context.Context) error {
 // paths, and the fan-out always rejoins (wg.Wait) before returning — a
 // worker observing the cancellation aborts at its next poll, so no
 // goroutine outlives the call.
-func (e *Engine) executePlan(ctx context.Context, shards []*shard, pp *plan.Plan, tr *obs.Trace, agg *traceRec) ([]uint32, error) {
+func (e *Engine) executePlan(ctx context.Context, shards []*shard, pp *plan.Plan, tr *obs.Trace, agg *traceRec, countOnly bool) ([]uint32, int, error) {
 	if len(shards) == 1 {
 		// Single shard: evaluate inline, skipping the fan-out goroutine but
 		// still holding a bounded worker slot — Config.Workers caps shard
 		// evaluations across ALL in-flight queries regardless of shape.
 		if err := e.acquireWorker(ctx); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		defer func() { <-e.workers }()
 		var t0 time.Time
@@ -681,20 +750,24 @@ func (e *Engine) executePlan(ctx context.Context, shards []*shard, pp *plan.Plan
 		c.rec = nil
 		if err != nil {
 			putExecCtx(c)
-			return nil, err
+			return nil, 0, err
 		}
 		if tr != nil {
 			stamp(tr, obs.StageExec, &t0)
 			tr.Shards = append(tr.Shards, obs.ShardSpan{Shard: 0, Rows: len(docs), Ns: tr.Stages[obs.StageExec]})
 		}
-		merged := make([]uint32, len(docs))
-		copy(merged, docs)
+		count := len(docs)
+		var merged []uint32
+		if !countOnly {
+			merged = make([]uint32, count)
+			copy(merged, docs)
+		}
 		if owned {
 			c.putBuf(docs)
 		}
 		putExecCtx(c)
 		stamp(tr, obs.StageMerge, &t0)
-		return merged, nil
+		return merged, count, nil
 	}
 	var t0 time.Time
 	if tr != nil {
@@ -742,22 +815,28 @@ func (e *Engine) executePlan(ctx context.Context, shards []*shard, pp *plan.Plan
 	for _, err := range qc.errs {
 		if err != nil {
 			putQueryCtx(qc)
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	stamp(tr, obs.StageExec, &t0)
 	// Shards partition the document space, so the per-shard sorted results
 	// are disjoint and merging is a pure interleave; the k-way union writes
 	// into a fresh exactly-sized slice, so the merged result never aliases
-	// a posting list or a pooled buffer.
+	// a posting list or a pooled buffer. Disjointness also means a count
+	// needs no merge at all — the lengths simply add.
 	total := 0
 	for _, r := range qc.results {
 		total += len(r)
 	}
+	if countOnly {
+		putQueryCtx(qc)
+		stamp(tr, obs.StageMerge, &t0)
+		return nil, total, nil
+	}
 	merged := sets.UnionKInto(make([]uint32, 0, total), qc.results...)
 	putQueryCtx(qc)
 	stamp(tr, obs.StageMerge, &t0)
-	return merged, nil
+	return merged, total, nil
 }
 
 // EncodingStat aggregates the posting lists stored under one encoding
@@ -837,6 +916,24 @@ type Stats struct {
 	Delta            DeltaStats `json:"delta"`
 	Workers          int        `json:"workers"`
 	Cache            CacheStats `json:"cache"`
+	// PlanFeedback reports whether the adaptive planning loop is on; the
+	// fields below it are zero when it is off. FeedbackEpoch counts
+	// published correction snapshots (each invalidates the plan cache),
+	// FeedbackRefits the re-fit passes run, FeedbackObservations the
+	// harvested operator samples, EstRowsError the last window's relative
+	// cardinality-estimate error, and KernelCorrections the current
+	// non-unit multiplicative corrections by kernel name.
+	PlanFeedback         bool               `json:"plan_feedback"`
+	FeedbackEpoch        uint64             `json:"feedback_epoch,omitempty"`
+	FeedbackRefits       uint64             `json:"feedback_refits,omitempty"`
+	FeedbackObservations uint64             `json:"feedback_observations,omitempty"`
+	EstRowsError         float64            `json:"est_rows_error,omitempty"`
+	KernelCorrections    map[string]float64 `json:"kernel_corrections,omitempty"`
+	// KernelExecs counts conjunction-kernel executions observed in sampled
+	// traces, by the kernel that actually ran (the shard-level re-pricing,
+	// not the logical plan's pick). Only non-zero kernels appear; nil when
+	// metrics are disabled.
+	KernelExecs map[string]uint64 `json:"kernel_execs,omitempty"`
 }
 
 // Stats returns current counters. Docs counts distinct live documents:
@@ -863,6 +960,31 @@ func (e *Engine) Stats() Stats {
 		Cache:           e.cache.stats(),
 	}
 	st.PlanCacheEntries = e.plans.entries()
+	if e.met.enabled {
+		for k := plan.Kernel(1); int(k) < plan.KernelCount; k++ {
+			if n := e.met.kernelExecs[k].Value(); n > 0 {
+				if st.KernelExecs == nil {
+					st.KernelExecs = map[string]uint64{}
+				}
+				st.KernelExecs[k.String()] = n
+			}
+		}
+	}
+	if e.fb != nil {
+		st.PlanFeedback = true
+		st.FeedbackEpoch = e.fb.Epoch()
+		st.FeedbackRefits = e.fb.Refits()
+		st.FeedbackObservations = e.fb.Observations()
+		st.EstRowsError = e.fb.RowsError()
+		for k := plan.Kernel(1); int(k) < plan.KernelCount; k++ {
+			if c := e.fb.Correction(k); c != 1 {
+				if st.KernelCorrections == nil {
+					st.KernelCorrections = map[string]float64{}
+				}
+				st.KernelCorrections[k.String()] = c
+			}
+		}
+	}
 	for _, s := range shards {
 		s.mu.RLock()
 		ix := s.base

@@ -27,13 +27,16 @@ import (
 // listAlgorithm resolves the algorithm for a conjunction over f.lists: the
 // configured override when set (and applicable), otherwise the cost model
 // over the shard's actual list sizes.
-func (e *Engine) listAlgorithm(c *execCtx, p *plan.Plan, lists []*fastintersect.List) fastintersect.Algorithm {
+// It also reports the chosen kernel and the span it was priced at, so a
+// traced query can attribute the execution to the kernel that actually ran
+// (KernelNone when a fixed Config.Algorithm bypasses the cost model).
+func (e *Engine) listAlgorithm(c *execCtx, p *plan.Plan, lists []*fastintersect.List) (fastintersect.Algorithm, plan.Kernel, int) {
 	a := e.cfg.Algorithm
 	if mx := a.MaxSets(); mx > 0 && len(lists) > mx {
 		a = fastintersect.Auto
 	}
 	if a != fastintersect.Auto {
-		return a
+		return a, plan.KernelNone, 0
 	}
 	c.lens = c.lens[:0]
 	span := 0
@@ -43,13 +46,14 @@ func (e *Engine) listAlgorithm(c *execCtx, p *plan.Plan, lists []*fastintersect.
 			span = sp
 		}
 	}
-	return fastintersect.KernelAlgorithm(plan.ChooseListKernel(e.costs, p.Policy.Kernels, c.lens, span))
+	k := plan.ChooseListKernel(e.planCosts(), p.Policy.Kernels, c.lens, span)
+	return fastintersect.KernelAlgorithm(k), k, span
 }
 
 // intersectPair intersects two sorted sets into a context buffer with the
 // kernel the cost model picks for their sizes.
 func (e *Engine) intersectPair(c *execCtx, pol plan.KernelPolicy, a, b []uint32) []uint32 {
-	if plan.ChoosePair(e.costs, pol, len(a), len(b)) == plan.KernelGallop {
+	if plan.ChoosePair(e.planCosts(), pol, len(a), len(b)) == plan.KernelGallop {
 		return sets.IntersectGallopInto(c.getBuf(), a, b)
 	}
 	return sets.IntersectInto(c.getBuf(), a, b)
@@ -194,7 +198,12 @@ func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32
 		for _, s := range f.stored {
 			c.ops = append(c.ops, plan.Operand{Len: s.Len(), Shape: s.Shape(), Span: s.Span()})
 		}
-		strat := plan.ChooseStored(e.costs, p.Policy.Kernels, c.ops)
+		strat := plan.ChooseStored(e.planCosts(), p.Policy.Kernels, c.ops)
+		if c.rec != nil {
+			rec := &c.rec.ops[i]
+			rec.kernel = strat
+			rec.estNs += plan.PriceStored(e.planCosts(), strat, c.ops)
+		}
 		cur = compress.IntersectStoredStrategy(c.getBuf(), strat, f.stored...)
 		curOwned = true
 		haveBase = true
@@ -207,7 +216,12 @@ func (e *Engine) evalAndOp(c *execCtx, ix *invindex.Index, p *plan.Plan, i int32
 		}
 		haveBase = true
 	case len(f.lists) >= 2:
-		a := e.listAlgorithm(c, p, f.lists)
+		a, k, span := e.listAlgorithm(c, p, f.lists)
+		if c.rec != nil && k != plan.KernelNone {
+			rec := &c.rec.ops[i]
+			rec.kernel = k
+			rec.estNs += plan.PriceListKernel(e.planCosts(), k, c.lens, span)
+		}
 		out, err := fastintersect.IntersectInto(&c.fi, c.getBuf(), a, f.lists...)
 		if err != nil {
 			c.releaseFrame(f)

@@ -109,7 +109,13 @@ func putExecCtx(c *execCtx) {
 	}
 	clear(c.memoK)
 	clear(c.memoV)
-	clear(c.memoM) // keep the map allocated; entries must not pin stored lists
+	// Drop the map index outright rather than clear it: one wide batch can
+	// grow it to thousands of buckets, and a cleared-but-retained map would
+	// (a) pin that memory for the lifetime of the pooled context and
+	// (b) make every future put pay an O(buckets) clear walk — so the
+	// context resets to the allocation-free linear-scan mode and rebuilds
+	// the index only if another wide evaluation crosses memoScanLimit.
+	c.memoM = nil
 	c.memoK = c.memoK[:0]
 	c.memoV = c.memoV[:0]
 	c.fi.Reset()

@@ -104,6 +104,24 @@ func newEngineMetrics(e *Engine, cfg Config) *engineMetrics {
 		func() float64 { return float64(e.statsEpoch.Load()) })
 	r.GaugeFunc("fsi_plan_cache_entries", "Plan-cache resident entries.",
 		func() float64 { return float64(e.plans.entries()) })
+	if e.fb != nil {
+		fb := e.fb
+		r.GaugeFunc("fsi_plan_est_rows_error",
+			"Relative cardinality-estimate error of the last feedback window (Σ|act−est|/Σact).",
+			fb.RowsError)
+		r.CounterFunc("fsi_plan_refits_total", "Feedback re-fit passes run.", fb.Refits)
+		r.CounterFunc("fsi_plan_feedback_observations_total",
+			"Sampled per-operator actuals harvested into the feedback store.", fb.Observations)
+		r.GaugeFunc("fsi_plan_feedback_epoch",
+			"Published correction snapshots (each re-prices every cached plan).",
+			func() float64 { return float64(fb.Epoch()) })
+		for k := 1; k < plan.KernelCount; k++ {
+			k := plan.Kernel(k)
+			r.GaugeFunc(`fsi_plan_kernel_correction{kernel="`+k.String()+`"}`,
+				"Live multiplicative cost correction for the kernel (1 = calibration trusted as-is).",
+				func() float64 { return fb.Correction(k) })
+		}
+	}
 	shardCount := cfg.Shards
 	if shardCount <= 0 {
 		shardCount = 1
@@ -149,18 +167,61 @@ func (m *engineMetrics) recordKernels(pp *plan.Plan, agg *traceRec) {
 		if a.execs == 0 {
 			continue
 		}
-		k := op.Kernel
+		// Prefer the kernel the shards actually ran; the plan-level pick is
+		// the fallback for paths that don't re-price (fixed Config.Algorithm,
+		// single-operand degenerations).
+		k := a.kernel
+		if k == plan.KernelNone {
+			k = op.Kernel
+		}
 		m.kernelExecs[k].Add(uint64(a.execs))
 		m.kernelRows[k].Add(uint64(a.rows))
 		m.kernelNs[k].Add(uint64(a.ns))
 	}
 }
 
+// harvestFeedback folds one traced query's per-operator actuals into the
+// adaptive-planning store — the same walk as recordKernels, but pairing
+// each actual with the estimate the cost model made for it, so the re-fit
+// can compare what was promised against what execution delivered.
+//
+// The pairing is execution-level when available: evalAndOp re-prices every
+// conjunction on the shard's actual sizes and spans, and records both the
+// kernel that ran and the corrected cost that pricing promised (summed
+// across shards, like the actual ns — the two sides are commensurable).
+// The logical plan's Op.Kernel/Op.Cost, priced at the universe span, is
+// only the fallback for paths that never re-price; attributing a merge's
+// nanoseconds to whichever kernel looked cheap at plan time would teach
+// the loop to correct a kernel that never ran.
+func harvestFeedback(fb *plan.Feedback, pp *plan.Plan, agg *traceRec) {
+	for i := range pp.Ops {
+		op := &pp.Ops[i]
+		if op.Kind != plan.OpAnd || op.Kernel == plan.KernelNone {
+			continue
+		}
+		a := &agg.ops[i]
+		if a.execs == 0 {
+			continue
+		}
+		k, est := a.kernel, a.estNs
+		if k == plan.KernelNone {
+			k, est = op.Kernel, op.Cost
+		}
+		fb.Observe(k, op.Rows, est, a.execs, a.rows, a.ns)
+	}
+}
+
 // opAcc accumulates one plan operator's executions during a traced query.
+// kernel and estNs are the execution-level truth for conjunctions: the
+// kernel the shard's re-pricing actually ran (the logical plan's pick can
+// differ — it prices every operand at the universe span) and the corrected
+// cost that re-pricing promised, summed across shards like ns.
 type opAcc struct {
-	execs int64
-	rows  int64
-	ns    int64
+	execs  int64
+	rows   int64
+	ns     int64
+	kernel plan.Kernel
+	estNs  float64
 }
 
 // traceRec is the per-execution-context recording arena of a traced query:
@@ -205,5 +266,12 @@ func (r *traceRec) merge(o *traceRec) {
 		r.ops[i].execs += o.ops[i].execs
 		r.ops[i].rows += o.ops[i].rows
 		r.ops[i].ns += o.ops[i].ns
+		r.ops[i].estNs += o.ops[i].estNs
+		if o.ops[i].kernel != plan.KernelNone {
+			// Shards re-price independently but over statistically identical
+			// halves, so they almost always agree; any shard's pick stands in
+			// for the operator.
+			r.ops[i].kernel = o.ops[i].kernel
+		}
 	}
 }

@@ -308,3 +308,54 @@ func TestSegmentsBench(t *testing.T) {
 		}
 	}
 }
+
+// TestFeedbackBench is the acceptance check for the adaptive planning loop:
+// under a drifted corpus the feedback engine's corrected plans must beat the
+// frozen mis-calibrated engine, must stop running the under-priced merge
+// kernel the frozen engine keeps dispatching, and must not have cost
+// anything meaningful before the drift (when the mispriced plans happened
+// to be right anyway).
+func TestFeedbackBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs adaptation streams and timed benchmarks through five engine phases")
+	}
+	rep := FeedbackBench(tinyConfig())
+	if rep.Schema != "fsibench/feedback/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Scenarios) != 5 {
+		t.Fatalf("got %d scenarios, want 5 (frozen/feedback ×2 phases + oracle)", len(rep.Scenarios))
+	}
+	byKey := map[string]FeedbackScenario{}
+	for _, s := range rep.Scenarios {
+		byKey[s.Phase+"/"+s.Engine] = s
+		if s.NsPerOp <= 0 || s.QPS <= 0 {
+			t.Fatalf("%s/%s: degenerate timing (ns/op=%d)", s.Phase, s.Engine, s.NsPerOp)
+		}
+	}
+	fb := byKey["post-drift/feedback"]
+	if fb.Refits == 0 || fb.Observations == 0 {
+		t.Fatalf("feedback engine never refit (refits=%d, obs=%d); the loop never engaged", fb.Refits, fb.Observations)
+	}
+	if fb.MergeCorrection <= 1.5 {
+		t.Errorf("merge correction %.2f; want it learned well above 1 (the anchor was under-priced %v×)",
+			fb.MergeCorrection, rep.Distortion)
+	}
+	frozen := byKey["post-drift/frozen"]
+	if frozen.MergeExecShare < 0.5 {
+		t.Errorf("frozen engine ran merges on only %.0f%% of sampled kernel executions post-drift; the mis-calibration scenario is vacuous",
+			100*frozen.MergeExecShare)
+	}
+	if fb.MergeExecShare >= 0.5 {
+		t.Errorf("feedback engine still ran merges on %.0f%% of sampled kernel executions post-drift (frozen: %.0f%%); corrections did not flip the plans",
+			100*fb.MergeExecShare, 100*frozen.MergeExecShare)
+	}
+	if rep.PostDriftRatio >= 1.0 {
+		t.Errorf("post-drift feedback/frozen ratio %.3f; corrected plans must beat the frozen mis-calibration", rep.PostDriftRatio)
+	}
+	// 1.05 is the design budget; CI boxes are noisy, so the hard gate allows
+	// a little slack on top while still catching a loop that costs real time.
+	if rep.PreDriftRatio > 1.10 {
+		t.Errorf("pre-drift feedback/frozen ratio %.3f; the loop must be ~free when plans are already right", rep.PreDriftRatio)
+	}
+}

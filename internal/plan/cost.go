@@ -54,6 +54,23 @@ type Costs struct {
 	Filter float64
 	// GapDecode is the ns per element decoded from a γ/δ gap-coded bucket.
 	GapDecode float64
+
+	// Corr holds per-kernel multiplicative correction factors learned from
+	// runtime feedback (see feedback.go): the priced cost of kernel k is
+	// scaled by Corr[k] wherever the choosers compare candidates. A zero
+	// entry means "no correction" (factor 1), so the zero value of Costs —
+	// and every calibrated/default instance — prices exactly as before the
+	// feedback loop existed. Corrections never change results, only which
+	// (parity-identical) kernel wins a comparison.
+	Corr [KernelCount]float64
+}
+
+// corr returns the correction factor for kernel k (1 when unset).
+func (c *Costs) corr(k Kernel) float64 {
+	if v := c.Corr[k]; v > 0 {
+		return v
+	}
+	return 1
 }
 
 // DefaultCosts returns hand-set coefficients in the measured ballpark of a
@@ -406,7 +423,23 @@ func listKernelCost(c *Costs, k Kernel, sizes []int, span int) float64 {
 		}
 		cost = bitsegCost(c, sizes, span)
 	}
-	return cost
+	return cost * c.corr(k)
+}
+
+// PriceListKernel prices kernel k over the operand sizes with the live
+// corrections applied — the figure ChooseListKernel compared when it picked
+// k. The engine uses it at execution time to pair each re-priced kernel run
+// with the estimate the feedback loop should hold it to.
+func PriceListKernel(c *Costs, k Kernel, sizes []int, span int) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	return listKernelCost(c, k, sizes, span)
+}
+
+// PriceStored is PriceListKernel for the compressed tier's strategies.
+func PriceStored(c *Costs, k Kernel, ops []Operand) float64 {
+	return storedCost(c, k, ops)
 }
 
 // Shape is the storage representation of one operand, as far as the cost
@@ -520,19 +553,19 @@ func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
 		chain += probeCost(c, op, n0)
 		decodeAll += decodeCost(c, op) + c.MergeElem*float64(op.Len+n0)
 	}
-	best, k := chain, KernelFilterChain
-	if decodeAll < best {
-		best, k = decodeAll, KernelDecodeAll
+	best, k := chain*c.corr(KernelFilterChain), KernelFilterChain
+	if da := decodeAll * c.corr(KernelDecodeAll); da < best {
+		best, k = da, KernelDecodeAll
 	}
-	if allLookup && chain <= best {
+	if lp := chain * c.corr(KernelLookupProbe); allLookup && lp <= best {
 		// Same bucket probes as the chain, but consecutive probes share
 		// bucket decodes; prefer it on ties.
-		best, k = chain, KernelLookupProbe
+		best, k = lp, KernelLookupProbe
 	}
 	if allBitseg && span > 0 {
 		// The lists already carry the hybrid representation: run the k-way
 		// word kernel directly, no decode at all.
-		if bc := storedBitsegCost(c, ops, span); bc < best {
+		if bc := storedBitsegCost(c, ops, span) * c.corr(KernelBitsegAnd); bc < best {
 			best, k = bc, KernelBitsegAnd
 		}
 	}
@@ -540,7 +573,7 @@ func ChooseStored(c *Costs, pol KernelPolicy, ops []Operand) Kernel {
 		// The stored RGS kernel is the calibrated group scan plus the final
 		// result sort (the groups emit permutation order).
 		total := float64(ops[0].Len + ops[1].Len)
-		rgs := c.GroupElem*total + c.Probe*float64(n0)
+		rgs := (c.GroupElem*total + c.Probe*float64(n0)) * c.corr(KernelRGSPair)
 		if rgs < best {
 			k = KernelRGSPair
 		}
@@ -574,7 +607,7 @@ func storedCost(c *Costs, k Kernel, ops []Operand) float64 {
 	switch k {
 	case KernelRGSPair:
 		total := float64(ops[0].Len + ops[1].Len)
-		return c.GroupElem*total + c.Probe*float64(n0)
+		return (c.GroupElem*total + c.Probe*float64(n0)) * c.corr(k)
 	case KernelBitsegAnd:
 		span := 0
 		for _, op := range ops {
@@ -585,19 +618,19 @@ func storedCost(c *Costs, k Kernel, ops []Operand) float64 {
 		if span == 0 {
 			span = 1
 		}
-		return storedBitsegCost(c, ops, span)
+		return storedBitsegCost(c, ops, span) * c.corr(k)
 	case KernelDecodeAll:
 		cost := decodeCost(c, ops[0])
 		for _, op := range ops[1:] {
 			cost += decodeCost(c, op) + c.MergeElem*float64(op.Len+n0)
 		}
-		return cost
+		return cost * c.corr(k)
 	default: // FilterChain, LookupProbe
 		cost := decodeCost(c, ops[0])
 		for _, op := range ops[1:] {
 			cost += probeCost(c, op, n0)
 		}
-		return cost
+		return cost * c.corr(k)
 	}
 }
 
@@ -612,8 +645,8 @@ func ChoosePair(c *Costs, pol KernelPolicy, small, large int) Kernel {
 	if small > large {
 		small, large = large, small
 	}
-	merge := c.MergeElem * float64(small+large)
-	gallop := c.GallopProbe * float64(small) * probeDepth(large, small)
+	merge := c.MergeElem * float64(small+large) * c.corr(KernelMerge)
+	gallop := c.GallopProbe * float64(small) * probeDepth(large, small) * c.corr(KernelGallop)
 	if gallop < merge {
 		return KernelGallop
 	}
